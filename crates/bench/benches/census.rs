@@ -1,0 +1,27 @@
+//! Criterion benches for the Table III universality census.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mm_synth::universality::{census, CensusConfig};
+
+fn bench_census(c: &mut Criterion) {
+    let mut g = c.benchmark_group("census");
+    g.bench_function("n3_v_only", |b| b.iter(|| census(&CensusConfig::new(3))));
+    g.bench_function("n4_v_only", |b| b.iter(|| census(&CensusConfig::new(4))));
+    g.bench_function("n4_pre3", |b| {
+        b.iter(|| census(&CensusConfig::new(4).with_pre(3)))
+    });
+    g.bench_function("n4_post1", |b| {
+        b.iter(|| census(&CensusConfig::new(4).with_post(1)))
+    });
+    g.bench_function("n4_tebe1", |b| {
+        b.iter(|| census(&CensusConfig::new(4).with_tebe(1)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_census
+}
+criterion_main!(benches);

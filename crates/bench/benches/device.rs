@@ -1,0 +1,40 @@
+//! Criterion benches for the device substrate: line-array schedule
+//! execution and Monte-Carlo reliability throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mm_boolfn::generators;
+use mm_circuit::Schedule;
+use mm_device::{monte_carlo, ElectricalParams, LineArray, Variability};
+use mm_synth::heuristic;
+
+fn bench_device(c: &mut Criterion) {
+    let f = generators::gf22_multiplier();
+    let circuit = heuristic::map(&f).expect("GF(2^2) maps");
+    let schedule = Schedule::compile(&circuit).expect("schedulable");
+
+    let mut g = c.benchmark_group("line_array");
+    g.bench_function("gf22_execute_ideal", |b| {
+        let mut array = LineArray::ideal(schedule.n_cells());
+        b.iter(|| schedule.execute(0b1011, &mut array));
+    });
+    g.bench_function("gf22_execute_bfo_noisy", |b| {
+        let params = ElectricalParams::bfo().with_variability(Variability::HIGH);
+        let mut array = LineArray::bfo(schedule.n_cells(), params, 7);
+        b.iter(|| schedule.execute(0b1011, &mut array));
+    });
+    g.bench_function("gf22_full_verify_all_inputs", |b| {
+        b.iter(|| schedule.verify(&f));
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("monte_carlo");
+    g.sample_size(10);
+    g.bench_function("r_op_error_rate_1k", |b| {
+        let params = ElectricalParams::bfo().with_variability(Variability::HIGH);
+        b.iter(|| monte_carlo::r_op_error_rate(params, 1000, 3));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_device);
+criterion_main!(benches);

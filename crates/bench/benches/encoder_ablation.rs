@@ -1,0 +1,112 @@
+//! Ablation benches over the encoding choices DESIGN.md calls out:
+//! folded vs paper-faithful literal handling, the three exactly-one
+//! encodings of the paper's mutex μ, shared-BE realizations, and symmetry
+//! breaking.
+//!
+//! Each variant is measured end-to-end on the same instance so the
+//! relative costs are directly comparable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mm_boolfn::generators;
+use mm_sat::ExactlyOne;
+use mm_synth::{EncodeMode, EncodeOptions, SharedBe, SynthSpec, Synthesizer};
+
+fn bench_modes(c: &mut Criterion) {
+    let f = generators::ripple_adder(1);
+    let mut g = c.benchmark_group("encode_mode");
+    g.sample_size(10);
+    for (name, mode) in [
+        ("folded", EncodeMode::Folded),
+        ("faithful", EncodeMode::Faithful),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &mode| {
+            b.iter(|| {
+                let spec = SynthSpec::mixed_mode(&f, 2, 3, 3)
+                    .expect("valid")
+                    .with_options(EncodeOptions {
+                        mode,
+                        ..EncodeOptions::recommended()
+                    });
+                Synthesizer::new().run(&spec).expect("runs")
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_mutex(c: &mut Criterion) {
+    let f = generators::ripple_adder(1);
+    let mut g = c.benchmark_group("mutex_encoding");
+    g.sample_size(10);
+    for (name, mutex) in [
+        ("pairwise", ExactlyOne::Pairwise),
+        ("sequential", ExactlyOne::Sequential),
+        ("commander", ExactlyOne::Commander),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &mutex, |b, &mutex| {
+            b.iter(|| {
+                let spec = SynthSpec::mixed_mode(&f, 2, 3, 3)
+                    .expect("valid")
+                    .with_options(EncodeOptions {
+                        mutex,
+                        ..EncodeOptions::recommended()
+                    });
+                Synthesizer::new().run(&spec).expect("runs")
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_shared_be_and_symmetry(c: &mut Criterion) {
+    let f = generators::ripple_adder(1);
+    let mut g = c.benchmark_group("shared_be");
+    g.sample_size(10);
+    for (name, shared_be) in [
+        ("per_step_var", SharedBe::PerStepVar),
+        ("equality_clauses", SharedBe::EqualityClauses),
+        ("free", SharedBe::Free),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &shared_be,
+            |b, &shared_be| {
+                b.iter(|| {
+                    let spec = SynthSpec::mixed_mode(&f, 2, 3, 3)
+                        .expect("valid")
+                        .with_options(EncodeOptions {
+                            shared_be,
+                            ..EncodeOptions::recommended()
+                        });
+                    Synthesizer::new().run(&spec).expect("runs")
+                });
+            },
+        );
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("symmetry_breaking");
+    g.sample_size(10);
+    for (name, on) in [("on", true), ("off", false)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &on, |b, &on| {
+            b.iter(|| {
+                let spec = SynthSpec::mixed_mode(&f, 2, 3, 3)
+                    .expect("valid")
+                    .with_options(EncodeOptions {
+                        symmetry_breaking: on,
+                        ..EncodeOptions::default()
+                    });
+                Synthesizer::new().run(&spec).expect("runs")
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_modes,
+    bench_mutex,
+    bench_shared_be_and_symmetry
+);
+criterion_main!(benches);

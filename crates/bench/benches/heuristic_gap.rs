@@ -1,0 +1,33 @@
+//! Benches for the scalable heuristic mapper (the paper's future work),
+//! including functions far beyond the reach of exact synthesis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mm_boolfn::generators;
+use mm_synth::heuristic;
+
+fn bench_heuristic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("heuristic_map");
+    g.bench_function("gf22_multiplier", |b| {
+        let f = generators::gf22_multiplier();
+        b.iter(|| heuristic::map(&f).expect("maps"));
+    });
+    g.bench_function("adder3_n7", |b| {
+        let f = generators::ripple_adder(3);
+        b.iter(|| heuristic::map(&f).expect("maps"));
+    });
+    g.bench_function("gf16_inversion", |b| {
+        let f = generators::gf16_inversion();
+        b.iter(|| heuristic::map(&f).expect("maps"));
+    });
+    g.sample_size(10);
+    g.bench_function("adder4_n9_beyond_exact", |b| {
+        // 9 inputs — out of reach for optimal synthesis (the paper stops
+        // at 7), trivial for the heuristic.
+        let f = generators::ripple_adder(4);
+        b.iter(|| heuristic::map(&f).expect("maps"));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_heuristic);
+criterion_main!(benches);

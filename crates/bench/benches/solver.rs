@@ -1,0 +1,71 @@
+//! Criterion benches for the CDCL SAT solver substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mm_sat::{CnfFormula, Lit, Solver};
+
+#[allow(clippy::needless_range_loop)] // h indexes a 2-D structure
+fn pigeonhole(pigeons: usize, holes: usize) -> CnfFormula {
+    let mut cnf = CnfFormula::new();
+    let vars: Vec<Vec<Lit>> = (0..pigeons)
+        .map(|_| (0..holes).map(|_| cnf.new_lit()).collect())
+        .collect();
+    for p in &vars {
+        cnf.add_clause(p.iter().copied());
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                cnf.add_clause([!vars[p1][h], !vars[p2][h]]);
+            }
+        }
+    }
+    cnf
+}
+
+fn random_3sat(n_vars: usize, n_clauses: usize, seed: u64) -> CnfFormula {
+    let mut state = seed;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut cnf = CnfFormula::new();
+    let vars: Vec<Lit> = (0..n_vars).map(|_| cnf.new_lit()).collect();
+    for _ in 0..n_clauses {
+        let mut picked: Vec<usize> = Vec::new();
+        while picked.len() < 3 {
+            let v = (rng() % n_vars as u64) as usize;
+            if !picked.contains(&v) {
+                picked.push(v);
+            }
+        }
+        cnf.add_clause(
+            picked
+                .iter()
+                .map(|&v| if rng() % 2 == 0 { vars[v] } else { !vars[v] }),
+        );
+    }
+    cnf
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solver");
+    g.sample_size(10);
+    g.bench_function("php_7_6_unsat", |b| {
+        let cnf = pigeonhole(7, 6);
+        b.iter(|| Solver::new(cnf.clone()).solve());
+    });
+    g.bench_function("random3sat_150_sat_region", |b| {
+        let cnf = random_3sat(150, 570, 42); // ratio 3.8: usually SAT
+        b.iter(|| Solver::new(cnf.clone()).solve());
+    });
+    g.bench_function("random3sat_120_phase_transition", |b| {
+        let cnf = random_3sat(120, 510, 7); // ratio 4.25
+        b.iter(|| Solver::new(cnf.clone()).solve());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion benches for end-to-end synthesis of small Table IV-class
+//! instances (encode + solve + decode + verify).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mm_boolfn::generators;
+use mm_synth::{SynthSpec, Synthesizer};
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("synthesis");
+    g.bench_function("and2_v_only", |b| {
+        let f = generators::and_gate(2);
+        b.iter(|| {
+            Synthesizer::new()
+                .run(&SynthSpec::mixed_mode(&f, 0, 1, 1).expect("valid"))
+                .expect("runs")
+        });
+    });
+    g.bench_function("xor2_mm", |b| {
+        let f = generators::xor_gate(2);
+        b.iter(|| {
+            Synthesizer::new()
+                .run(&SynthSpec::mixed_mode(&f, 1, 2, 2).expect("valid"))
+                .expect("runs")
+        });
+    });
+    g.bench_function("xor2_r_only_unsat_at_2", |b| {
+        let f = generators::xor_gate(2);
+        b.iter(|| {
+            Synthesizer::new()
+                .run(&SynthSpec::r_only(&f, 2).expect("valid"))
+                .expect("runs")
+        });
+    });
+    g.bench_function("maj3_mm", |b| {
+        let f = generators::majority_gate(3);
+        b.iter(|| {
+            Synthesizer::new()
+                .run(&SynthSpec::mixed_mode(&f, 1, 2, 3).expect("valid"))
+                .expect("runs")
+        });
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("synthesis_table4");
+    g.sample_size(10);
+    g.bench_function("adder1_mm_paper_optimum", |b| {
+        let f = generators::ripple_adder(1);
+        b.iter(|| {
+            Synthesizer::new()
+                .run(&SynthSpec::mixed_mode(&f, 2, 3, 3).expect("valid"))
+                .expect("runs")
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_synthesis
+}
+criterion_main!(benches);

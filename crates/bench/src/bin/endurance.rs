@@ -1,0 +1,41 @@
+//! Extension experiment for the paper's endurance discussion (§III):
+//! "for technologies with low endurance, V-ops are problematic because, in
+//! the worst case, every V-op switches the cell (in practice, many cells
+//! will retain their old values)".
+//!
+//! For each benchmark the harness compares the write-pulse and
+//! actual-switch counts of the mixed-mode circuit against the R-only-style
+//! heuristic baseline, and reports the switch efficiency (switches per
+//! pulse) that backs the paper's parenthetical.
+
+use mm_bench::table4::benchmarks;
+use mm_circuit::{ActivityReport, Schedule};
+use mm_synth::heuristic;
+
+fn main() {
+    println!("Endurance analysis: write pulses and state switches per execution");
+    println!("(averaged over all 2^n inputs; heuristic-mapped circuits)");
+    println!(
+        "{:<18} {:>6} {:>12} {:>12} {:>10} {:>14}",
+        "circuit", "cells", "pulses/run", "switch/run", "eff.", "hottest cell"
+    );
+    for bench in benchmarks() {
+        let circuit = heuristic::map(&bench.function).expect("maps");
+        let schedule = Schedule::compile(&circuit).expect("schedulable");
+        let report = ActivityReport::analyze(&schedule);
+        let runs = f64::from(1u32 << bench.function.n_inputs());
+        let (hot_cell, hot_pulses) = report.hottest_cell().expect("non-empty");
+        println!(
+            "{:<18} {:>6} {:>12.2} {:>12.2} {:>10.3} {:>8} ({:.1}/run)",
+            bench.name,
+            schedule.n_cells(),
+            report.total_write_pulses() as f64 / runs,
+            report.switches_per_run(),
+            report.switch_efficiency(),
+            hot_cell,
+            hot_pulses as f64 / runs,
+        );
+    }
+    println!("\nexpected shape: switch efficiency well below 1 — most write pulses");
+    println!("hit cells already in the target state, as the paper observes.");
+}

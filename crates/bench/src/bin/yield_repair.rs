@@ -1,0 +1,102 @@
+//! Extension experiment for the paper's yield motivation (§I): discrete
+//! line arrays allow devices to be "easily replaced after manufacturing or
+//! upon failure", and a placement step can route around known-dead cells.
+//!
+//! Monte-Carlo over per-cell defect probability: the probability that the
+//! GF(2²) multiplier still computes correctly on (a) a naive placement
+//! that uses cells 0..N as-is, versus (b) a yield-aware placement on an
+//! array with spare cells that avoids the defects.
+
+use mm_boolfn::generators;
+use mm_circuit::Schedule;
+use mm_device::{DeviceState, LineArray};
+use mm_synth::heuristic;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trials: u32 = if mm_bench::has_full_flag(&args) {
+        2000
+    } else {
+        400
+    };
+
+    let f = generators::gf22_multiplier();
+    let circuit = heuristic::map(&f).expect("maps");
+    let schedule = Schedule::compile(&circuit).expect("schedulable");
+    let n_used = schedule.n_cells();
+    let spares = 6;
+    let array_size = n_used + spares;
+
+    println!("Yield repair: GF(2^2) multiplier, {n_used} logical cells, {spares} spares");
+    println!(
+        "{:>10} | {:>14} {:>16} {:>14}",
+        "p(defect)", "naive works", "placed works", "unplaceable"
+    );
+    for &p_defect in &[0.01f64, 0.02, 0.05, 0.1, 0.2] {
+        let mut naive_ok = 0u32;
+        let mut placed_ok = 0u32;
+        let mut unplaceable = 0u32;
+        let mut rng = SmallRng::seed_from_u64((p_defect * 1e6) as u64);
+        for t in 0..trials {
+            // Fabricate an array with random stuck cells.
+            let mut defects: Vec<(usize, DeviceState)> = Vec::new();
+            for i in 0..array_size {
+                if rng.gen_bool(p_defect) {
+                    let stuck = if rng.gen_bool(0.5) {
+                        DeviceState::Lrs
+                    } else {
+                        DeviceState::Hrs
+                    };
+                    defects.push((i, stuck));
+                }
+            }
+            let dead: Vec<usize> = defects.iter().map(|&(i, _)| i).collect();
+
+            // Naive: use cells 0..n_used regardless of defects.
+            let naive_works = (0..16u32).all(|x| {
+                let mut array = LineArray::ideal_with_faults(n_used, &clip(&defects, n_used));
+                let out = schedule.execute(x, &mut array);
+                out_word(&out) == f.eval(x)
+            });
+            if naive_works {
+                naive_ok += 1;
+            }
+
+            // Yield-aware: re-place onto working cells if enough survive.
+            match schedule.place_avoiding(array_size, &dead) {
+                Ok(placed) => {
+                    let works = (0..16u32).all(|x| {
+                        let mut array = LineArray::ideal_with_faults(array_size, &defects);
+                        let out = placed.execute(x, &mut array);
+                        out_word(&out) == f.eval(x)
+                    });
+                    if works {
+                        placed_ok += 1;
+                    } else {
+                        eprintln!("trial {t}: placed schedule failed unexpectedly");
+                    }
+                }
+                Err(_) => unplaceable += 1,
+            }
+        }
+        println!(
+            "{:>10.2} | {:>13.1}% {:>15.1}% {:>13.1}%",
+            p_defect,
+            100.0 * f64::from(naive_ok) / f64::from(trials),
+            100.0 * f64::from(placed_ok) / f64::from(trials),
+            100.0 * f64::from(unplaceable) / f64::from(trials),
+        );
+    }
+    println!("\nexpected shape: placed yield ≈ P(≥{n_used} of {array_size} cells alive),");
+    println!("far above the naive yield P(all {n_used} used cells alive).");
+}
+
+fn out_word(out: &[bool]) -> u32 {
+    out.iter().fold(0, |acc, &b| (acc << 1) | u32::from(b))
+}
+
+fn clip(defects: &[(usize, DeviceState)], n: usize) -> Vec<(usize, DeviceState)> {
+    defects.iter().copied().filter(|&(i, _)| i < n).collect()
+}

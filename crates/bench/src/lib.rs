@@ -1,0 +1,80 @@
+//! Shared harness utilities for regenerating every table and figure of
+//! *Optimal Synthesis of Memristive Mixed-Mode Circuits* (DATE 2025).
+//!
+//! One binary per experiment:
+//!
+//! | Paper artifact | Binary |
+//! |---|---|
+//! | Table II (V-op-only 4-input gates) | `table2` |
+//! | Table III (universality census) | `table3` |
+//! | Table IV (optimal MM vs R-only synthesis) | `table4` |
+//! | Table V (adder comparison with literature) | `table5` |
+//! | Fig. 1 (GF(2²) multiplier circuit) | `fig1_circuit` |
+//! | Fig. 2 (electrical line-array trace) | `fig2_trace` |
+//! | §I/§II-B reliability claims (extension) | `reliability` |
+//!
+//! Criterion benches cover the machinery itself: census throughput,
+//! encoder ablations (folded vs faithful, mutex encodings, symmetry
+//! breaking), solver performance, device simulation, and the
+//! heuristic-vs-optimal gap.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod literature;
+pub mod table4;
+
+use std::time::Duration;
+
+/// Parses a `--budget <seconds>` argument from a raw arg list, returning
+/// the remaining args and the budget (default 60 s).
+pub fn parse_budget(args: &[String], default_secs: u64) -> (Vec<String>, Duration) {
+    let mut budget = Duration::from_secs(default_secs);
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--budget" {
+            if let Some(v) = it.next().and_then(|v| v.parse::<u64>().ok()) {
+                budget = Duration::from_secs(v);
+            }
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    (rest, budget)
+}
+
+/// Whether a `--full` flag is present (enables the long-running rows).
+pub fn has_full_flag(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--full")
+}
+
+/// Right-pads a cell to a column width.
+pub fn cell(s: impl ToString, width: usize) -> String {
+    let s = s.to_string();
+    format!("{s:<width$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_parsing() {
+        let args: Vec<String> = ["--full", "--budget", "120", "x"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (rest, budget) = parse_budget(&args, 60);
+        assert_eq!(budget, Duration::from_secs(120));
+        assert_eq!(rest, vec!["--full".to_string(), "x".to_string()]);
+        assert!(has_full_flag(&rest));
+        let (_, d) = parse_budget(&[], 60);
+        assert_eq!(d, Duration::from_secs(60));
+    }
+
+    #[test]
+    fn cell_pads() {
+        assert_eq!(cell("ab", 4), "ab  ");
+    }
+}

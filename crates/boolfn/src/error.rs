@@ -1,0 +1,91 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or combining Boolean functions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BoolFnError {
+    /// The requested input count exceeds [`MAX_INPUTS`](crate::MAX_INPUTS).
+    TooManyInputs {
+        /// The requested number of inputs.
+        requested: u32,
+    },
+    /// A variable index was outside `1..=n`.
+    VariableOutOfRange {
+        /// The 1-based variable index that was requested.
+        var: u32,
+        /// The number of inputs of the function.
+        n_inputs: u8,
+    },
+    /// A row index was outside `0..2^n`.
+    RowOutOfRange {
+        /// The offending row index.
+        row: u64,
+        /// The number of rows of the table.
+        n_rows: u64,
+    },
+    /// Two truth tables with different input counts were combined.
+    InputCountMismatch {
+        /// Input count of the left operand.
+        left: u8,
+        /// Input count of the right operand.
+        right: u8,
+    },
+    /// A bitstring could not be parsed into a truth table.
+    ParseBitstring {
+        /// Explanation of what went wrong.
+        reason: String,
+    },
+    /// A multi-output function was built without any outputs.
+    EmptyFunction,
+    /// The polynomial passed to [`Gf2m`](crate::Gf2m) is not valid for the
+    /// requested field size.
+    InvalidFieldPolynomial {
+        /// Field extension degree `m`.
+        m: u8,
+        /// The rejected polynomial (bit `i` = coefficient of `x^i`).
+        poly: u32,
+    },
+}
+
+impl fmt::Display for BoolFnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TooManyInputs { requested } => {
+                write!(
+                    f,
+                    "requested {requested} inputs but at most {} are supported",
+                    crate::MAX_INPUTS
+                )
+            }
+            Self::VariableOutOfRange { var, n_inputs } => {
+                write!(
+                    f,
+                    "variable x{var} does not exist in a {n_inputs}-input function"
+                )
+            }
+            Self::RowOutOfRange { row, n_rows } => {
+                write!(
+                    f,
+                    "row {row} is out of range for a table with {n_rows} rows"
+                )
+            }
+            Self::InputCountMismatch { left, right } => {
+                write!(
+                    f,
+                    "cannot combine truth tables with {left} and {right} inputs"
+                )
+            }
+            Self::ParseBitstring { reason } => write!(f, "invalid truth-table bitstring: {reason}"),
+            Self::EmptyFunction => write!(f, "multi-output function must have at least one output"),
+            Self::InvalidFieldPolynomial { m, poly } => {
+                write!(
+                    f,
+                    "polynomial {poly:#b} is not a degree-{m} irreducible modulus"
+                )
+            }
+        }
+    }
+}
+
+impl Error for BoolFnError {}

@@ -1,0 +1,207 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{BoolFnError, TruthTable};
+
+/// A named multi-output Boolean specification — the `f` handed to the
+/// synthesis formula `Φ(f, N_V, N_R)`.
+///
+/// All outputs share the same `n` inputs. The paper synthesizes multi-output
+/// functions monolithically from the truth tables of all outputs (§IV notes
+/// the 2- and 3-bit adders "are not modular but are synthesized based on
+/// truth tables of all outputs").
+///
+/// # Example
+///
+/// ```
+/// use mm_boolfn::generators;
+///
+/// let f = generators::gf22_multiplier();
+/// assert_eq!(f.n_inputs(), 4);
+/// assert_eq!(f.n_outputs(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultiOutputFn {
+    name: String,
+    n_inputs: u8,
+    outputs: Vec<TruthTable>,
+    output_names: Vec<String>,
+}
+
+impl MultiOutputFn {
+    /// Creates a multi-output function from its output truth tables.
+    ///
+    /// Output names default to `y1, y2, …`; use
+    /// [`with_output_names`](Self::with_output_names) to override them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoolFnError::EmptyFunction`] when `outputs` is empty and
+    /// [`BoolFnError::InputCountMismatch`] when the outputs disagree on the
+    /// number of inputs.
+    pub fn new(name: impl Into<String>, outputs: Vec<TruthTable>) -> Result<Self, BoolFnError> {
+        let first = outputs.first().ok_or(BoolFnError::EmptyFunction)?;
+        let n_inputs = first.n_inputs();
+        for tt in &outputs {
+            if tt.n_inputs() != n_inputs {
+                return Err(BoolFnError::InputCountMismatch {
+                    left: n_inputs,
+                    right: tt.n_inputs(),
+                });
+            }
+        }
+        let output_names = (1..=outputs.len()).map(|i| format!("y{i}")).collect();
+        Ok(Self {
+            name: name.into(),
+            n_inputs,
+            outputs,
+            output_names,
+        })
+    }
+
+    /// Replaces the default output names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of names differs from the number of outputs.
+    pub fn with_output_names<S: Into<String>>(
+        mut self,
+        names: impl IntoIterator<Item = S>,
+    ) -> Self {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        assert_eq!(
+            names.len(),
+            self.outputs.len(),
+            "expected {} output names, got {}",
+            self.outputs.len(),
+            names.len()
+        );
+        self.output_names = names;
+        self
+    }
+
+    /// The function's name (e.g. `"gf22_mul"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of inputs `n`.
+    pub fn n_inputs(&self) -> u8 {
+        self.n_inputs
+    }
+
+    /// Number of outputs `N_O`.
+    pub fn n_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of truth-table rows `N_T = 2^n`.
+    pub fn n_rows(&self) -> usize {
+        1usize << self.n_inputs
+    }
+
+    /// The output truth tables, in declaration order.
+    pub fn outputs(&self) -> &[TruthTable] {
+        &self.outputs
+    }
+
+    /// The truth table of output `i` (0-based), or `None` out of range.
+    pub fn output(&self, i: usize) -> Option<&TruthTable> {
+        self.outputs.get(i)
+    }
+
+    /// The output names, in declaration order.
+    pub fn output_names(&self) -> &[String] {
+        &self.output_names
+    }
+
+    /// Evaluates all outputs on an input assignment packed as a row index,
+    /// returning output `i` in bit position `N_O - 1 - i` (first output =
+    /// most significant bit, matching how the generators pack result words).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment >= 2^n`.
+    pub fn eval(&self, assignment: u32) -> u32 {
+        let mut word = 0;
+        for tt in &self.outputs {
+            word = (word << 1) | u32::from(tt.eval(assignment));
+        }
+        word
+    }
+}
+
+impl fmt::Display for MultiOutputFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} inputs, {} outputs)",
+            self.name,
+            self.n_inputs,
+            self.outputs.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TruthTable;
+
+    #[test]
+    fn construction_and_accessors() {
+        let a = TruthTable::var(2, 1).unwrap();
+        let b = TruthTable::var(2, 2).unwrap();
+        let f = MultiOutputFn::new("pair", vec![a.clone(), b.clone()]).unwrap();
+        assert_eq!(f.n_inputs(), 2);
+        assert_eq!(f.n_outputs(), 2);
+        assert_eq!(f.n_rows(), 4);
+        assert_eq!(f.output(0), Some(&a));
+        assert_eq!(f.output(2), None);
+        assert_eq!(f.output_names(), ["y1", "y2"]);
+        assert_eq!(f.to_string(), "pair (2 inputs, 2 outputs)");
+    }
+
+    #[test]
+    fn eval_packs_first_output_msb() {
+        let a = TruthTable::from_bitstring("0001").unwrap(); // AND
+        let b = TruthTable::from_bitstring("0111").unwrap(); // OR
+        let f = MultiOutputFn::new("andor", vec![a, b]).unwrap();
+        assert_eq!(f.eval(0), 0b00);
+        assert_eq!(f.eval(1), 0b01);
+        assert_eq!(f.eval(3), 0b11);
+    }
+
+    #[test]
+    fn rejects_empty_and_mismatched() {
+        assert_eq!(
+            MultiOutputFn::new("e", vec![]),
+            Err(BoolFnError::EmptyFunction)
+        );
+        let a = TruthTable::new_false(2).unwrap();
+        let b = TruthTable::new_false(3).unwrap();
+        assert!(matches!(
+            MultiOutputFn::new("m", vec![a, b]),
+            Err(BoolFnError::InputCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn output_names_override() {
+        let a = TruthTable::new_false(1).unwrap();
+        let f = MultiOutputFn::new("f", vec![a])
+            .unwrap()
+            .with_output_names(["sum"]);
+        assert_eq!(f.output_names(), ["sum"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 1 output names")]
+    fn output_names_wrong_arity_panics() {
+        let a = TruthTable::new_false(1).unwrap();
+        let _ = MultiOutputFn::new("f", vec![a])
+            .unwrap()
+            .with_output_names(["s", "c"]);
+    }
+}

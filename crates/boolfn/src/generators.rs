@@ -1,0 +1,429 @@
+//! Generators for the benchmark functions of the paper's evaluation and for
+//! common gate primitives.
+//!
+//! Every generator returns a [`MultiOutputFn`] whose input ordering follows
+//! the crate's row-index convention (`x_1` most significant). The paper's
+//! Table IV benchmark set is covered by [`ripple_adder`] (1-, 2- and 3-bit),
+//! [`gf22_multiplier`] and [`gf16_inversion`]; Table II's 4-input gates by
+//! [`and_gate`], [`nand_gate`], [`or_gate`] and [`nor_gate`].
+
+use crate::{BoolFnError, Gf2m, MultiOutputFn, TruthTable};
+
+/// An `width`-bit ripple-carry adder with carry-in:
+/// `n = 2·width + 1` inputs, `width + 1` outputs.
+///
+/// Inputs are ordered `a_{width-1} … a_0, b_{width-1} … b_0, c_in` (so
+/// `x_1` is the MSB of `a` and `x_n` is the carry-in); outputs are
+/// `c_out, s_{width-1}, …, s_0`. For `width = 1` this is the paper's 1-bit
+/// adder (`n = 3`, `N_O = 2`), for `width = 2` the 2-bit adder (`n = 5`,
+/// `N_O = 3`) and for `width = 3` the 3-bit adder (`n = 7`, `N_O = 4`).
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or `2·width + 1` exceeds
+/// [`MAX_INPUTS`](crate::MAX_INPUTS).
+pub fn ripple_adder(width: u8) -> MultiOutputFn {
+    assert!(width >= 1, "adder width must be at least 1");
+    let n = 2 * width + 1;
+    assert!(
+        n <= crate::MAX_INPUTS,
+        "adder with {width} bits needs too many inputs"
+    );
+    let out_bits = width as u32 + 1;
+    multi_from_word_fn("adder", n, out_bits, |assignment| {
+        let a = (assignment >> (width + 1)) & ((1 << width) - 1);
+        let b = (assignment >> 1) & ((1 << width) - 1);
+        let cin = assignment & 1;
+        a + b + cin
+    })
+    .unwrap_or_else(|e| unreachable!("adder construction is infallible: {e}"))
+    .with_output_names(
+        std::iter::once("cout".to_string()).chain((0..width).rev().map(|i| format!("s{i}"))),
+    )
+}
+
+/// Multiplication in GF(2²) — the function of the paper's Fig. 1 circuit
+/// and Table IV row "GF(2²) multipl." (`n = 4`, `N_O = 2`).
+///
+/// Inputs are `a_1 a_0 b_1 b_0` (`x_1` = MSB of the first operand), outputs
+/// the two product bits (MSB first).
+pub fn gf22_multiplier() -> MultiOutputFn {
+    let field = Gf2m::gf4().expect("GF(4) modulus is irreducible");
+    gf_multiplier(&field).with_output_names(["p1", "p0"])
+}
+
+/// Multiplication in an arbitrary small field GF(2^m): `2m` inputs,
+/// `m` outputs.
+///
+/// # Panics
+///
+/// Panics if `2m` exceeds [`MAX_INPUTS`](crate::MAX_INPUTS).
+pub fn gf_multiplier(field: &Gf2m) -> MultiOutputFn {
+    let m = field.degree();
+    let n = 2 * m;
+    assert!(
+        n <= crate::MAX_INPUTS,
+        "GF(2^{m}) multiplier needs too many inputs"
+    );
+    let f = *field;
+    multi_from_word_fn(format!("gf2^{m}_mul"), n, m as u32, move |assignment| {
+        let a = (assignment >> m) as u16;
+        let b = (assignment & ((1 << m) - 1)) as u16;
+        f.mul(a, b) as u32
+    })
+    .unwrap_or_else(|e| unreachable!("GF multiplier construction is infallible: {e}"))
+}
+
+/// Multiplicative inversion in GF(2⁴) with `0 ↦ 0` — the paper's Table IV
+/// row "GF(2⁴) inversion" (`n = 4`, `N_O = 4`).
+pub fn gf16_inversion() -> MultiOutputFn {
+    let field = Gf2m::gf16().expect("GF(16) modulus is irreducible");
+    gf_inversion(&field)
+}
+
+/// Multiplicative inversion in an arbitrary small field GF(2^m) with
+/// `0 ↦ 0`: `m` inputs, `m` outputs.
+pub fn gf_inversion(field: &Gf2m) -> MultiOutputFn {
+    let m = field.degree();
+    let f = *field;
+    multi_from_word_fn(format!("gf2^{m}_inv"), m, m as u32, move |assignment| {
+        f.inv(assignment as u16) as u32
+    })
+    .unwrap_or_else(|e| unreachable!("GF inversion construction is infallible: {e}"))
+}
+
+/// The `n`-input AND gate `x_1 · x_2 · … · x_n` (Table II, `f_1`).
+pub fn and_gate(n: u8) -> MultiOutputFn {
+    single(
+        "and",
+        TruthTable::from_index_fn(n, |q| q == (1 << n) - 1).expect("n validated"),
+    )
+}
+
+/// The `n`-input NAND gate (Table II, `f_2`).
+pub fn nand_gate(n: u8) -> MultiOutputFn {
+    single(
+        "nand",
+        TruthTable::from_index_fn(n, |q| q != (1 << n) - 1).expect("n validated"),
+    )
+}
+
+/// The `n`-input OR gate (Table II, `f_3`).
+pub fn or_gate(n: u8) -> MultiOutputFn {
+    single(
+        "or",
+        TruthTable::from_index_fn(n, |q| q != 0).expect("n validated"),
+    )
+}
+
+/// The `n`-input NOR gate (Table II, `f_4`).
+pub fn nor_gate(n: u8) -> MultiOutputFn {
+    single(
+        "nor",
+        TruthTable::from_index_fn(n, |q| q == 0).expect("n validated"),
+    )
+}
+
+/// The `n`-input XOR (odd parity) gate — the paper's canonical example of a
+/// function *not* realizable by V-ops alone (§II-C).
+pub fn xor_gate(n: u8) -> MultiOutputFn {
+    single(
+        "xor",
+        TruthTable::from_index_fn(n, |q| q.count_ones() % 2 == 1).expect("n validated"),
+    )
+}
+
+/// The `n`-input XNOR (even parity) gate.
+pub fn xnor_gate(n: u8) -> MultiOutputFn {
+    single(
+        "xnor",
+        TruthTable::from_index_fn(n, |q| q.count_ones() % 2 == 0).expect("n validated"),
+    )
+}
+
+/// The majority gate of `n` (odd) inputs.
+///
+/// # Panics
+///
+/// Panics if `n` is even (majority is undefined on ties).
+pub fn majority_gate(n: u8) -> MultiOutputFn {
+    assert!(n % 2 == 1, "majority gate needs an odd number of inputs");
+    single(
+        "maj",
+        TruthTable::from_index_fn(n, |q| q.count_ones() > u32::from(n) / 2).expect("n validated"),
+    )
+}
+
+/// The 2:1 multiplexer `s ? a : b` with inputs ordered `s, a, b`
+/// (`x_1 = s`).
+pub fn mux21() -> MultiOutputFn {
+    single(
+        "mux21",
+        TruthTable::from_index_fn(3, |q| {
+            let s = (q >> 2) & 1;
+            let a = (q >> 1) & 1;
+            let b = q & 1;
+            (if s == 1 { a } else { b }) == 1
+        })
+        .expect("3 inputs always valid"),
+    )
+}
+
+/// The function `x1·x2 + x3·x4` — the paper's witness of shape
+/// `x_1x_2 + x_3x_4` for V-op non-universality (§II-C).
+pub fn and_or_22() -> MultiOutputFn {
+    single(
+        "and_or_22",
+        TruthTable::from_index_fn(4, |q| {
+            let x1 = (q >> 3) & 1;
+            let x2 = (q >> 2) & 1;
+            let x3 = (q >> 1) & 1;
+            let x4 = q & 1;
+            (x1 & x2) | (x3 & x4) == 1
+        })
+        .expect("4 inputs always valid"),
+    )
+}
+
+/// An unsigned `width × width`-bit integer multiplier: `2·width` inputs,
+/// `2·width` outputs (product MSB first).
+///
+/// # Panics
+///
+/// Panics if `2·width` exceeds [`MAX_INPUTS`](crate::MAX_INPUTS) or
+/// `width` is 0.
+pub fn int_multiplier(width: u8) -> MultiOutputFn {
+    assert!(width >= 1, "multiplier width must be at least 1");
+    let n = 2 * width;
+    assert!(
+        n <= crate::MAX_INPUTS,
+        "{width}-bit multiplier needs too many inputs"
+    );
+    multi_from_word_fn(format!("mul{width}"), n, u32::from(n), move |assignment| {
+        let a = assignment >> width;
+        let b = assignment & ((1 << width) - 1);
+        a * b
+    })
+    .unwrap_or_else(|e| unreachable!("multiplier construction is infallible: {e}"))
+}
+
+/// An unsigned `width`-bit comparator: inputs `a` then `b`, outputs
+/// `(a < b, a == b)` — `a > b` is their NOR.
+///
+/// # Panics
+///
+/// Panics if `2·width` exceeds [`MAX_INPUTS`](crate::MAX_INPUTS) or
+/// `width` is 0.
+pub fn comparator(width: u8) -> MultiOutputFn {
+    assert!(width >= 1, "comparator width must be at least 1");
+    let n = 2 * width;
+    assert!(
+        n <= crate::MAX_INPUTS,
+        "{width}-bit comparator needs too many inputs"
+    );
+    multi_from_word_fn(format!("cmp{width}"), n, 2, move |assignment| {
+        let a = assignment >> width;
+        let b = assignment & ((1 << width) - 1);
+        (u32::from(a < b) << 1) | u32::from(a == b)
+    })
+    .unwrap_or_else(|e| unreachable!("comparator construction is infallible: {e}"))
+    .with_output_names(["lt", "eq"])
+}
+
+/// The population count of `n` inputs: `⌈log2(n+1)⌉` outputs (MSB first).
+///
+/// # Panics
+///
+/// Panics if `n` is 0 or exceeds [`MAX_INPUTS`](crate::MAX_INPUTS).
+pub fn popcount(n: u8) -> MultiOutputFn {
+    assert!(
+        (1..=crate::MAX_INPUTS).contains(&n),
+        "popcount needs 1..={} inputs",
+        crate::MAX_INPUTS
+    );
+    let out_bits = 32 - u32::from(n).leading_zeros();
+    multi_from_word_fn(format!("popcount{n}"), n, out_bits, |assignment| {
+        assignment.count_ones()
+    })
+    .unwrap_or_else(|e| unreachable!("popcount construction is infallible: {e}"))
+}
+
+/// Builds a multi-output function from a word-valued evaluator: output `i`
+/// of `N_O` is bit `N_O - 1 - i` of `f(assignment)` (first output = MSB).
+///
+/// # Errors
+///
+/// Returns [`BoolFnError::TooManyInputs`] when `n` exceeds
+/// [`MAX_INPUTS`](crate::MAX_INPUTS) and [`BoolFnError::EmptyFunction`] when
+/// `out_bits` is 0.
+pub fn multi_from_word_fn(
+    name: impl Into<String>,
+    n: u8,
+    out_bits: u32,
+    f: impl Fn(u32) -> u32,
+) -> Result<MultiOutputFn, BoolFnError> {
+    if out_bits == 0 {
+        return Err(BoolFnError::EmptyFunction);
+    }
+    let mut outputs = Vec::with_capacity(out_bits as usize);
+    for bit in (0..out_bits).rev() {
+        outputs.push(TruthTable::from_index_fn(n, |q| (f(q) >> bit) & 1 == 1)?);
+    }
+    MultiOutputFn::new(name, outputs)
+}
+
+fn single(name: &str, tt: TruthTable) -> MultiOutputFn {
+    let n = tt.n_inputs();
+    MultiOutputFn::new(format!("{name}{n}"), vec![tt])
+        .expect("single-output function is never empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adder_dimensions_match_table4() {
+        for (width, n, n_o) in [(1u8, 3u8, 2usize), (2, 5, 3), (3, 7, 4)] {
+            let f = ripple_adder(width);
+            assert_eq!(f.n_inputs(), n, "width {width}");
+            assert_eq!(f.n_outputs(), n_o, "width {width}");
+        }
+    }
+
+    #[test]
+    fn adder_arithmetic_is_correct() {
+        for width in 1u8..=3 {
+            let f = ripple_adder(width);
+            let w = width as u32;
+            for a in 0..(1u32 << w) {
+                for b in 0..(1u32 << w) {
+                    for cin in 0..2u32 {
+                        let assignment = (a << (w + 1)) | (b << 1) | cin;
+                        assert_eq!(
+                            f.eval(assignment),
+                            a + b + cin,
+                            "w={width} a={a} b={b} c={cin}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gf22_multiplier_matches_field() {
+        let f = gf22_multiplier();
+        assert_eq!(f.n_inputs(), 4);
+        assert_eq!(f.n_outputs(), 2);
+        let field = Gf2m::gf4().unwrap();
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                assert_eq!(
+                    f.eval((a << 2) | b),
+                    u32::from(field.mul(a as u16, b as u16))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gf16_inversion_matches_field() {
+        let f = gf16_inversion();
+        assert_eq!(f.n_inputs(), 4);
+        assert_eq!(f.n_outputs(), 4);
+        let field = Gf2m::gf16().unwrap();
+        for a in 0..16u32 {
+            assert_eq!(f.eval(a), u32::from(field.inv(a as u16)));
+        }
+    }
+
+    #[test]
+    fn table2_gate_truth_tables() {
+        // The s_5 / s_4 rows of the paper's Table II are the gates' tables.
+        assert_eq!(
+            and_gate(4).output(0).unwrap().to_bitstring(),
+            "0000000000000001"
+        );
+        assert_eq!(
+            nand_gate(4).output(0).unwrap().to_bitstring(),
+            "1111111111111110"
+        );
+        assert_eq!(
+            or_gate(4).output(0).unwrap().to_bitstring(),
+            "0111111111111111"
+        );
+        assert_eq!(
+            nor_gate(4).output(0).unwrap().to_bitstring(),
+            "1000000000000000"
+        );
+    }
+
+    #[test]
+    fn xor_and_majority() {
+        assert_eq!(xor_gate(2).output(0).unwrap().to_bitstring(), "0110");
+        assert_eq!(xnor_gate(2).output(0).unwrap().to_bitstring(), "1001");
+        assert_eq!(
+            majority_gate(3).output(0).unwrap().to_bitstring(),
+            "00010111"
+        );
+    }
+
+    #[test]
+    fn mux_selects() {
+        let f = mux21();
+        // s=1 -> a, s=0 -> b
+        assert_eq!(f.eval(0b110), 1);
+        assert_eq!(f.eval(0b101), 0);
+        assert_eq!(f.eval(0b001), 1);
+        assert_eq!(f.eval(0b010), 0);
+    }
+
+    #[test]
+    fn int_multiplier_is_correct() {
+        for width in 1u8..=3 {
+            let f = int_multiplier(width);
+            assert_eq!(f.n_inputs(), 2 * width);
+            assert_eq!(f.n_outputs(), 2 * width as usize);
+            for a in 0..(1u32 << width) {
+                for b in 0..(1u32 << width) {
+                    assert_eq!(f.eval((a << width) | b), a * b, "w={width} {a}*{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_is_correct() {
+        for width in 1u8..=3 {
+            let f = comparator(width);
+            for a in 0..(1u32 << width) {
+                for b in 0..(1u32 << width) {
+                    let want = (u32::from(a < b) << 1) | u32::from(a == b);
+                    assert_eq!(f.eval((a << width) | b), want, "w={width} cmp({a},{b})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn popcount_is_correct() {
+        for n in 1u8..=6 {
+            let f = popcount(n);
+            for q in 0..(1u32 << n) {
+                assert_eq!(f.eval(q), q.count_ones(), "n={n} q={q:b}");
+            }
+        }
+        assert_eq!(popcount(3).n_outputs(), 2);
+        assert_eq!(popcount(4).n_outputs(), 3);
+    }
+
+    #[test]
+    fn and_or_22_shape() {
+        let f = and_or_22();
+        assert_eq!(f.eval(0b1100), 1);
+        assert_eq!(f.eval(0b0011), 1);
+        assert_eq!(f.eval(0b1010), 0);
+        assert_eq!(f.eval(0b0000), 0);
+    }
+}

@@ -1,0 +1,251 @@
+use serde::{Deserialize, Serialize};
+
+use crate::BoolFnError;
+
+/// The finite field GF(2^m), represented by polynomials over GF(2) modulo an
+/// irreducible polynomial.
+///
+/// Elements are packed into `u16` words: bit `i` is the coefficient of
+/// `x^i`, so the element `x + 1` of GF(2²) is `0b11`. The paper's benchmark
+/// circuits multiply in GF(2²) (with an earlier memristive implementation in
+/// its ref. \[14\]) and invert in GF(2⁴); both fields are provided by
+/// [`Gf2m::gf4`] and [`Gf2m::gf16`].
+///
+/// # Example
+///
+/// ```
+/// use mm_boolfn::Gf2m;
+///
+/// # fn main() -> Result<(), mm_boolfn::BoolFnError> {
+/// let field = Gf2m::gf4()?; // GF(2^2) mod x^2 + x + 1
+/// assert_eq!(field.mul(0b10, 0b10), 0b11); // x * x = x + 1
+/// assert_eq!(field.inv(0b10), 0b11); // x^{-1} = x + 1
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Gf2m {
+    m: u8,
+    poly: u32,
+}
+
+impl Gf2m {
+    /// Creates GF(2^m) with the given modulus polynomial.
+    ///
+    /// `poly` must have degree exactly `m` (bit `m` set) and be irreducible
+    /// over GF(2); both properties are checked.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoolFnError::InvalidFieldPolynomial`] when `m` is 0 or
+    /// greater than 8, when the degree is wrong, or when `poly` factors.
+    pub fn new(m: u8, poly: u32) -> Result<Self, BoolFnError> {
+        let err = BoolFnError::InvalidFieldPolynomial { m, poly };
+        if m == 0 || m > 8 {
+            return Err(err);
+        }
+        if poly >> m != 1 {
+            return Err(err); // degree must be exactly m
+        }
+        if !Self::is_irreducible(m, poly) {
+            return Err(err);
+        }
+        Ok(Self { m, poly })
+    }
+
+    /// GF(2²) with modulus `x² + x + 1` — the field of the paper's Fig. 1
+    /// multiplier.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; the signature is kept fallible for
+    /// uniformity with [`Gf2m::new`].
+    pub fn gf4() -> Result<Self, BoolFnError> {
+        Self::new(2, 0b111)
+    }
+
+    /// GF(2⁴) with modulus `x⁴ + x + 1` — the field of the paper's
+    /// Table IV inversion benchmark.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; the signature is kept fallible for
+    /// uniformity with [`Gf2m::new`].
+    pub fn gf16() -> Result<Self, BoolFnError> {
+        Self::new(4, 0b10011)
+    }
+
+    /// The extension degree `m`.
+    pub fn degree(&self) -> u8 {
+        self.m
+    }
+
+    /// The modulus polynomial (bit `i` = coefficient of `x^i`).
+    pub fn modulus(&self) -> u32 {
+        self.poly
+    }
+
+    /// Number of field elements, `2^m`.
+    pub fn order(&self) -> u32 {
+        1 << self.m
+    }
+
+    /// Field addition (polynomial XOR).
+    pub fn add(&self, a: u16, b: u16) -> u16 {
+        debug_assert!(self.contains(a) && self.contains(b));
+        a ^ b
+    }
+
+    /// Field multiplication modulo the irreducible polynomial.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if an operand is not a field element.
+    pub fn mul(&self, a: u16, b: u16) -> u16 {
+        debug_assert!(self.contains(a) && self.contains(b));
+        let mut acc: u32 = 0;
+        let mut a = a as u32;
+        let mut b = b as u32;
+        while b != 0 {
+            if b & 1 == 1 {
+                acc ^= a;
+            }
+            b >>= 1;
+            a <<= 1;
+            if a >> self.m != 0 {
+                a ^= self.poly;
+            }
+        }
+        acc as u16
+    }
+
+    /// Field exponentiation by squaring.
+    pub fn pow(&self, mut a: u16, mut e: u32) -> u16 {
+        let mut acc = 1u16;
+        while e != 0 {
+            if e & 1 == 1 {
+                acc = self.mul(acc, a);
+            }
+            a = self.mul(a, a);
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// The multiplicative inverse, computed as `a^(2^m - 2)` (Fermat).
+    ///
+    /// As in hardware GF-inverter blocks, the non-invertible element 0 maps
+    /// to 0; the paper's inversion benchmark needs a total function over all
+    /// `2^m` inputs.
+    pub fn inv(&self, a: u16) -> u16 {
+        if a == 0 {
+            return 0;
+        }
+        self.pow(a, self.order() - 2)
+    }
+
+    /// Whether `a` is an element of the field (fits in `m` bits).
+    pub fn contains(&self, a: u16) -> bool {
+        u32::from(a) < self.order()
+    }
+
+    fn is_irreducible(m: u8, poly: u32) -> bool {
+        // Trial division by all polynomials of degree 1..=m/2.
+        for d in 1..=(m / 2).max(1) {
+            if d > m / 2 {
+                break;
+            }
+            for cand in (1u32 << d)..(1u32 << (d + 1)) {
+                if Self::poly_mod(poly, cand) == 0 {
+                    return false;
+                }
+            }
+        }
+        // Degree-1 check also catches even polynomials / x | poly for m >= 2.
+        m == 1 || poly & 1 == 1
+    }
+
+    fn poly_mod(mut a: u32, b: u32) -> u32 {
+        let db = 31 - b.leading_zeros();
+        loop {
+            let da = 31u32.wrapping_sub(a.leading_zeros());
+            if a == 0 || da < db {
+                return a;
+            }
+            a ^= b << (da - db);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gf4_multiplication_table() {
+        // Elements: 0, 1, A = x (0b10), B = x+1 (0b11).
+        let f = Gf2m::gf4().unwrap();
+        assert_eq!(f.mul(0b10, 0b10), 0b11); // A*A = B
+        assert_eq!(f.mul(0b10, 0b11), 0b01); // A*B = 1
+        assert_eq!(f.mul(0b11, 0b11), 0b10); // B*B = A
+        for a in 0..4u16 {
+            assert_eq!(f.mul(a, 0), 0);
+            assert_eq!(f.mul(a, 1), a);
+        }
+    }
+
+    #[test]
+    fn gf16_inverse_is_total_and_correct() {
+        let f = Gf2m::gf16().unwrap();
+        assert_eq!(f.inv(0), 0);
+        for a in 1..16u16 {
+            let ai = f.inv(a);
+            assert_eq!(f.mul(a, ai), 1, "a = {a}");
+        }
+    }
+
+    #[test]
+    fn field_axioms_hold_in_gf16() {
+        let f = Gf2m::gf16().unwrap();
+        for a in 0..16u16 {
+            for b in 0..16u16 {
+                assert_eq!(f.mul(a, b), f.mul(b, a));
+                assert_eq!(f.add(a, b), f.add(b, a));
+                for c in 0..16u16 {
+                    assert_eq!(f.mul(a, f.mul(b, c)), f.mul(f.mul(a, b), c));
+                    assert_eq!(
+                        f.mul(a, f.add(b, c)),
+                        f.add(f.mul(a, b), f.mul(a, c)),
+                        "distributivity {a} {b} {c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_reducible_and_malformed_polynomials() {
+        // x^2 + 1 = (x+1)^2 is reducible.
+        assert!(Gf2m::new(2, 0b101).is_err());
+        // x^2 + x = x(x+1) is reducible.
+        assert!(Gf2m::new(2, 0b110).is_err());
+        // degree mismatch
+        assert!(Gf2m::new(3, 0b111).is_err());
+        assert!(Gf2m::new(0, 0b11).is_err());
+        assert!(Gf2m::new(9, 1 << 9 | 1).is_err());
+        // x^4 + x^3 + x^2 + x + 1 is irreducible over GF(2).
+        assert!(Gf2m::new(4, 0b11111).is_ok());
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let f = Gf2m::gf16().unwrap();
+        for a in 0..16u16 {
+            let mut acc = 1u16;
+            for e in 0..10u32 {
+                assert_eq!(f.pow(a, e), acc);
+                acc = f.mul(acc, a);
+            }
+        }
+    }
+}

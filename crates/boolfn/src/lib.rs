@@ -1,0 +1,74 @@
+//! Bit-packed truth tables, literals, finite-field arithmetic and Boolean
+//! function generators for memristive mixed-mode synthesis.
+//!
+//! This crate is the Boolean substrate underneath the synthesis engine of
+//! *Optimal Synthesis of Memristive Mixed-Mode Circuits* (DATE 2025). It
+//! provides:
+//!
+//! * [`TruthTable`] — a bit-packed truth table for functions of up to
+//!   [`MAX_INPUTS`] inputs, with the full set of Boolean connectives plus the
+//!   memristive operations used by the paper ([`TruthTable::v_op`],
+//!   [`TruthTable::nor`], [`TruthTable::nimp`]).
+//! * [`Literal`] and [`LiteralSet`] — the restricted driver set
+//!   `L_n = {const-0, const-1, x_1, ~x_1, …, x_n, ~x_n}` admitted on the
+//!   top/bottom electrodes (paper §II-C).
+//! * [`MultiOutputFn`] — a named multi-output specification, the `f` in the
+//!   paper's formula `Φ(f, N_V, N_R)`.
+//! * [`Gf2m`] — arithmetic in GF(2^m), used to generate the paper's
+//!   Galois-field benchmark functions.
+//! * [`generators`] — the complete benchmark suite of the paper's evaluation
+//!   (ripple adders, GF(2²) multiplication, GF(2⁴) inversion, n-input gates).
+//! * [`qmc`] — a Quine–McCluskey two-level minimizer feeding the scalable
+//!   heuristic mapper.
+//!
+//! # Row-index convention
+//!
+//! A truth table of an `n`-input function has `2^n` rows indexed
+//! `q ∈ 0..2^n`. Input `x_i` (1-based, as in the paper) takes the value of
+//! bit `n - i` of `q`, i.e. `x_1` is the slowest-toggling (most significant)
+//! input and `x_n` alternates every row. This matches the paper's Table II,
+//! where the truth table of `x_4` reads `0101…`.
+//!
+//! # Example
+//!
+//! ```
+//! use mm_boolfn::{TruthTable, Literal};
+//!
+//! # fn main() -> Result<(), mm_boolfn::BoolFnError> {
+//! // x1 AND x2, built from variables.
+//! let x1 = TruthTable::var(2, 1)?;
+//! let x2 = TruthTable::var(2, 2)?;
+//! let and = &x1 & &x2;
+//! assert_eq!(and.to_bitstring(), "0001");
+//!
+//! // The same function as a V-op sequence per Eq. (1) of the paper:
+//! // V(x1, x2, const-1) = x1 · x2.
+//! let c1 = Literal::Const1.truth_table(2);
+//! assert_eq!(x1.v_op(&x2, &c1), and);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod function;
+mod gf2;
+mod literal;
+mod truth_table;
+
+pub mod generators;
+pub mod qmc;
+
+pub use error::BoolFnError;
+pub use function::MultiOutputFn;
+pub use gf2::Gf2m;
+pub use literal::{Literal, LiteralSet};
+pub use truth_table::TruthTable;
+
+/// Maximum number of function inputs supported by [`TruthTable`].
+///
+/// `2^16` rows is far beyond the reach of optimal synthesis (the paper stops
+/// at 7 inputs) but keeps the heuristic mapper useful for larger functions.
+pub const MAX_INPUTS: u8 = 16;

@@ -1,0 +1,388 @@
+//! Quine–McCluskey two-level minimization.
+//!
+//! The synthesis paper's SAT procedure is exact but limited to small input
+//! counts; its stated future work is "developing scalable heuristic methods
+//! for larger functions". The heuristic mapper in `mm-synth` builds
+//! mixed-mode circuits from a minimal sum-of-products cover, which this
+//! module computes: prime-implicant generation by iterative combination,
+//! essential-implicant extraction, and an exact branch-and-bound cover for
+//! the (small) cyclic core.
+//!
+//! # Example
+//!
+//! ```
+//! use mm_boolfn::{qmc, TruthTable};
+//!
+//! # fn main() -> Result<(), mm_boolfn::BoolFnError> {
+//! let f = TruthTable::from_bitstring("0111")?; // x1 + x2
+//! let sop = qmc::minimize(&f);
+//! assert_eq!(sop.cubes().len(), 2);
+//! assert_eq!(sop.to_truth_table(), f);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Literal, TruthTable};
+
+/// A product term over up to 16 variables.
+///
+/// `care` has a 1-bit for every variable the cube constrains; `value` gives
+/// the required polarity on those bits. Bit `n - i` corresponds to `x_i`,
+/// identical to the row-index convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Cube {
+    /// Mask of constrained variables.
+    pub care: u32,
+    /// Required values on the constrained variables (subset of `care`).
+    pub value: u32,
+}
+
+impl Cube {
+    /// The cube covering exactly one minterm of an `n`-input function.
+    pub fn minterm(n: u8, q: u32) -> Self {
+        let care = (1u32 << n) - 1;
+        Self {
+            care,
+            value: q & care,
+        }
+    }
+
+    /// Whether the cube covers row `q`.
+    pub fn covers(&self, q: u32) -> bool {
+        q & self.care == self.value
+    }
+
+    /// Tries to merge two cubes that differ in exactly one cared bit.
+    pub fn combine(&self, other: &Self) -> Option<Self> {
+        if self.care != other.care {
+            return None;
+        }
+        let diff = self.value ^ other.value;
+        if diff.count_ones() == 1 {
+            Some(Self {
+                care: self.care & !diff,
+                value: self.value & !diff,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Number of literals in the product term.
+    pub fn literal_count(&self) -> u32 {
+        self.care.count_ones()
+    }
+
+    /// The cube's literals for an `n`-input function, by ascending variable.
+    pub fn literals(&self, n: u8) -> Vec<Literal> {
+        (1..=n)
+            .filter_map(|v| {
+                let bit = 1u32 << (n - v);
+                if self.care & bit == 0 {
+                    None
+                } else if self.value & bit != 0 {
+                    Some(Literal::Pos(v))
+                } else {
+                    Some(Literal::Neg(v))
+                }
+            })
+            .collect()
+    }
+
+    /// The cube's truth table as an `n`-input function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds [`MAX_INPUTS`](crate::MAX_INPUTS).
+    pub fn to_truth_table(&self, n: u8) -> TruthTable {
+        TruthTable::from_index_fn(n, |q| self.covers(q)).expect("n validated by caller")
+    }
+}
+
+/// A sum-of-products cover of an `n`-input function.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sop {
+    n_inputs: u8,
+    cubes: Vec<Cube>,
+}
+
+impl Sop {
+    /// Creates a cover from explicit cubes.
+    pub fn new(n_inputs: u8, cubes: Vec<Cube>) -> Self {
+        Self { n_inputs, cubes }
+    }
+
+    /// Number of inputs.
+    pub fn n_inputs(&self) -> u8 {
+        self.n_inputs
+    }
+
+    /// The product terms.
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Total number of literals across all terms.
+    pub fn literal_count(&self) -> u32 {
+        self.cubes.iter().map(Cube::literal_count).sum()
+    }
+
+    /// Evaluates the cover on a row index.
+    pub fn eval(&self, q: u32) -> bool {
+        self.cubes.iter().any(|c| c.covers(q))
+    }
+
+    /// Expands the cover back into a truth table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds [`MAX_INPUTS`](crate::MAX_INPUTS).
+    pub fn to_truth_table(&self) -> TruthTable {
+        TruthTable::from_index_fn(self.n_inputs, |q| self.eval(q))
+            .expect("n validated at construction")
+    }
+}
+
+impl fmt::Display for Sop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.cubes.is_empty() {
+            return write!(f, "0");
+        }
+        let terms: Vec<String> = self
+            .cubes
+            .iter()
+            .map(|c| {
+                let lits = c.literals(self.n_inputs);
+                if lits.is_empty() {
+                    "1".to_string()
+                } else {
+                    lits.iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join("·")
+                }
+            })
+            .collect();
+        write!(f, "{}", terms.join(" + "))
+    }
+}
+
+/// Computes all prime implicants of `f` (with optional don't-cares).
+///
+/// Classic iterative combination: minterms (of `f ∪ dc`) are merged while
+/// they differ in a single bit; cubes that were never merged are prime.
+pub fn prime_implicants(f: &TruthTable, dont_care: Option<&TruthTable>) -> Vec<Cube> {
+    let n = f.n_inputs();
+    let mut current: BTreeSet<Cube> = (0..f.n_rows() as u32)
+        .filter(|&q| f.get(q as usize) || dont_care.is_some_and(|d| d.get(q as usize)))
+        .map(|q| Cube::minterm(n, q))
+        .collect();
+    let mut primes = Vec::new();
+    while !current.is_empty() {
+        let cubes: Vec<Cube> = current.iter().copied().collect();
+        let mut merged = vec![false; cubes.len()];
+        let mut next = BTreeSet::new();
+        for i in 0..cubes.len() {
+            for j in (i + 1)..cubes.len() {
+                if let Some(c) = cubes[i].combine(&cubes[j]) {
+                    merged[i] = true;
+                    merged[j] = true;
+                    next.insert(c);
+                }
+            }
+        }
+        for (cube, was_merged) in cubes.iter().zip(&merged) {
+            if !was_merged {
+                primes.push(*cube);
+            }
+        }
+        current = next;
+    }
+    primes
+}
+
+/// Minimizes `f` into a minimum-cardinality sum-of-products cover.
+///
+/// Essential prime implicants are extracted first; the remaining cyclic
+/// core is solved exactly by branch and bound (minimizing the number of
+/// cubes, with total literal count as tie-breaker at equal cardinality
+/// via selection order).
+pub fn minimize(f: &TruthTable) -> Sop {
+    minimize_with_dont_cares(f, None)
+}
+
+/// Like [`minimize`], with an optional don't-care set.
+pub fn minimize_with_dont_cares(f: &TruthTable, dont_care: Option<&TruthTable>) -> Sop {
+    let n = f.n_inputs();
+    let minterms: Vec<u32> = f.minterms();
+    if minterms.is_empty() {
+        return Sop::new(n, Vec::new());
+    }
+    let primes = prime_implicants(f, dont_care);
+    if primes.len() == 1 {
+        return Sop::new(n, primes);
+    }
+
+    // Build the covering table restricted to required minterms.
+    let cover_sets: Vec<Vec<usize>> = minterms
+        .iter()
+        .map(|&q| {
+            primes
+                .iter()
+                .enumerate()
+                .filter_map(|(i, p)| p.covers(q).then_some(i))
+                .collect()
+        })
+        .collect();
+
+    // Essential primes: sole coverers of some minterm.
+    let mut chosen: BTreeSet<usize> = BTreeSet::new();
+    for covers in &cover_sets {
+        if covers.len() == 1 {
+            chosen.insert(covers[0]);
+        }
+    }
+    let mut uncovered: Vec<usize> = (0..minterms.len())
+        .filter(|&mi| !cover_sets[mi].iter().any(|p| chosen.contains(p)))
+        .collect();
+
+    // Exact branch and bound over the cyclic core.
+    let mut best: Option<Vec<usize>> = None;
+    let mut stack_choice: Vec<usize> = Vec::new();
+    branch(&cover_sets, &mut uncovered, &mut stack_choice, &mut best);
+    if let Some(extra) = best {
+        chosen.extend(extra);
+    }
+
+    let mut cubes: Vec<Cube> = chosen.into_iter().map(|i| primes[i]).collect();
+    cubes.sort();
+    Sop::new(n, cubes)
+}
+
+fn branch(
+    cover_sets: &[Vec<usize>],
+    uncovered: &mut Vec<usize>,
+    choice: &mut Vec<usize>,
+    best: &mut Option<Vec<usize>>,
+) {
+    if uncovered.is_empty() {
+        if best.as_ref().is_none_or(|b| choice.len() < b.len()) {
+            *best = Some(choice.clone());
+        }
+        return;
+    }
+    if let Some(b) = best {
+        if choice.len() + 1 >= b.len() {
+            return; // cannot improve
+        }
+    }
+    // Branch on the uncovered minterm with the fewest coverers.
+    let &mi = uncovered
+        .iter()
+        .min_by_key(|&&mi| cover_sets[mi].len())
+        .expect("uncovered is non-empty");
+    let candidates = cover_sets[mi].clone();
+    for p in candidates {
+        let removed: Vec<usize> = uncovered
+            .iter()
+            .copied()
+            .filter(|&other| cover_sets[other].contains(&p))
+            .collect();
+        uncovered.retain(|other| !cover_sets[*other].contains(&p));
+        choice.push(p);
+        branch(cover_sets, uncovered, choice, best);
+        choice.pop();
+        uncovered.extend(removed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn minimize_simple_or() {
+        let f = TruthTable::from_bitstring("0111").unwrap();
+        let sop = minimize(&f);
+        assert_eq!(sop.cubes().len(), 2);
+        assert_eq!(sop.to_truth_table(), f);
+    }
+
+    #[test]
+    fn minimize_constants() {
+        let zero = TruthTable::new_false(3).unwrap();
+        assert!(minimize(&zero).cubes().is_empty());
+        let one = TruthTable::new_true(3).unwrap();
+        let sop = minimize(&one);
+        assert_eq!(sop.cubes().len(), 1);
+        assert_eq!(sop.cubes()[0].literal_count(), 0);
+        assert_eq!(sop.to_truth_table(), one);
+    }
+
+    #[test]
+    fn minimize_xor_needs_all_minterm_cubes() {
+        let f = generators::xor_gate(3).output(0).unwrap().clone();
+        let sop = minimize(&f);
+        assert_eq!(sop.cubes().len(), 4); // parity has no mergeable minterms
+        assert_eq!(sop.to_truth_table(), f);
+        assert!(sop.cubes().iter().all(|c| c.literal_count() == 3));
+    }
+
+    #[test]
+    fn classic_qmc_example() {
+        // f(a,b,c,d) = Σ m(4,8,10,11,12,15), d(9,14) → 3 cubes is minimal.
+        let mut f = TruthTable::new_false(4).unwrap();
+        for q in [4usize, 8, 10, 11, 12, 15] {
+            f.set(q, true);
+        }
+        let mut dc = TruthTable::new_false(4).unwrap();
+        for q in [9usize, 14] {
+            dc.set(q, true);
+        }
+        let sop = minimize_with_dont_cares(&f, Some(&dc));
+        assert_eq!(sop.cubes().len(), 3);
+        // The cover must agree with f on all care rows.
+        for q in 0..16u32 {
+            if !dc.get(q as usize) {
+                assert_eq!(sop.eval(q), f.get(q as usize), "row {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn cover_is_always_equivalent() {
+        // exhaustive over all 3-input functions
+        for bits in 0..256u64 {
+            let f = TruthTable::from_packed(3, bits).unwrap();
+            let sop = minimize(&f);
+            assert_eq!(sop.to_truth_table(), f, "function {bits:08b}");
+        }
+    }
+
+    #[test]
+    fn prime_implicants_of_and() {
+        let f = generators::and_gate(2).output(0).unwrap().clone();
+        let primes = prime_implicants(&f, None);
+        assert_eq!(primes.len(), 1);
+        assert_eq!(primes[0].literal_count(), 2);
+    }
+
+    #[test]
+    fn cube_literals_and_display() {
+        let c = Cube {
+            care: 0b1010,
+            value: 0b0010,
+        };
+        let lits = c.literals(4);
+        assert_eq!(lits, vec![Literal::Neg(1), Literal::Pos(3)]);
+        let sop = Sop::new(4, vec![c]);
+        assert_eq!(sop.to_string(), "~x1·x3");
+        assert_eq!(Sop::new(2, vec![]).to_string(), "0");
+    }
+}

@@ -1,0 +1,241 @@
+//! Write-activity and endurance analysis of compiled schedules.
+//!
+//! The paper's design discussion (§III) notes that "for technologies with
+//! low endurance, V-ops are problematic because, in the worst case, every
+//! V-op switches the cell (in practice, many cells will retain their old
+//! values)". This module quantifies that: executing a schedule symbolically
+//! over all `2^n` inputs yields, per cell, the exact number of write pulses
+//! applied and the expected number of actual state *switches* (the quantity
+//! endurance budgets care about).
+//!
+//! # Example
+//!
+//! ```
+//! use mm_boolfn::Literal;
+//! use mm_circuit::{ActivityReport, MmCircuit, Schedule, Signal, VLeg, VOp};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let c = MmCircuit::builder(1)
+//!     .leg(VLeg::new(vec![VOp::new(Literal::Pos(1), Literal::Const0)]))
+//!     .output(Signal::Leg(0))
+//!     .build()?;
+//! let schedule = Schedule::compile(&c)?;
+//! let report = ActivityReport::analyze(&schedule);
+//! // The cell sees a pulse (and switches) only for x1 = 1: for x1 = 0 the
+//! // electrodes agree and no write happens.
+//! assert_eq!(report.total_write_pulses(), 1);
+//! assert_eq!(report.total_switches(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use mm_device::vop;
+use mm_device::DeviceState;
+
+use crate::{Schedule, ScheduleCycle};
+
+/// Per-cell write/switch statistics accumulated over all `2^n` inputs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellActivity {
+    /// Number of cycles in which the cell saw a non-zero write voltage
+    /// (TE ≠ BE during a V-op, or any MAGIC cycle it participated in),
+    /// summed over all inputs.
+    pub write_pulses: u64,
+    /// Number of cycles in which the cell actually changed state, summed
+    /// over all inputs.
+    pub switches: u64,
+}
+
+/// Endurance analysis of one schedule; see the module docs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActivityReport {
+    cells: Vec<CellActivity>,
+    n_inputs: u8,
+}
+
+impl ActivityReport {
+    /// Symbolically executes `schedule` for every input assignment and
+    /// tallies writes and switches per cell.
+    pub fn analyze(schedule: &Schedule) -> Self {
+        let n = schedule.n_inputs();
+        let n_cells = schedule.n_cells();
+        let mut cells = vec![
+            CellActivity {
+                write_pulses: 0,
+                switches: 0
+            };
+            n_cells
+        ];
+
+        for x in 0..(1u32 << n) {
+            // Ideal logical replay of the schedule (mirrors
+            // LineArray::v_op_cycle / magic_nor semantics without the
+            // electrical layer).
+            let mut state: Vec<bool> = schedule.init_states().to_vec();
+            for cycle in schedule.cycles() {
+                match cycle {
+                    ScheduleCycle::VOp { te, be } => {
+                        let be_v = be.eval(n, x);
+                        for (i, te_lit) in te.iter().enumerate() {
+                            let te_v = match te_lit {
+                                Some(l) => l.eval(n, x),
+                                None => be_v, // dummy: TE follows BE
+                            };
+                            if te_v != be_v {
+                                cells[i].write_pulses += 1;
+                            }
+                            let next =
+                                vop::apply(DeviceState::from_bool(state[i]), te_v, be_v).to_bool();
+                            if next != state[i] {
+                                cells[i].switches += 1;
+                            }
+                            state[i] = next;
+                        }
+                    }
+                    ScheduleCycle::ROp { inputs, output, .. } => {
+                        // All involved cells see the divider voltage; only
+                        // the output can switch (inputs are non-destructive
+                        // in the ideal MAGIC model).
+                        for &i in inputs {
+                            cells[i].write_pulses += 1;
+                        }
+                        cells[*output].write_pulses += 1;
+                        let any = inputs.iter().any(|&i| state[i]);
+                        let next = !any;
+                        if next != state[*output] {
+                            cells[*output].switches += 1;
+                        }
+                        state[*output] = next;
+                    }
+                    ScheduleCycle::Read { .. } => {} // non-destructive
+                }
+            }
+        }
+        Self { cells, n_inputs: n }
+    }
+
+    /// Per-cell statistics, in cell order.
+    pub fn cells(&self) -> &[CellActivity] {
+        &self.cells
+    }
+
+    /// Total write pulses across all cells and inputs.
+    pub fn total_write_pulses(&self) -> u64 {
+        self.cells.iter().map(|c| c.write_pulses).sum()
+    }
+
+    /// Total state switches across all cells and inputs.
+    pub fn total_switches(&self) -> u64 {
+        self.cells.iter().map(|c| c.switches).sum()
+    }
+
+    /// Average switches per execution (total over `2^n` inputs divided by
+    /// the input count) — the per-run wear figure.
+    pub fn switches_per_run(&self) -> f64 {
+        self.total_switches() as f64 / f64::from(1u32 << self.n_inputs)
+    }
+
+    /// The most-written cell: `(index, pulses)` — the endurance bottleneck.
+    pub fn hottest_cell(&self) -> Option<(usize, u64)> {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, c.write_pulses))
+            .max_by_key(|&(_, p)| p)
+    }
+
+    /// Fraction of write pulses that actually switched the device. The
+    /// paper's observation "in practice, many cells will retain their old
+    /// values" corresponds to this ratio being well below 1.
+    pub fn switch_efficiency(&self) -> f64 {
+        let pulses = self.total_write_pulses();
+        if pulses == 0 {
+            return 0.0;
+        }
+        self.total_switches() as f64 / pulses as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use mm_boolfn::{generators, Literal};
+
+    use super::*;
+    use crate::{MmCircuit, ROp, Signal, VLeg, VOp};
+
+    #[test]
+    fn dummy_cycles_cost_no_writes() {
+        // A single-op leg padded against a 2-op leg: the padded cycle is
+        // TE = BE and must contribute no pulses.
+        let c = MmCircuit::builder(2)
+            .leg(VLeg::new(vec![
+                VOp::new(Literal::Pos(1), Literal::Const0),
+                VOp::new(Literal::Pos(2), Literal::Const1),
+            ]))
+            .leg(VLeg::new(vec![VOp::new(Literal::Pos(2), Literal::Const0)]))
+            .rop(ROp::nor(Signal::Leg(0), Signal::Leg(1)))
+            .output(Signal::ROp(0))
+            .build()
+            .unwrap();
+        let schedule = Schedule::compile(&c).unwrap();
+        let report = ActivityReport::analyze(&schedule);
+        // Cell 1 (short leg) must see pulses only in its own step:
+        // step 1 drives TE = x2 vs BE = 0 (pulse iff x2), step 2 is a dummy.
+        // Over 4 inputs that is 2 pulses.
+        assert_eq!(
+            report.cells()[1].write_pulses,
+            2 + /* R-op participation */ 4
+        );
+    }
+
+    #[test]
+    fn switches_never_exceed_pulses_for_v_cells() {
+        // A mixed circuit with cascade, literal feed and mid-leg tap.
+        let _ = generators::gf22_multiplier();
+        let c = MmCircuit::builder(3)
+            .leg(VLeg::new(vec![
+                VOp::new(Literal::Pos(1), Literal::Const0),
+                VOp::new(Literal::Pos(2), Literal::Const1),
+            ]))
+            .leg(VLeg::new(vec![
+                VOp::new(Literal::Pos(3), Literal::Const0),
+                VOp::new(Literal::Neg(1), Literal::Const1),
+            ]))
+            .rop(ROp::nor(Signal::Leg(0), Signal::Leg(1)))
+            .rop(ROp::nor(Signal::ROp(0), Signal::Literal(Literal::Neg(3))))
+            .output(Signal::ROp(1))
+            .output(Signal::LegStep { leg: 0, step: 0 })
+            .build()
+            .unwrap();
+        let schedule = Schedule::compile(&c).unwrap();
+        let report = ActivityReport::analyze(&schedule);
+        for (i, cell) in report.cells().iter().enumerate() {
+            assert!(
+                cell.switches <= cell.write_pulses,
+                "cell {i}: switches {} > pulses {}",
+                cell.switches,
+                cell.write_pulses
+            );
+        }
+        assert!(report.switch_efficiency() <= 1.0);
+        assert!(report.switches_per_run() > 0.0);
+        assert!(report.hottest_cell().is_some());
+    }
+
+    #[test]
+    fn read_cycles_are_free() {
+        let c = MmCircuit::builder(1)
+            .leg(VLeg::new(vec![VOp::new(Literal::Pos(1), Literal::Const0)]))
+            .output(Signal::Leg(0))
+            .build()
+            .unwrap();
+        let schedule = Schedule::compile(&c).unwrap();
+        let report = ActivityReport::analyze(&schedule);
+        // 2 inputs; a pulse only when x1 = 1 (TE = 1, BE = 0); the read
+        // adds nothing.
+        assert_eq!(report.total_write_pulses(), 1);
+        assert_eq!(report.total_switches(), 1);
+    }
+}

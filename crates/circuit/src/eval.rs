@@ -1,0 +1,190 @@
+//! Symbolic evaluation of mixed-mode circuits to truth tables.
+
+use mm_boolfn::{MultiOutputFn, TruthTable};
+
+use crate::{MmCircuit, Signal};
+
+impl MmCircuit {
+    /// The truth table of a V-leg's final value.
+    ///
+    /// Every leg starts in state 0 and folds its V-ops in sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leg` is out of range (the circuit is validated, so this
+    /// only happens on caller errors).
+    pub fn leg_value(&self, leg: usize) -> TruthTable {
+        let n = self.n_inputs();
+        let mut state = TruthTable::new_false(n).expect("n validated at build time");
+        for op in self.legs()[leg].ops() {
+            let te = op.te.truth_table(n);
+            let be = op.be.truth_table(n);
+            state = state.v_op(&te, &be);
+        }
+        state
+    }
+
+    /// The truth tables after every step of a leg (`result[k]` is the state
+    /// after op `k`), useful for printing Table II-style state evolutions.
+    pub fn leg_trajectory(&self, leg: usize) -> Vec<TruthTable> {
+        let n = self.n_inputs();
+        let mut state = TruthTable::new_false(n).expect("n validated at build time");
+        let mut out = Vec::with_capacity(self.legs()[leg].len());
+        for op in self.legs()[leg].ops() {
+            let te = op.te.truth_table(n);
+            let be = op.be.truth_table(n);
+            state = state.v_op(&te, &be);
+            out.push(state.clone());
+        }
+        out
+    }
+
+    /// The truth table carried by a signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dangling references; built circuits never contain any.
+    pub fn signal_value(&self, signal: Signal) -> TruthTable {
+        let rops = self.rop_values();
+        self.resolve(signal, &rops)
+    }
+
+    /// The truth tables of all R-op outputs, in execution order.
+    pub fn rop_values(&self) -> Vec<TruthTable> {
+        let mut values: Vec<TruthTable> = Vec::with_capacity(self.rops().len());
+        for rop in self.rops() {
+            let a = self.resolve(rop.in1, &values);
+            let b = self.resolve(rop.in2, &values);
+            let out =
+                TruthTable::from_index_fn(self.n_inputs(), |q| rop.kind.eval(a.eval(q), b.eval(q)))
+                    .expect("n validated at build time");
+            values.push(out);
+        }
+        values
+    }
+
+    /// The truth tables of all outputs, in output order.
+    pub fn eval_outputs(&self) -> Vec<TruthTable> {
+        let rops = self.rop_values();
+        self.outputs()
+            .iter()
+            .map(|&o| self.resolve(o, &rops))
+            .collect()
+    }
+
+    /// Whether the circuit realizes the given specification exactly.
+    pub fn implements(&self, spec: &MultiOutputFn) -> bool {
+        spec.n_inputs() == self.n_inputs()
+            && spec.n_outputs() == self.outputs().len()
+            && self.eval_outputs() == spec.outputs()
+    }
+
+    fn resolve(&self, signal: Signal, rop_values: &[TruthTable]) -> TruthTable {
+        match signal {
+            Signal::Literal(l) => l.truth_table(self.n_inputs()),
+            Signal::Leg(t) => self.leg_value(t),
+            Signal::LegStep { leg, step } => self.leg_trajectory(leg)[step].clone(),
+            Signal::ROp(j) => rop_values[j].clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use mm_boolfn::{generators, Literal};
+
+    use crate::{MmCircuit, ROp, Signal, VLeg, VOp};
+
+    /// The paper's Table II, f1 = x1·x2·x3·x4: the 5-step V-op-only
+    /// schedule (with the printed-pattern BE literals).
+    fn table2_and_leg() -> VLeg {
+        VLeg::new(vec![
+            VOp::new(Literal::Pos(4), Literal::Const0),
+            VOp::new(Literal::Pos(2), Literal::Pos(3)),
+            VOp::new(Literal::Pos(3), Literal::Pos(1)),
+            VOp::new(Literal::Const0, Literal::Const0),
+            VOp::new(Literal::Pos(1), Literal::Const1),
+        ])
+    }
+
+    #[test]
+    fn table2_and_gate_evaluates_correctly() {
+        let c = MmCircuit::builder(4)
+            .leg(table2_and_leg())
+            .output(Signal::Leg(0))
+            .build()
+            .unwrap();
+        let and4 = generators::and_gate(4);
+        assert!(c.implements(&and4));
+        // Check the printed intermediate states too.
+        let traj = c.leg_trajectory(0);
+        assert_eq!(traj[0].to_bitstring(), "0101010101010101");
+        assert_eq!(traj[1].to_bitstring(), "0100110101001101");
+        assert_eq!(traj[2].to_bitstring(), "0111111100000001");
+        assert_eq!(traj[3].to_bitstring(), "0111111100000001");
+        assert_eq!(traj[4].to_bitstring(), "0000000000000001");
+    }
+
+    #[test]
+    fn table2_or_gate_evaluates_correctly() {
+        // Paper Table II, f3 = x1+x2+x3+x4 (4 steps, printed-pattern BE).
+        let c = MmCircuit::builder(4)
+            .leg(VLeg::new(vec![
+                VOp::new(Literal::Pos(2), Literal::Const0),
+                VOp::new(Literal::Pos(4), Literal::Pos(3)),
+                VOp::new(Literal::Pos(3), Literal::Pos(1)),
+                VOp::new(Literal::Pos(1), Literal::Const0),
+            ]))
+            .output(Signal::Leg(0))
+            .build()
+            .unwrap();
+        let traj = c.leg_trajectory(0);
+        assert_eq!(traj[0].to_bitstring(), "0000111100001111");
+        assert_eq!(traj[1].to_bitstring(), "0100110101001101");
+        assert_eq!(traj[2].to_bitstring(), "0111111100000001");
+        assert_eq!(traj[3].to_bitstring(), "0111111111111111");
+        assert!(c.implements(&generators::or_gate(4)));
+    }
+
+    #[test]
+    fn rop_cascade_evaluates() {
+        // NOR(NOR(x1, x2), x3) = (x1 + x2) · ~x3
+        let c = MmCircuit::builder(3)
+            .leg(VLeg::new(vec![VOp::new(Literal::Pos(1), Literal::Const0)]))
+            .leg(VLeg::new(vec![VOp::new(Literal::Pos(2), Literal::Const0)]))
+            .rop(ROp::nor(Signal::Leg(0), Signal::Leg(1)))
+            .rop(ROp::nor(Signal::ROp(0), Signal::Literal(Literal::Pos(3))))
+            .output(Signal::ROp(1))
+            .build()
+            .unwrap();
+        let out = &c.eval_outputs()[0];
+        for q in 0..8u32 {
+            let x1 = (q >> 2) & 1 == 1;
+            let x2 = (q >> 1) & 1 == 1;
+            let x3 = q & 1 == 1;
+            assert_eq!(out.eval(q), (x1 | x2) & !x3, "row {q}");
+        }
+    }
+
+    #[test]
+    fn nimp_rop_evaluates() {
+        let c = MmCircuit::builder(2)
+            .leg(VLeg::new(vec![VOp::new(Literal::Pos(1), Literal::Const0)]))
+            .rop(ROp::nimp(Signal::Leg(0), Signal::Literal(Literal::Pos(2))))
+            .output(Signal::ROp(0))
+            .build()
+            .unwrap();
+        assert_eq!(c.eval_outputs()[0].to_bitstring(), "0010"); // x1·~x2
+    }
+
+    #[test]
+    fn implements_rejects_mismatches() {
+        let c = MmCircuit::builder(2)
+            .leg(VLeg::new(vec![VOp::new(Literal::Pos(1), Literal::Const0)]))
+            .output(Signal::Leg(0))
+            .build()
+            .unwrap();
+        assert!(!c.implements(&generators::and_gate(2)));
+        assert!(!c.implements(&generators::and_gate(3)));
+    }
+}

@@ -1,0 +1,126 @@
+//! Human-readable and Graphviz export of mixed-mode circuits.
+
+use std::fmt::Write as _;
+
+use crate::{MmCircuit, Signal};
+
+impl MmCircuit {
+    /// Renders the circuit as an indented text diagram (the textual
+    /// equivalent of the paper's Fig. 1).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "mixed-mode circuit: {} inputs, {} legs, {} R-ops, {} outputs",
+            self.n_inputs(),
+            self.legs().len(),
+            self.rops().len(),
+            self.outputs().len()
+        );
+        for (t, leg) in self.legs().iter().enumerate() {
+            let _ = writeln!(out, "  V-leg V{}:", t + 1);
+            for (k, op) in leg.ops().iter().enumerate() {
+                let _ = writeln!(out, "    V{}.{}: TE={}, BE={}", t + 1, k + 1, op.te, op.be);
+            }
+        }
+        for (j, rop) in self.rops().iter().enumerate() {
+            let _ = writeln!(out, "  R{}: {}({}, {})", j + 1, rop.kind, rop.in1, rop.in2);
+        }
+        for (i, o) in self.outputs().iter().enumerate() {
+            let _ = writeln!(out, "  out{}: {}", i + 1, o);
+        }
+        out
+    }
+
+    /// Renders the circuit as a Graphviz DOT digraph.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph mm_circuit {{");
+        let _ = writeln!(out, "  rankdir=LR;");
+        for (t, leg) in self.legs().iter().enumerate() {
+            let ops: Vec<String> = leg
+                .ops()
+                .iter()
+                .map(|op| format!("TE={}, BE={}", op.te, op.be))
+                .collect();
+            let _ = writeln!(
+                out,
+                "  leg{t} [shape=box, label=\"V{}\\n{}\"];",
+                t + 1,
+                ops.join("\\n")
+            );
+        }
+        let name = |s: &Signal| match s {
+            Signal::Leg(t) | Signal::LegStep { leg: t, .. } => format!("leg{t}"),
+            Signal::ROp(j) => format!("rop{j}"),
+            Signal::Literal(l) => format!("lit_{}", l.to_string().replace('~', "n")),
+        };
+        for (j, rop) in self.rops().iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  rop{j} [shape=ellipse, label=\"R{}\\n{}\"];",
+                j + 1,
+                rop.kind
+            );
+            for input in [rop.in1, rop.in2] {
+                if let Signal::Literal(l) = input {
+                    let _ = writeln!(out, "  {} [shape=plaintext, label=\"{l}\"];", name(&input));
+                }
+                let _ = writeln!(out, "  {} -> rop{j};", name(&input));
+            }
+        }
+        for (i, o) in self.outputs().iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  out{i} [shape=doublecircle, label=\"out{}\"];",
+                i + 1
+            );
+            let _ = writeln!(out, "  {} -> out{i};", name(o));
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use mm_boolfn::Literal;
+
+    use crate::{MmCircuit, ROp, Signal, VLeg, VOp};
+
+    fn sample() -> MmCircuit {
+        MmCircuit::builder(2)
+            .leg(VLeg::new(vec![VOp::new(Literal::Pos(1), Literal::Const0)]))
+            .rop(ROp::nor(Signal::Leg(0), Signal::Literal(Literal::Neg(2))))
+            .output(Signal::ROp(0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn text_contains_all_elements() {
+        let text = sample().to_text();
+        assert!(text.contains("V-leg V1"));
+        assert!(text.contains("V1.1: TE=x1, BE=const-0"));
+        assert!(text.contains("R1: MAGIC-NOR(V1, ~x2)"));
+        assert!(text.contains("out1: R1"));
+    }
+
+    #[test]
+    fn dot_is_well_formed() {
+        let dot = sample().to_dot();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.ends_with("}\n"));
+        assert!(dot.contains("leg0 -> rop0;"));
+        assert!(dot.contains("rop0 -> out0;"));
+        assert!(dot.contains("lit_nx2"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = sample();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: MmCircuit = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

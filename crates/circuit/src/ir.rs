@@ -1,0 +1,430 @@
+use serde::{Deserialize, Serialize};
+
+use mm_boolfn::Literal;
+use mm_device::ROpKind;
+
+use crate::{CircuitError, Metrics};
+
+/// A value source inside a mixed-mode circuit.
+///
+/// R-op inputs and circuit outputs can tap a literal, a V-leg's final
+/// value, or a preceding R-op's output. Referencing a leg's *final* value
+/// (rather than an arbitrary intermediate V-op) is the physically valid
+/// choice: the leg's device holds only the last written state once the R-op
+/// phase begins — the paper's own decoded example taps "the last V-op
+/// V6.3" (§III-B). Shorter legs are realized by dummy-cycle padding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Signal {
+    /// A literal from `L_n`, held on a dedicated preloaded device when it
+    /// feeds an R-op.
+    Literal(Literal),
+    /// The final value of V-leg `t` (0-based).
+    Leg(usize),
+    /// The *intermediate* value of V-leg `leg` after step `step`
+    /// (0-based).
+    ///
+    /// Only valid as a circuit *output*: the value is captured by an
+    /// interleaved readout cycle before the leg's remaining steps overwrite
+    /// it (the paper's measurement protocol interleaves readouts the same
+    /// way — Fig. 2 reads output 1 in cycle 6, between R-ops). R-ops
+    /// consume device *states*, which at R-op time hold the leg's final
+    /// value, so mid-leg R-op inputs are rejected at build time. This tap
+    /// is what makes the paper's adder leg convention
+    /// `N_L = N_R + N_O − 1` work: the carry output shares a leg whose
+    /// final value feeds an R-op.
+    LegStep {
+        /// The leg (0-based).
+        leg: usize,
+        /// The step within the leg (0-based, strictly before the last).
+        step: usize,
+    },
+    /// The output of R-op `j` (0-based).
+    ROp(usize),
+}
+
+impl std::fmt::Display for Signal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Literal(l) => write!(f, "{l}"),
+            Self::Leg(t) => write!(f, "V{}", t + 1),
+            Self::LegStep { leg, step } => write!(f, "V{}.{}", leg + 1, step + 1),
+            Self::ROp(j) => write!(f, "R{}", j + 1),
+        }
+    }
+}
+
+/// A single voltage-input operation: the literals driven on the top
+/// electrode and on the shared bottom electrode during one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VOp {
+    /// The top-electrode literal.
+    pub te: Literal,
+    /// The (shared) bottom-electrode literal.
+    pub be: Literal,
+}
+
+impl VOp {
+    /// Creates a V-op from its electrode literals.
+    pub fn new(te: Literal, be: Literal) -> Self {
+        Self { te, be }
+    }
+}
+
+impl std::fmt::Display for VOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "V(TE={}, BE={})", self.te, self.be)
+    }
+}
+
+/// One V-leg: a sequence of V-ops executed on a single device, starting
+/// from state 0.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VLeg {
+    ops: Vec<VOp>,
+}
+
+impl VLeg {
+    /// Creates a leg from its operation sequence.
+    pub fn new(ops: Vec<VOp>) -> Self {
+        Self { ops }
+    }
+
+    /// The operations, first cycle first.
+    pub fn ops(&self) -> &[VOp] {
+        &self.ops
+    }
+
+    /// Number of V-op steps in the leg.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the leg has no operations (invalid in a built circuit).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// A stateful R-op: a MAGIC NOR (or NIMP) of two signals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ROp {
+    /// The operation family.
+    pub kind: ROpKind,
+    /// First input.
+    pub in1: Signal,
+    /// Second input.
+    pub in2: Signal,
+}
+
+impl ROp {
+    /// A MAGIC NOR R-op of two signals.
+    pub fn nor(in1: Signal, in2: Signal) -> Self {
+        Self {
+            kind: ROpKind::MagicNor,
+            in1,
+            in2,
+        }
+    }
+
+    /// A NIMP R-op (`in1 · ¬in2`) of two signals.
+    pub fn nimp(in1: Signal, in2: Signal) -> Self {
+        Self {
+            kind: ROpKind::Nimp,
+            in1,
+            in2,
+        }
+    }
+}
+
+impl std::fmt::Display for ROp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}({}, {})", self.kind, self.in1, self.in2)
+    }
+}
+
+/// A validated mixed-mode circuit: V-legs followed by R-ops, with output
+/// taps.
+///
+/// Construct via [`MmCircuit::builder`]; validation guarantees that all
+/// literals fit the input count, R-op inputs only reference earlier R-ops,
+/// and every referenced leg exists. See the crate-level example.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MmCircuit {
+    n_inputs: u8,
+    legs: Vec<VLeg>,
+    rops: Vec<ROp>,
+    outputs: Vec<Signal>,
+}
+
+impl MmCircuit {
+    /// Starts building a circuit with `n` inputs.
+    pub fn builder(n_inputs: u8) -> MmCircuitBuilder {
+        MmCircuitBuilder {
+            circuit: MmCircuit {
+                n_inputs,
+                legs: Vec::new(),
+                rops: Vec::new(),
+                outputs: Vec::new(),
+            },
+        }
+    }
+
+    /// Number of inputs `n`.
+    pub fn n_inputs(&self) -> u8 {
+        self.n_inputs
+    }
+
+    /// The V-legs, in device order.
+    pub fn legs(&self) -> &[VLeg] {
+        &self.legs
+    }
+
+    /// The R-ops, in execution order.
+    pub fn rops(&self) -> &[ROp] {
+        &self.rops
+    }
+
+    /// The output taps, in output order.
+    pub fn outputs(&self) -> &[Signal] {
+        &self.outputs
+    }
+
+    /// The paper's cost metrics for this circuit.
+    pub fn metrics(&self) -> Metrics {
+        Metrics::of(self)
+    }
+
+    /// The distinct literals that feed R-ops directly (each occupies one
+    /// preloaded device in the schedule).
+    pub fn literal_feeds(&self) -> Vec<Literal> {
+        let mut lits: Vec<Literal> = self
+            .rops
+            .iter()
+            .flat_map(|r| [r.in1, r.in2])
+            .filter_map(|s| match s {
+                Signal::Literal(l) => Some(l),
+                _ => None,
+            })
+            .collect();
+        lits.sort();
+        lits.dedup();
+        lits
+    }
+
+    fn validate(&self) -> Result<(), CircuitError> {
+        let check_literal = |l: Literal| match l.variable() {
+            Some(v) if v == 0 || v > self.n_inputs => Err(CircuitError::LiteralOutOfRange {
+                var: v,
+                n_inputs: self.n_inputs,
+            }),
+            _ => Ok(()),
+        };
+        let check_signal = |s: Signal, consumer: Option<usize>| match s {
+            Signal::Literal(l) => check_literal(l),
+            Signal::Leg(t) if t >= self.legs.len() => Err(CircuitError::UnknownLeg {
+                leg: t,
+                n_legs: self.legs.len(),
+            }),
+            Signal::Leg(_) => Ok(()),
+            Signal::LegStep { leg, step } => {
+                if consumer.is_some() {
+                    return Err(CircuitError::MidLegROpInput { leg, step });
+                }
+                if leg >= self.legs.len() || step + 1 >= self.legs[leg].len() {
+                    return Err(CircuitError::UnknownLeg {
+                        leg,
+                        n_legs: self.legs.len(),
+                    });
+                }
+                Ok(())
+            }
+            Signal::ROp(j) => {
+                let limit = consumer.unwrap_or(self.rops.len());
+                if j >= limit {
+                    Err(CircuitError::InvalidROpReference {
+                        referenced: j,
+                        consumer,
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+        };
+        if self.outputs.is_empty() {
+            return Err(CircuitError::NoOutputs);
+        }
+        for (t, leg) in self.legs.iter().enumerate() {
+            if leg.is_empty() {
+                return Err(CircuitError::EmptyLeg { leg: t });
+            }
+            for op in leg.ops() {
+                check_literal(op.te)?;
+                check_literal(op.be)?;
+            }
+        }
+        for (j, rop) in self.rops.iter().enumerate() {
+            check_signal(rop.in1, Some(j))?;
+            check_signal(rop.in2, Some(j))?;
+        }
+        for &o in &self.outputs {
+            check_signal(o, None)?;
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`MmCircuit`]; see [`MmCircuit::builder`].
+#[derive(Debug, Clone)]
+pub struct MmCircuitBuilder {
+    circuit: MmCircuit,
+}
+
+impl MmCircuitBuilder {
+    /// Appends a V-leg.
+    pub fn leg(mut self, leg: VLeg) -> Self {
+        self.circuit.legs.push(leg);
+        self
+    }
+
+    /// Appends an R-op (executed after all previously added ones).
+    pub fn rop(mut self, rop: ROp) -> Self {
+        self.circuit.rops.push(rop);
+        self
+    }
+
+    /// Appends an output tap.
+    pub fn output(mut self, signal: Signal) -> Self {
+        self.circuit.outputs.push(signal);
+        self
+    }
+
+    /// Validates and returns the circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CircuitError`] describing the first structural problem
+    /// found (dangling reference, out-of-range literal, empty leg, missing
+    /// outputs).
+    pub fn build(self) -> Result<MmCircuit, CircuitError> {
+        self.circuit.validate()?;
+        Ok(self.circuit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xleg(var: u8) -> VLeg {
+        VLeg::new(vec![VOp::new(Literal::Pos(var), Literal::Const0)])
+    }
+
+    #[test]
+    fn builder_validates_structure() {
+        let ok = MmCircuit::builder(2)
+            .leg(xleg(1))
+            .leg(xleg(2))
+            .rop(ROp::nor(Signal::Leg(0), Signal::Leg(1)))
+            .output(Signal::ROp(0))
+            .build();
+        assert!(ok.is_ok());
+        let circuit = ok.unwrap();
+        assert_eq!(circuit.n_inputs(), 2);
+        assert_eq!(circuit.legs().len(), 2);
+        assert_eq!(circuit.rops().len(), 1);
+        assert_eq!(circuit.outputs().len(), 1);
+    }
+
+    #[test]
+    fn rejects_dangling_leg() {
+        let err = MmCircuit::builder(2)
+            .leg(xleg(1))
+            .rop(ROp::nor(Signal::Leg(0), Signal::Leg(5)))
+            .output(Signal::ROp(0))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, CircuitError::UnknownLeg { leg: 5, n_legs: 1 });
+    }
+
+    #[test]
+    fn rejects_forward_rop_reference() {
+        let err = MmCircuit::builder(2)
+            .leg(xleg(1))
+            .rop(ROp::nor(Signal::Leg(0), Signal::ROp(1)))
+            .rop(ROp::nor(Signal::Leg(0), Signal::Leg(0)))
+            .output(Signal::ROp(1))
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CircuitError::InvalidROpReference { referenced: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_self_reference() {
+        let err = MmCircuit::builder(2)
+            .leg(xleg(1))
+            .rop(ROp::nor(Signal::ROp(0), Signal::Leg(0)))
+            .output(Signal::ROp(0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CircuitError::InvalidROpReference { referenced: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_literal_and_empty_pieces() {
+        let err = MmCircuit::builder(2)
+            .leg(xleg(3))
+            .output(Signal::Leg(0))
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CircuitError::LiteralOutOfRange {
+                var: 3,
+                n_inputs: 2
+            }
+        );
+
+        let err = MmCircuit::builder(2).leg(xleg(1)).build().unwrap_err();
+        assert_eq!(err, CircuitError::NoOutputs);
+
+        let err = MmCircuit::builder(2)
+            .leg(VLeg::new(vec![]))
+            .output(Signal::Leg(0))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, CircuitError::EmptyLeg { leg: 0 });
+    }
+
+    #[test]
+    fn literal_feeds_are_deduplicated() {
+        let c = MmCircuit::builder(2)
+            .leg(xleg(1))
+            .rop(ROp::nor(Signal::Literal(Literal::Pos(2)), Signal::Leg(0)))
+            .rop(ROp::nor(Signal::Literal(Literal::Pos(2)), Signal::ROp(0)))
+            .output(Signal::ROp(1))
+            .build()
+            .unwrap();
+        assert_eq!(c.literal_feeds(), vec![Literal::Pos(2)]);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Signal::Leg(0).to_string(), "V1");
+        assert_eq!(Signal::ROp(2).to_string(), "R3");
+        assert_eq!(Signal::Literal(Literal::Neg(1)).to_string(), "~x1");
+        assert_eq!(
+            ROp::nor(Signal::Leg(0), Signal::Leg(1)).to_string(),
+            "MAGIC-NOR(V1, V2)"
+        );
+        assert_eq!(
+            VOp::new(Literal::Pos(1), Literal::Const0).to_string(),
+            "V(TE=x1, BE=const-0)"
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Mixed-mode memristive circuit IR, scheduling, evaluation and export.
+//!
+//! A mixed-mode (MM) circuit in the sense of the paper consists of a V-op
+//! part — parallel *V-legs*, each a sequence of voltage-input operations on
+//! one device, driven by literals on the top electrode and a shared bottom
+//! electrode — followed by an R-op part: a serialized sequence of stateful
+//! MAGIC-NOR (or NIMP) gates whose inputs are V-leg results, literals, or
+//! earlier R-op outputs.
+//!
+//! This crate provides:
+//!
+//! * [`MmCircuit`] with [`Signal`], [`VLeg`], [`VOp`] and [`ROp`] — the IR
+//!   produced by the synthesizer and consumable by everything else;
+//! * [`MmCircuit::eval_outputs`] — symbolic evaluation to truth tables;
+//! * [`Metrics`] — the paper's cost figures (`N_R, N_L, N_VS, N_St,
+//!   N_Dev`);
+//! * [`Schedule`] — compilation to a cycle-accurate line-array program
+//!   (dummy-cycle padding, shared-BE legality, literal preloading, output
+//!   initialization, readout), executable on an
+//!   [`mm_device::LineArray`] both ideally and electrically;
+//! * text/DOT export for inspecting circuits like the paper's Fig. 1.
+//!
+//! # Example
+//!
+//! ```
+//! use mm_boolfn::Literal;
+//! use mm_circuit::{MmCircuit, ROp, ROpKind, Signal, VLeg, VOp};
+//!
+//! # fn main() -> Result<(), mm_circuit::CircuitError> {
+//! // NOR(x1·x2, x3): one V-leg computing x1·x2, one R-op.
+//! let circuit = MmCircuit::builder(3)
+//!     .leg(VLeg::new(vec![
+//!         VOp::new(Literal::Pos(1), Literal::Const0), // v = x1
+//!         VOp::new(Literal::Pos(2), Literal::Const1), // v = x1·x2
+//!     ]))
+//!     .rop(ROp::nor(Signal::Leg(0), Signal::Literal(Literal::Pos(3))))
+//!     .output(Signal::ROp(0))
+//!     .build()?;
+//! let tt = &circuit.eval_outputs()[0];
+//! assert_eq!(tt.to_bitstring(), "10101000");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activity;
+mod error;
+mod eval;
+mod export;
+mod ir;
+mod metrics;
+pub mod parallel;
+mod schedule;
+
+pub use activity::{ActivityReport, CellActivity};
+pub use error::CircuitError;
+pub use ir::{MmCircuit, MmCircuitBuilder, ROp, Signal, VLeg, VOp};
+pub use metrics::Metrics;
+pub use schedule::{CellRole, Schedule, ScheduleCycle};
+
+// Re-exported so downstream crates name the R-op family without also
+// depending on `mm-device`.
+pub use mm_device::ROpKind;

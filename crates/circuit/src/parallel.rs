@@ -1,0 +1,173 @@
+//! Crossbar parallelism analysis and execution — the paper's future-work
+//! direction (§VI): "2D memristive crossbars offer new possibilities (e.g.
+//! potentially parallel R-ops) but also new complexities".
+//!
+//! On a 1D line array R-ops serialize (`N_St = N_VS + N_R`). On a crossbar,
+//! R-ops whose operands are independent can fire in the same cycle; the
+//! *dependency depth* of the R-op DAG is therefore a lower bound on the
+//! stateful phase's latency, and `N_VS + depth` the corresponding
+//! best-case step count ([`crossbar_steps_bound`]). Realizing the bound
+//! additionally needs operand routing (copies between rows/columns), which
+//! is why it is reported as a bound rather than folded into
+//! [`Metrics`](crate::Metrics).
+//!
+//! [`Schedule::execute_on_crossbar`] runs a compiled line-array schedule
+//! inside one crossbar column (serial R-ops), validating the crossbar
+//! device semantics against the line array.
+
+use mm_device::{Crossbar, DeviceState};
+
+use crate::{MmCircuit, Schedule, ScheduleCycle, Signal};
+
+/// The dependency level of every R-op (1-based): R-ops fed only by legs
+/// and literals are level 1; an R-op consuming another R-op sits one level
+/// above its deepest producer.
+pub fn rop_levels(circuit: &MmCircuit) -> Vec<usize> {
+    let mut levels = Vec::with_capacity(circuit.rops().len());
+    for rop in circuit.rops() {
+        let dep = |s: Signal| -> usize {
+            match s {
+                Signal::ROp(j) => levels[j],
+                _ => 0,
+            }
+        };
+        levels.push(1 + dep(rop.in1).max(dep(rop.in2)));
+    }
+    levels
+}
+
+/// The depth of the R-op DAG — the minimum number of stateful cycles on a
+/// platform with fully parallel independent R-ops.
+pub fn crossbar_rop_depth(circuit: &MmCircuit) -> usize {
+    rop_levels(circuit).into_iter().max().unwrap_or(0)
+}
+
+/// Best-case step count on a crossbar: `N_VS + depth(R-op DAG)`, versus the
+/// line array's `N_VS + N_R`.
+pub fn crossbar_steps_bound(circuit: &MmCircuit) -> usize {
+    circuit.metrics().n_vsteps + crossbar_rop_depth(circuit)
+}
+
+impl Schedule {
+    /// Executes this schedule inside column `col` of a crossbar (line-array
+    /// mode: V-ops via [`Crossbar::v_op_column`], R-ops via column-wise
+    /// MAGIC NOR, serialized exactly as on the 1D array).
+    ///
+    /// The crossbar must have at least [`n_cells`](Schedule::n_cells) rows.
+    /// Returns the read-out output values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the crossbar is too small, `col` is out of range, or `x`
+    /// exceeds `2^n`.
+    pub fn execute_on_crossbar(&self, x: u32, xbar: &mut Crossbar, col: usize) -> Vec<bool> {
+        assert!(
+            xbar.rows() >= self.n_cells(),
+            "crossbar needs one row per schedule cell"
+        );
+        assert!(
+            u64::from(x) < (1u64 << self.n_inputs()),
+            "input assignment out of range"
+        );
+        for (r, &s) in self.init_states().iter().enumerate() {
+            xbar.force_state(r, col, DeviceState::from_bool(s));
+        }
+        let n = self.n_inputs();
+        let mut outputs = vec![false; self.output_cells().len()];
+        for cycle in self.cycles() {
+            match cycle {
+                ScheduleCycle::VOp { te, be } => {
+                    let mut te_levels: Vec<Option<bool>> =
+                        te.iter().map(|l| l.map(|l| l.eval(n, x))).collect();
+                    te_levels.resize(xbar.rows(), None);
+                    xbar.v_op_column(col, &te_levels, be.eval(n, x));
+                }
+                ScheduleCycle::ROp { inputs, output, .. } => {
+                    xbar.col_nor(inputs, *output, &[col]);
+                }
+                ScheduleCycle::Read { output_index, cell } => {
+                    outputs[*output_index] = xbar.read(*cell, col) == DeviceState::Lrs;
+                }
+            }
+        }
+        outputs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use mm_boolfn::{generators, Literal};
+    use mm_device::Crossbar;
+
+    use super::*;
+    use crate::{MmCircuit, ROp, VLeg, VOp};
+
+    fn fig1_shaped() -> MmCircuit {
+        // Two independent NOR cascades (like the paper's Fig. 1): R1->R2,
+        // R3->R4.
+        let mut b = MmCircuit::builder(4);
+        for v in [1u8, 2, 3, 4, 1, 2] {
+            b = b.leg(VLeg::new(vec![VOp::new(Literal::Pos(v), Literal::Const0)]));
+        }
+        b.rop(ROp::nor(Signal::Leg(0), Signal::Leg(1)))
+            .rop(ROp::nor(Signal::ROp(0), Signal::Leg(2)))
+            .rop(ROp::nor(Signal::Leg(3), Signal::Leg(4)))
+            .rop(ROp::nor(Signal::ROp(2), Signal::Leg(5)))
+            .output(Signal::ROp(1))
+            .output(Signal::ROp(3))
+            .build()
+            .expect("valid")
+    }
+
+    #[test]
+    fn levels_and_depth() {
+        let c = fig1_shaped();
+        assert_eq!(rop_levels(&c), vec![1, 2, 1, 2]);
+        assert_eq!(crossbar_rop_depth(&c), 2);
+        // Line array: 1 + 4 = 5 steps; crossbar bound: 1 + 2 = 3.
+        assert_eq!(c.metrics().n_steps, 5);
+        assert_eq!(crossbar_steps_bound(&c), 3);
+    }
+
+    #[test]
+    fn v_only_circuit_has_depth_zero() {
+        let c = MmCircuit::builder(1)
+            .leg(VLeg::new(vec![VOp::new(Literal::Pos(1), Literal::Const0)]))
+            .output(Signal::Leg(0))
+            .build()
+            .expect("valid");
+        assert_eq!(crossbar_rop_depth(&c), 0);
+        assert_eq!(crossbar_steps_bound(&c), 1);
+    }
+
+    #[test]
+    fn crossbar_execution_matches_line_array() {
+        let f = generators::xor_gate(2);
+        let c = mm_boolfn_xor_circuit();
+        let schedule = Schedule::compile(&c).expect("schedulable");
+        for x in 0..4u32 {
+            let ideal = schedule.run_ideal(x);
+            let mut xbar = Crossbar::ideal(schedule.n_cells(), 3);
+            let got = schedule.execute_on_crossbar(x, &mut xbar, 1);
+            assert_eq!(ideal, got, "x = {x:02b}");
+            assert_eq!(got[0], f.output(0).expect("one output").eval(x));
+        }
+    }
+
+    /// XOR2 = NOR(x1·x2, ~x1·~x2) built by hand.
+    fn mm_boolfn_xor_circuit() -> MmCircuit {
+        MmCircuit::builder(2)
+            .leg(VLeg::new(vec![
+                VOp::new(Literal::Pos(1), Literal::Const0),
+                VOp::new(Literal::Pos(2), Literal::Const1),
+            ]))
+            .leg(VLeg::new(vec![
+                VOp::new(Literal::Neg(1), Literal::Const0),
+                VOp::new(Literal::Neg(2), Literal::Const1),
+            ]))
+            .rop(ROp::nor(Signal::Leg(0), Signal::Leg(1)))
+            .output(Signal::ROp(0))
+            .build()
+            .expect("valid")
+    }
+}

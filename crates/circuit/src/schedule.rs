@@ -1,0 +1,617 @@
+use serde::{Deserialize, Serialize};
+
+use mm_boolfn::Literal;
+use mm_device::{DeviceState, LineArray, ROpKind};
+
+use crate::{CircuitError, MmCircuit, Signal};
+
+/// What a line-array cell is used for in a compiled schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CellRole {
+    /// Executes V-leg `t` (0-based).
+    Leg(usize),
+    /// Holds a preloaded literal feeding one or more R-ops.
+    LiteralFeed(Literal),
+    /// Output device of R-op `j` (0-based), pre-set per the R-op family.
+    ROpOutput(usize),
+}
+
+/// One cycle of a compiled schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ScheduleCycle {
+    /// A parallel V-op cycle: per-cell TE literals (`None` = dummy, TE
+    /// follows BE) and the shared BE literal.
+    VOp {
+        /// TE literal per cell.
+        te: Vec<Option<Literal>>,
+        /// Shared BE literal.
+        be: Literal,
+    },
+    /// A MAGIC R-op cycle on the given cells.
+    ROp {
+        /// Index of the R-op in the circuit.
+        rop: usize,
+        /// Input cell indices.
+        inputs: Vec<usize>,
+        /// Output cell index.
+        output: usize,
+    },
+    /// A readout cycle for circuit output `output_index` from `cell`.
+    Read {
+        /// Which circuit output is read.
+        output_index: usize,
+        /// The cell holding it.
+        cell: usize,
+    },
+}
+
+/// A cycle-accurate line-array program compiled from an [`MmCircuit`].
+///
+/// Compilation performs the physical lowering the paper's PCB/LabVIEW setup
+/// does by hand: assigns every circuit element to a cell, pads short legs
+/// with dummy cycles, checks the shared-BE restriction, preloads
+/// literal-feed devices, pre-sets MAGIC output cells to LRS, serializes the
+/// R-ops and appends readout cycles.
+///
+/// # Example
+///
+/// ```
+/// use mm_boolfn::Literal;
+/// use mm_circuit::{MmCircuit, ROp, Schedule, Signal, VLeg, VOp};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let circuit = MmCircuit::builder(2)
+///     .leg(VLeg::new(vec![VOp::new(Literal::Pos(1), Literal::Const0)]))
+///     .leg(VLeg::new(vec![VOp::new(Literal::Pos(2), Literal::Const0)]))
+///     .rop(ROp::nor(Signal::Leg(0), Signal::Leg(1)))
+///     .output(Signal::ROp(0))
+///     .build()?;
+/// let schedule = Schedule::compile(&circuit)?;
+/// assert_eq!(schedule.n_cells(), 3);
+/// assert_eq!(schedule.run_ideal(0b10), vec![false]); // NOR(1, 0)
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    n_inputs: u8,
+    roles: Vec<CellRole>,
+    /// Cell states established in the init phase (before cycle 0).
+    init_states: Vec<bool>,
+    cycles: Vec<ScheduleCycle>,
+    /// Cell holding each circuit output.
+    output_cells: Vec<usize>,
+}
+
+impl Schedule {
+    /// Compiles a circuit into a line-array schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::SharedBeConflict`] if two legs demand
+    /// different BE literals in the same step (physically impossible on a
+    /// shared bottom electrode) and [`CircuitError::UnsupportedROpKind`]
+    /// for non-MAGIC R-ops, which the electrical line-array model does not
+    /// implement (the paper's experiments are MAGIC-NOR on BFO only).
+    pub fn compile(circuit: &MmCircuit) -> Result<Self, CircuitError> {
+        for (j, rop) in circuit.rops().iter().enumerate() {
+            if rop.kind != ROpKind::MagicNor {
+                return Err(CircuitError::UnsupportedROpKind {
+                    rop: j,
+                    kind: rop.kind,
+                });
+            }
+        }
+        let n_legs = circuit.legs().len();
+        let mut roles: Vec<CellRole> = (0..n_legs).map(CellRole::Leg).collect();
+
+        // Literal-feed devices (including degenerate literal outputs).
+        let mut feeds = circuit.literal_feeds();
+        for &o in circuit.outputs() {
+            if let Signal::Literal(l) = o {
+                if !feeds.contains(&l) {
+                    feeds.push(l);
+                }
+            }
+        }
+        let feed_base = roles.len();
+        roles.extend(feeds.iter().map(|&l| CellRole::LiteralFeed(l)));
+        let rout_base = roles.len();
+        roles.extend((0..circuit.rops().len()).map(CellRole::ROpOutput));
+
+        let cell_of = |signal: Signal| -> usize {
+            match signal {
+                Signal::Leg(t) | Signal::LegStep { leg: t, .. } => t,
+                Signal::Literal(l) => {
+                    feed_base
+                        + feeds
+                            .iter()
+                            .position(|&f| f == l)
+                            .expect("feed collected above")
+                }
+                Signal::ROp(j) => rout_base + j,
+            }
+        };
+
+        // Init: everything 0, MAGIC output cells pre-set to 1.
+        let mut init_states = vec![false; roles.len()];
+        for j in 0..circuit.rops().len() {
+            init_states[rout_base + j] = true;
+        }
+
+        let mut cycles = Vec::new();
+
+        // Preload cycle for literal feeds (legs idle via dummy TE).
+        if !feeds.is_empty() {
+            let mut te = vec![None; roles.len()];
+            for (k, &l) in feeds.iter().enumerate() {
+                te[feed_base + k] = Some(l);
+            }
+            cycles.push(ScheduleCycle::VOp {
+                te,
+                be: Literal::Const0,
+            });
+        }
+
+        let output_cells: Vec<usize> = circuit.outputs().iter().map(|&o| cell_of(o)).collect();
+
+        // V-op steps with shared-BE checking and dummy padding. Mid-leg
+        // output taps get an interleaved readout cycle right after the step
+        // that produces their value (before the leg overwrites it).
+        let n_vsteps = circuit.legs().iter().map(|l| l.len()).max().unwrap_or(0);
+        for step in 0..n_vsteps {
+            let mut be: Option<Literal> = None;
+            let mut te = vec![None; roles.len()];
+            for (t, leg) in circuit.legs().iter().enumerate() {
+                if let Some(op) = leg.ops().get(step) {
+                    te[t] = Some(op.te);
+                    match be {
+                        None => be = Some(op.be),
+                        Some(existing) if existing != op.be => {
+                            return Err(CircuitError::SharedBeConflict {
+                                step,
+                                left: existing,
+                                right: op.be,
+                            });
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+            cycles.push(ScheduleCycle::VOp {
+                te,
+                be: be.expect("step < n_vsteps implies at least one active leg"),
+            });
+            for (i, &o) in circuit.outputs().iter().enumerate() {
+                if let Signal::LegStep { leg, step: s } = o {
+                    if s == step {
+                        cycles.push(ScheduleCycle::Read {
+                            output_index: i,
+                            cell: leg,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Serialized R-ops.
+        for (j, rop) in circuit.rops().iter().enumerate() {
+            cycles.push(ScheduleCycle::ROp {
+                rop: j,
+                inputs: vec![cell_of(rop.in1), cell_of(rop.in2)],
+                output: rout_base + j,
+            });
+        }
+
+        // Final readouts for everything not captured mid-sequence.
+        for (i, (&cell, &o)) in output_cells.iter().zip(circuit.outputs()).enumerate() {
+            if !matches!(o, Signal::LegStep { .. }) {
+                cycles.push(ScheduleCycle::Read {
+                    output_index: i,
+                    cell,
+                });
+            }
+        }
+
+        Ok(Self {
+            n_inputs: circuit.n_inputs(),
+            roles,
+            init_states,
+            cycles,
+            output_cells,
+        })
+    }
+
+    /// Number of line-array cells the schedule occupies.
+    pub fn n_cells(&self) -> usize {
+        self.roles.len()
+    }
+
+    /// The role of every cell, in cell order.
+    pub fn roles(&self) -> &[CellRole] {
+        &self.roles
+    }
+
+    /// The compiled cycles, including preload and readout cycles.
+    pub fn cycles(&self) -> &[ScheduleCycle] {
+        &self.cycles
+    }
+
+    /// Number of inputs of the underlying circuit.
+    pub fn n_inputs(&self) -> u8 {
+        self.n_inputs
+    }
+
+    /// The cells holding each circuit output.
+    pub fn output_cells(&self) -> &[usize] {
+        &self.output_cells
+    }
+
+    /// The cell states established before cycle 0 (MAGIC output cells are
+    /// pre-set to 1, everything else cleared).
+    pub fn init_states(&self) -> &[bool] {
+        &self.init_states
+    }
+
+    /// Re-places the schedule onto a (possibly larger) array with known
+    /// defective cells, assigning every logical cell to a working physical
+    /// position — the repair flow enabled by the paper's discrete line
+    /// arrays, whose devices "can be easily replaced after manufacturing or
+    /// upon failure in operation" (§I).
+    ///
+    /// Unused working cells and all dead cells are left untouched (dead
+    /// cells get dummy TE levels and never participate in R-ops or reads).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InsufficientWorkingCells`] when fewer than
+    /// [`n_cells`](Self::n_cells) positions of the array are alive.
+    pub fn place_avoiding(
+        &self,
+        array_size: usize,
+        dead: &[usize],
+    ) -> Result<Schedule, CircuitError> {
+        let working: Vec<usize> = (0..array_size).filter(|i| !dead.contains(i)).collect();
+        if working.len() < self.n_cells() {
+            return Err(CircuitError::InsufficientWorkingCells {
+                needed: self.n_cells(),
+                available: working.len(),
+                array_size,
+            });
+        }
+        // Logical cell i -> physical position working[i].
+        let map = |i: usize| working[i];
+        let mut roles = vec![None; array_size];
+        for (i, &r) in self.roles.iter().enumerate() {
+            roles[map(i)] = Some(r);
+        }
+        let mut init_states = vec![false; array_size];
+        for (i, &s) in self.init_states.iter().enumerate() {
+            init_states[map(i)] = s;
+        }
+        let cycles = self
+            .cycles
+            .iter()
+            .map(|c| match c {
+                ScheduleCycle::VOp { te, be } => {
+                    let mut new_te = vec![None; array_size];
+                    for (i, &l) in te.iter().enumerate() {
+                        new_te[map(i)] = l;
+                    }
+                    ScheduleCycle::VOp {
+                        te: new_te,
+                        be: *be,
+                    }
+                }
+                ScheduleCycle::ROp {
+                    rop,
+                    inputs,
+                    output,
+                } => ScheduleCycle::ROp {
+                    rop: *rop,
+                    inputs: inputs.iter().map(|&i| map(i)).collect(),
+                    output: map(*output),
+                },
+                ScheduleCycle::Read { output_index, cell } => ScheduleCycle::Read {
+                    output_index: *output_index,
+                    cell: map(*cell),
+                },
+            })
+            .collect();
+        Ok(Schedule {
+            n_inputs: self.n_inputs,
+            // Unused positions become spare legs-of-nothing; model them as
+            // literal feeds of const-0 so the role vector stays total.
+            roles: roles
+                .into_iter()
+                .map(|r| r.unwrap_or(CellRole::LiteralFeed(Literal::Const0)))
+                .collect(),
+            init_states,
+            cycles,
+            output_cells: self.output_cells.iter().map(|&c| map(c)).collect(),
+        })
+    }
+
+    /// Executes the schedule for input assignment `x` on the given array.
+    ///
+    /// The array is reset to the schedule's init states first; afterwards
+    /// its [`trace`](LineArray::trace) holds the full Fig. 2-style
+    /// measurement record. Returns the read-out output values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array has a different cell count or `x ≥ 2^n`.
+    pub fn execute(&self, x: u32, array: &mut LineArray) -> Vec<bool> {
+        assert_eq!(
+            array.n_cells(),
+            self.n_cells(),
+            "array size must match the schedule"
+        );
+        assert!(
+            u64::from(x) < (1u64 << self.n_inputs),
+            "input assignment out of range"
+        );
+        array.reset(&self.init_states);
+        let mut outputs = vec![false; self.output_cells.len()];
+        for cycle in &self.cycles {
+            match cycle {
+                ScheduleCycle::VOp { te, be } => {
+                    let te_levels: Vec<Option<bool>> = te
+                        .iter()
+                        .map(|l| l.map(|l| l.eval(self.n_inputs, x)))
+                        .collect();
+                    array.v_op_cycle(&te_levels, be.eval(self.n_inputs, x));
+                }
+                ScheduleCycle::ROp { inputs, output, .. } => {
+                    array.magic_nor(inputs, *output);
+                }
+                ScheduleCycle::Read { output_index, cell } => {
+                    outputs[*output_index] = array.read(*cell) == DeviceState::Lrs;
+                }
+            }
+        }
+        outputs
+    }
+
+    /// Executes the schedule on a fresh ideal array and returns the outputs.
+    pub fn run_ideal(&self, x: u32) -> Vec<bool> {
+        let mut array = LineArray::ideal(self.n_cells());
+        self.execute(x, &mut array)
+    }
+
+    /// Verifies the schedule against a specification by executing all `2^n`
+    /// input assignments on ideal arrays.
+    pub fn verify(&self, spec: &mm_boolfn::MultiOutputFn) -> bool {
+        if spec.n_inputs() != self.n_inputs || spec.n_outputs() != self.output_cells.len() {
+            return false;
+        }
+        (0..(1u32 << self.n_inputs)).all(|x| {
+            let got = self.run_ideal(x);
+            let want: Vec<bool> = (0..spec.n_outputs())
+                .map(|i| spec.output(i).expect("index in range").eval(x))
+                .collect();
+            got == want
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use mm_boolfn::{generators, Literal};
+
+    use super::*;
+    use crate::{MmCircuit, ROp, VLeg, VOp};
+
+    fn nor_circuit() -> MmCircuit {
+        MmCircuit::builder(2)
+            .leg(VLeg::new(vec![VOp::new(Literal::Pos(1), Literal::Const0)]))
+            .leg(VLeg::new(vec![VOp::new(Literal::Pos(2), Literal::Const0)]))
+            .rop(ROp::nor(Signal::Leg(0), Signal::Leg(1)))
+            .output(Signal::ROp(0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn compile_and_execute_nor() {
+        let schedule = Schedule::compile(&nor_circuit()).unwrap();
+        assert_eq!(schedule.n_cells(), 3);
+        assert!(schedule.verify(&generators::nor_gate(2)));
+        // 1 V-op step + 1 R-op + 1 readout.
+        assert_eq!(schedule.cycles().len(), 3);
+    }
+
+    #[test]
+    fn execution_matches_symbolic_eval_for_mixed_circuit() {
+        // (x1+x2)·~x3 with a cascade and a literal feed.
+        let c = MmCircuit::builder(3)
+            .leg(VLeg::new(vec![VOp::new(Literal::Pos(1), Literal::Const0)]))
+            .leg(VLeg::new(vec![VOp::new(Literal::Pos(2), Literal::Const0)]))
+            .rop(ROp::nor(Signal::Leg(0), Signal::Leg(1)))
+            .rop(ROp::nor(Signal::ROp(0), Signal::Literal(Literal::Pos(3))))
+            .output(Signal::ROp(1))
+            .build()
+            .unwrap();
+        let schedule = Schedule::compile(&c).unwrap();
+        let symbolic = &c.eval_outputs()[0];
+        for x in 0..8u32 {
+            assert_eq!(schedule.run_ideal(x)[0], symbolic.eval(x), "x = {x:03b}");
+        }
+        // Preload + V-op + 2 R-ops + readout.
+        assert_eq!(schedule.cycles().len(), 5);
+        assert!(schedule
+            .roles()
+            .iter()
+            .any(|r| matches!(r, CellRole::LiteralFeed(Literal::Pos(3)))));
+    }
+
+    #[test]
+    fn dummy_padding_for_unequal_legs() {
+        // Leg 0 has 2 ops, leg 1 has 1: step 2 must pad leg 1.
+        let c = MmCircuit::builder(2)
+            .leg(VLeg::new(vec![
+                VOp::new(Literal::Pos(1), Literal::Const0),
+                VOp::new(Literal::Pos(2), Literal::Const1),
+            ]))
+            .leg(VLeg::new(vec![VOp::new(Literal::Pos(2), Literal::Const0)]))
+            .rop(ROp::nor(Signal::Leg(0), Signal::Leg(1)))
+            .output(Signal::ROp(0))
+            .build()
+            .unwrap();
+        let schedule = Schedule::compile(&c).unwrap();
+        let symbolic = &c.eval_outputs()[0];
+        for x in 0..4u32 {
+            assert_eq!(schedule.run_ideal(x)[0], symbolic.eval(x), "x = {x:02b}");
+        }
+    }
+
+    #[test]
+    fn shared_be_conflict_is_rejected() {
+        let c = MmCircuit::builder(2)
+            .leg(VLeg::new(vec![VOp::new(Literal::Pos(1), Literal::Const0)]))
+            .leg(VLeg::new(vec![VOp::new(Literal::Pos(2), Literal::Const1)]))
+            .rop(ROp::nor(Signal::Leg(0), Signal::Leg(1)))
+            .output(Signal::ROp(0))
+            .build()
+            .unwrap();
+        let err = Schedule::compile(&c).unwrap_err();
+        assert!(matches!(
+            err,
+            CircuitError::SharedBeConflict { step: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn nimp_is_rejected_by_the_electrical_backend() {
+        let c = MmCircuit::builder(2)
+            .leg(VLeg::new(vec![VOp::new(Literal::Pos(1), Literal::Const0)]))
+            .rop(ROp::nimp(Signal::Leg(0), Signal::Literal(Literal::Pos(2))))
+            .output(Signal::ROp(0))
+            .build()
+            .unwrap();
+        let err = Schedule::compile(&c).unwrap_err();
+        assert!(matches!(
+            err,
+            CircuitError::UnsupportedROpKind { rop: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn trace_is_recorded_during_execution() {
+        let schedule = Schedule::compile(&nor_circuit()).unwrap();
+        let mut array = LineArray::ideal(schedule.n_cells());
+        let out = schedule.execute(0b11, &mut array);
+        assert_eq!(out, vec![false]);
+        // V-op cycle + R-op cycle + read cycle.
+        assert_eq!(array.trace().len(), 3);
+    }
+
+    #[test]
+    fn mid_leg_output_is_read_before_overwrite() {
+        // Leg computes x1 at step 1, then transforms to x1·x2 at step 2;
+        // output 1 taps the intermediate x1, output 2 the final value.
+        let c = MmCircuit::builder(2)
+            .leg(VLeg::new(vec![
+                VOp::new(Literal::Pos(1), Literal::Const0),
+                VOp::new(Literal::Pos(2), Literal::Const1),
+            ]))
+            .output(Signal::LegStep { leg: 0, step: 0 })
+            .output(Signal::Leg(0))
+            .build()
+            .unwrap();
+        let schedule = Schedule::compile(&c).unwrap();
+        for x in 0..4u32 {
+            let out = schedule.run_ideal(x);
+            let x1 = (x >> 1) & 1 == 1;
+            let x2 = x & 1 == 1;
+            assert_eq!(out, vec![x1, x1 && x2], "x = {x:02b}");
+        }
+        // The mid-read cycle must sit between the two V-op cycles.
+        let kinds: Vec<&ScheduleCycle> = schedule.cycles().iter().collect();
+        assert!(matches!(kinds[0], ScheduleCycle::VOp { .. }));
+        assert!(matches!(
+            kinds[1],
+            ScheduleCycle::Read {
+                output_index: 0,
+                ..
+            }
+        ));
+        assert!(matches!(kinds[2], ScheduleCycle::VOp { .. }));
+    }
+
+    #[test]
+    fn mid_leg_rop_input_is_rejected() {
+        let err = MmCircuit::builder(2)
+            .leg(VLeg::new(vec![
+                VOp::new(Literal::Pos(1), Literal::Const0),
+                VOp::new(Literal::Pos(2), Literal::Const1),
+            ]))
+            .rop(ROp::nor(
+                Signal::LegStep { leg: 0, step: 0 },
+                Signal::Leg(0),
+            ))
+            .output(Signal::ROp(0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::CircuitError::MidLegROpInput { leg: 0, step: 0 }
+        ));
+    }
+
+    #[test]
+    fn placement_avoids_dead_cells() {
+        use mm_device::DeviceState;
+        let schedule = Schedule::compile(&nor_circuit()).unwrap();
+        // An 6-cell array with cells 0 and 2 dead (stuck).
+        let dead = vec![0usize, 2];
+        let placed = schedule.place_avoiding(6, &dead).unwrap();
+        assert_eq!(placed.n_cells(), 6);
+        for x in 0..4u32 {
+            let mut array =
+                LineArray::ideal_with_faults(6, &[(0, DeviceState::Lrs), (2, DeviceState::Hrs)]);
+            let out = placed.execute(x, &mut array);
+            assert_eq!(out[0], x == 0b00, "NOR(x1, x2) at x = {x:02b}");
+        }
+        // Naive execution on the same faulty array fails for some input.
+        let mut naive_wrong = false;
+        for x in 0..4u32 {
+            let mut array = LineArray::ideal_with_faults(3, &[(0, DeviceState::Lrs)]);
+            let out = schedule.execute(x, &mut array);
+            if out[0] != (x == 0b00) {
+                naive_wrong = true;
+            }
+        }
+        assert!(
+            naive_wrong,
+            "a stuck input cell must corrupt the naive placement"
+        );
+    }
+
+    #[test]
+    fn placement_rejects_insufficient_cells() {
+        let schedule = Schedule::compile(&nor_circuit()).unwrap();
+        let err = schedule.place_avoiding(3, &[1]).unwrap_err();
+        assert!(matches!(
+            err,
+            CircuitError::InsufficientWorkingCells {
+                needed: 3,
+                available: 2,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn literal_output_gets_a_feed_cell() {
+        let c = MmCircuit::builder(1)
+            .leg(VLeg::new(vec![VOp::new(Literal::Pos(1), Literal::Const0)]))
+            .output(Signal::Literal(Literal::Neg(1)))
+            .build()
+            .unwrap();
+        let schedule = Schedule::compile(&c).unwrap();
+        assert!(schedule.verify(
+            &mm_boolfn::MultiOutputFn::new("n1", vec![Literal::Neg(1).truth_table(1)]).unwrap()
+        ));
+    }
+}

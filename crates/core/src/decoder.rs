@@ -1,0 +1,91 @@
+//! Decoding a satisfying assignment of `Φ(f, N_V, N_R)` into an
+//! [`MmCircuit`].
+
+use mm_circuit::{MmCircuit, ROp, Signal, VLeg, VOp};
+use mm_sat::Model;
+
+use crate::encoder::VarMap;
+use crate::{SynthError, SynthSpec};
+
+/// Reads the connectivity variables out of `model` and rebuilds the
+/// circuit. The result is structurally validated by the circuit builder;
+/// functional verification against the spec happens in the synthesizer.
+pub(crate) fn decode(
+    spec: &SynthSpec,
+    map: &VarMap,
+    model: &Model,
+) -> Result<MmCircuit, SynthError> {
+    let n_lit = map.literals.len();
+    let n_vsteps = spec.n_vsteps();
+
+    let chosen = |row: &[mm_sat::Lit]| -> Result<usize, SynthError> {
+        let mut found = None;
+        for (j, &g) in row.iter().enumerate() {
+            if model.value(g) {
+                if found.is_some() {
+                    return Err(SynthError::InvalidSpec {
+                        reason: "model sets two selectors of a mutex row".into(),
+                    });
+                }
+                found = Some(j);
+            }
+        }
+        found.ok_or_else(|| SynthError::InvalidSpec {
+            reason: "model sets no selector of a mutex row".into(),
+        })
+    };
+
+    // R-op inputs index (literals, legs, R-ops).
+    let signal_of = |j: usize| -> Signal {
+        if j < n_lit {
+            Signal::Literal(map.literals[j])
+        } else if j < n_lit + spec.n_legs() {
+            Signal::Leg(j - n_lit)
+        } else {
+            Signal::ROp(j - n_lit - spec.n_legs())
+        }
+    };
+    // Output taps index (literals, every V-op, R-ops).
+    let out_signal_of = |j: usize| -> Signal {
+        if j < n_lit {
+            Signal::Literal(map.literals[j])
+        } else if j < n_lit + spec.n_vops() {
+            let idx = j - n_lit;
+            let leg = idx / n_vsteps;
+            let step = idx % n_vsteps;
+            if step + 1 == n_vsteps {
+                Signal::Leg(leg)
+            } else {
+                Signal::LegStep { leg, step }
+            }
+        } else {
+            Signal::ROp(j - n_lit - spec.n_vops())
+        }
+    };
+
+    let mut builder = MmCircuit::builder(spec.function().n_inputs());
+    for leg in 0..spec.n_legs() {
+        let mut ops = Vec::with_capacity(n_vsteps);
+        for step in 0..n_vsteps {
+            let i = leg * n_vsteps + step;
+            let te = map.literals[chosen(&map.g_te[i])?];
+            let be_row = if map.be_per_step { step } else { i };
+            let be = map.literals[chosen(&map.g_be[be_row])?];
+            ops.push(VOp::new(te, be));
+        }
+        builder = builder.leg(VLeg::new(ops));
+    }
+    for i in 0..spec.n_rops() {
+        let in1 = signal_of(chosen(&map.g_in[0][i])?);
+        let in2 = signal_of(chosen(&map.g_in[1][i])?);
+        builder = builder.rop(ROp {
+            kind: spec.rop_kind(),
+            in1,
+            in2,
+        });
+    }
+    for row in &map.g_o {
+        builder = builder.output(out_signal_of(chosen(row)?));
+    }
+    Ok(builder.build()?)
+}

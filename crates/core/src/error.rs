@@ -1,0 +1,59 @@
+use std::error::Error;
+use std::fmt;
+
+use mm_circuit::CircuitError;
+
+/// Errors produced by the synthesis engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SynthError {
+    /// A budget parameter is structurally impossible (e.g. zero legs with
+    /// zero R-ops, or a leg count below the output count in R-only mode).
+    InvalidSpec {
+        /// Explanation of the rejected combination.
+        reason: String,
+    },
+    /// A designer constraint references a V-op or literal that does not
+    /// exist in the spec.
+    InvalidConstraint {
+        /// Explanation of the rejected constraint.
+        reason: String,
+    },
+    /// The decoded circuit failed structural validation — an encoder bug if
+    /// it ever occurs.
+    Decode(CircuitError),
+    /// The decoded circuit does not implement the specification — an
+    /// encoder bug if it ever occurs. Decoding always cross-checks.
+    VerificationFailed {
+        /// 0-based index of the first mismatching output.
+        output: usize,
+    },
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidSpec { reason } => write!(f, "invalid synthesis spec: {reason}"),
+            Self::InvalidConstraint { reason } => write!(f, "invalid constraint: {reason}"),
+            Self::Decode(e) => write!(f, "decoded circuit is malformed: {e}"),
+            Self::VerificationFailed { output } => {
+                write!(f, "decoded circuit mismatches the spec on output {output}")
+            }
+        }
+    }
+}
+
+impl Error for SynthError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CircuitError> for SynthError {
+    fn from(e: CircuitError) -> Self {
+        Self::Decode(e)
+    }
+}

@@ -1,0 +1,268 @@
+//! A scalable (non-optimal) mixed-mode mapper — the paper's stated future
+//! work ("developing scalable heuristic methods for larger functions").
+//!
+//! The mapper lowers each output through a minimal two-level cover
+//! (Quine–McCluskey, [`mm_boolfn::qmc`]):
+//!
+//! * every product term becomes one V-leg: the first step loads its first
+//!   literal (`V(0, l, const-0) = l`), each further step ANDs one more
+//!   literal (`V(f, l, const-1) = f·l`, Eq. 1) — so *all* legs share
+//!   `BE = const-0` in step 1 and `BE = const-1` afterwards, satisfying the
+//!   line-array shared-BE restriction by construction;
+//! * the terms are OR-ed by a MAGIC NOR chain
+//!   (`NOR`/invert alternation, 2 R-ops per additional term);
+//! * per output, the complement cover is synthesized instead whenever it
+//!   needs fewer R-ops (the final inversion is then absorbed).
+//!
+//! The result is returned as a regular [`MmCircuit`]: schedulable,
+//! verifiable, and directly comparable against the optimal synthesizer on
+//! small functions (the `heuristic_gap` bench).
+//!
+//! # Example
+//!
+//! ```
+//! use mm_boolfn::generators;
+//! use mm_synth::heuristic;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let f = generators::xor_gate(3); // beyond V-ops, easy for the mapper
+//! let circuit = heuristic::map(&f)?;
+//! assert!(circuit.implements(&f));
+//! # Ok(())
+//! # }
+//! ```
+
+use mm_boolfn::{qmc, Literal, MultiOutputFn};
+use mm_circuit::{MmCircuit, MmCircuitBuilder, ROp, Signal, VLeg, VOp};
+
+use crate::SynthError;
+
+/// Maps a multi-output function to a mixed-mode circuit via two-level
+/// covers.
+///
+/// # Errors
+///
+/// Returns [`SynthError::Decode`] if the constructed circuit fails
+/// validation and [`SynthError::VerificationFailed`] if it does not
+/// implement `f` — both indicate mapper bugs, never properties of `f`.
+pub fn map(f: &MultiOutputFn) -> Result<MmCircuit, SynthError> {
+    let n = f.n_inputs();
+
+    // Choose per output between the direct and complemented cover.
+    struct Plan {
+        sop: qmc::Sop,
+        complemented: bool,
+    }
+    let plans: Vec<Plan> = f
+        .outputs()
+        .iter()
+        .map(|tt| {
+            let direct = qmc::minimize(tt);
+            let comp = qmc::minimize(&!tt);
+            if chain_rops(comp.cubes().len(), true) < chain_rops(direct.cubes().len(), false) {
+                Plan {
+                    sop: comp,
+                    complemented: true,
+                }
+            } else {
+                Plan {
+                    sop: direct,
+                    complemented: false,
+                }
+            }
+        })
+        .collect();
+
+    // Global step count: load step + AND steps for the widest cube.
+    let max_lits = plans
+        .iter()
+        .flat_map(|p| p.sop.cubes().iter().map(|c| c.literal_count() as usize))
+        .max()
+        .unwrap_or(0);
+    let n_steps = max_lits.max(1);
+
+    let mut builder = MmCircuit::builder(n);
+    let mut n_legs = 0usize;
+    let mut leg_of_cube: Vec<Vec<usize>> = Vec::new();
+    for plan in &plans {
+        let mut legs = Vec::new();
+        for cube in plan.sop.cubes() {
+            let lits = cube.literals(n);
+            let mut ops = Vec::with_capacity(n_steps);
+            // Load step: first literal (or const-1 for the empty cube).
+            let first = lits.first().copied().unwrap_or(Literal::Const1);
+            ops.push(VOp::new(first, Literal::Const0));
+            // AND steps; pad with const-1 (f·1 = f).
+            for step in 1..n_steps {
+                let lit = lits.get(step).copied().unwrap_or(Literal::Const1);
+                ops.push(VOp::new(lit, Literal::Const1));
+            }
+            builder = builder.leg(VLeg::new(ops));
+            legs.push(n_legs);
+            n_legs += 1;
+        }
+        leg_of_cube.push(legs);
+    }
+
+    // OR chains per output.
+    let mut n_rops = 0usize;
+    for (plan, legs) in plans.iter().zip(&leg_of_cube) {
+        let out = build_or_chain(&mut builder, legs, plan.complemented, &mut n_rops);
+        builder = out.0;
+        let signal = out.1;
+        builder = builder.output(signal);
+    }
+
+    let circuit = builder.build()?;
+    if !circuit.implements(f) {
+        let outputs = circuit.eval_outputs();
+        let bad = outputs
+            .iter()
+            .zip(f.outputs())
+            .position(|(a, b)| a != b)
+            .unwrap_or(0);
+        return Err(SynthError::VerificationFailed { output: bad });
+    }
+    Ok(circuit)
+}
+
+/// R-ops needed to OR `k` terms (and invert, when building the complement
+/// cover whose final inversion realizes the function).
+fn chain_rops(k: usize, complemented: bool) -> usize {
+    match (k, complemented) {
+        (0, _) | (1, false) => usize::from(complemented), // const or single leg
+        (1, true) => 1,                                   // one inversion
+        // Direct: NOR, then (invert, NOR) per extra term, final invert.
+        (k, false) => 2 * k - 2,
+        // Complemented: the trailing inversion is the function itself.
+        (k, true) => 2 * k - 3,
+    }
+}
+
+/// Builds `f = p_1 + … + p_k` (or its complement) as a NOR chain; returns
+/// the output signal.
+fn build_or_chain(
+    builder: &mut MmCircuitBuilder,
+    legs: &[usize],
+    complemented: bool,
+    n_rops: &mut usize,
+) -> (MmCircuitBuilder, Signal) {
+    let mut b = builder.clone();
+    let signal = match legs.len() {
+        0 => {
+            // Empty cover: constant 0 (direct) or constant 1 (complement of
+            // constant 0).
+            Signal::Literal(if complemented {
+                Literal::Const1
+            } else {
+                Literal::Const0
+            })
+        }
+        1 => {
+            if complemented {
+                // out = ~p_1.
+                b = b.rop(ROp::nor(
+                    Signal::Leg(legs[0]),
+                    Signal::Literal(Literal::Const0),
+                ));
+                *n_rops += 1;
+                Signal::ROp(*n_rops - 1)
+            } else {
+                Signal::Leg(legs[0])
+            }
+        }
+        _ => {
+            // c = ~(p_1 + p_2); then per extra term: u = ~c; c = ~(u + p).
+            b = b.rop(ROp::nor(Signal::Leg(legs[0]), Signal::Leg(legs[1])));
+            *n_rops += 1;
+            let mut c = Signal::ROp(*n_rops - 1);
+            for &leg in &legs[2..] {
+                b = b.rop(ROp::nor(c, Signal::Literal(Literal::Const0)));
+                *n_rops += 1;
+                let u = Signal::ROp(*n_rops - 1);
+                b = b.rop(ROp::nor(u, Signal::Leg(leg)));
+                *n_rops += 1;
+                c = Signal::ROp(*n_rops - 1);
+            }
+            if complemented {
+                // c = ~(sum of complement terms) = f directly.
+                c
+            } else {
+                b = b.rop(ROp::nor(c, Signal::Literal(Literal::Const0)));
+                *n_rops += 1;
+                Signal::ROp(*n_rops - 1)
+            }
+        }
+    };
+    (b, signal)
+}
+
+#[cfg(test)]
+mod tests {
+    use mm_boolfn::{generators, MultiOutputFn, TruthTable};
+    use mm_circuit::Schedule;
+
+    use super::*;
+
+    #[test]
+    fn maps_basic_gates() {
+        for f in [
+            generators::and_gate(3),
+            generators::or_gate(3),
+            generators::nand_gate(3),
+            generators::nor_gate(3),
+            generators::xor_gate(3),
+            generators::majority_gate(3),
+            generators::mux21(),
+        ] {
+            let c = map(&f).unwrap_or_else(|e| panic!("{}: {e}", f.name()));
+            assert!(c.implements(&f), "{} mismatch", f.name());
+        }
+    }
+
+    #[test]
+    fn maps_constants() {
+        let zero = MultiOutputFn::new("z", vec![TruthTable::new_false(2).unwrap()]).unwrap();
+        let one = MultiOutputFn::new("o", vec![TruthTable::new_true(2).unwrap()]).unwrap();
+        assert!(map(&zero).unwrap().implements(&zero));
+        assert!(map(&one).unwrap().implements(&one));
+    }
+
+    #[test]
+    fn exhaustive_over_all_3_input_functions() {
+        for bits in 0..256u64 {
+            let tt = TruthTable::from_packed(3, bits).unwrap();
+            let f = MultiOutputFn::new(format!("f{bits}"), vec![tt]).unwrap();
+            let c = map(&f).unwrap_or_else(|e| panic!("function {bits:#04x}: {e}"));
+            assert!(c.implements(&f), "function {bits:#04x}");
+        }
+    }
+
+    #[test]
+    fn mapped_circuits_are_schedulable() {
+        let f = generators::gf22_multiplier();
+        let c = map(&f).unwrap();
+        let schedule = Schedule::compile(&c).expect("shared BE holds by construction");
+        assert!(schedule.verify(&f));
+    }
+
+    #[test]
+    fn maps_multi_output_adder() {
+        let f = generators::ripple_adder(2);
+        let c = map(&f).unwrap();
+        assert!(c.implements(&f));
+        assert!(Schedule::compile(&c).unwrap().verify(&f));
+    }
+
+    #[test]
+    fn complement_cover_is_used_when_cheaper() {
+        // OR4 has 4 direct terms (6 R-ops) but 1 complement term (1 R-op).
+        let f = generators::or_gate(4);
+        let c = map(&f).unwrap();
+        assert!(c.implements(&f));
+        assert!(
+            c.metrics().n_rops <= 1,
+            "OR4 should use the complemented cover"
+        );
+    }
+}

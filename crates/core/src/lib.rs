@@ -1,0 +1,64 @@
+//! SAT-based optimal synthesis of memristive mixed-mode circuits — the core
+//! contribution of *Optimal Synthesis of Memristive Mixed-Mode Circuits*
+//! (DATE 2025).
+//!
+//! Given a multi-output Boolean function `f` and budgets `N_R` (R-ops) and
+//! `N_V = N_L · N_VS` (V-ops in `N_L` legs of `N_VS` steps), the synthesizer
+//! constructs a monolithic CNF formula `Φ(f, N_V, N_R)` (paper Eqs. 4–10)
+//! whose satisfying assignments are exactly the valid line-array schedules
+//! realizing `f` — and whose unsatisfiability *proves* that no such circuit
+//! exists. Iterating with decreasing budgets yields provably minimal
+//! circuits ([`optimize`]).
+//!
+//! Components:
+//!
+//! * [`SynthSpec`] — the problem instance: function, budgets, R-op family
+//!   and encoding options ([`EncodeOptions`]: folded vs. paper-faithful
+//!   literal handling, the shared-BE realization, mutex encoding, symmetry
+//!   breaking, extra designer constraints).
+//! * [`Synthesizer`] — encode → solve → decode → *verify*; every decoded
+//!   circuit is checked against the specification before being returned.
+//! * [`optimize`] — the minimization loops behind the paper's Table IV
+//!   (minimal `N_VS` for fixed `N_R`, minimal `N_R`, R-only baselines).
+//! * [`universality`] — the reachability census behind Table III: how many
+//!   3-/4-input functions are realizable by `k_pre` R-ops, a V-op fixed
+//!   point, and `k_post` more R-ops (plus the `k_TEBE` variant).
+//! * [`heuristic`] — the paper's stated future work: a scalable
+//!   (non-optimal) mapper from a Quine–McCluskey cover to a mixed-mode
+//!   circuit, for functions beyond the reach of exact synthesis.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use mm_boolfn::generators;
+//! use mm_synth::{SynthSpec, Synthesizer};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The paper's GF(2^2) multiplier: N_R = 4, N_L = 6, N_VS = 3 (Fig. 1).
+//! let f = generators::gf22_multiplier();
+//! let spec = SynthSpec::mixed_mode(&f, 4, 6, 3)?;
+//! let outcome = Synthesizer::new().run(&spec)?;
+//! let circuit = outcome.circuit().expect("the paper shows this is satisfiable");
+//! assert!(circuit.implements(&f));
+//! assert_eq!(circuit.metrics().n_steps, 7);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod decoder;
+mod encoder;
+mod error;
+mod spec;
+mod synthesizer;
+
+pub mod heuristic;
+pub mod optimize;
+pub mod universality;
+
+pub use encoder::EncodeStats;
+pub use error::SynthError;
+pub use spec::{EncodeMode, EncodeOptions, SharedBe, SynthSpec};
+pub use synthesizer::{SynthOutcome, SynthResult, Synthesizer};

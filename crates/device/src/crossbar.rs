@@ -1,0 +1,411 @@
+//! A 2D memristive crossbar — the paper's future-work platform (§VI).
+//!
+//! Cells sit at wordline × bitline intersections; a cell `(r, c)` sees the
+//! voltage `V_wl[r] − V_bl[c]`. Compared to the 1D line array this brings
+//!
+//! * **new possibilities**: MAGIC R-ops execute *SIMD-parallel* — a single
+//!   bitline bias pattern makes every selected row compute the same NOR on
+//!   its own cells ([`Crossbar::row_nor`]), and symmetrically for columns
+//!   ([`Crossbar::col_nor`]);
+//! * **new complexities**: during V-op cycles the TE is shared along a row
+//!   and the BE along a column ("restrictions on TEs in addition to BEs"),
+//!   so a line-array program embeds naturally as *one column* driven in
+//!   line-array mode ([`Crossbar::v_op_column`]).
+//!
+//! The latency upside is quantified by
+//! [`mm_circuit`](../mm_circuit/index.html)'s R-op dependency-depth
+//! analysis; this module provides the device-level substrate and its
+//! executable semantics.
+//!
+//! # Example
+//!
+//! ```
+//! use mm_device::{Crossbar, DeviceState};
+//!
+//! let mut xbar = Crossbar::ideal(2, 3);
+//! // Row 0 holds (1, 0), row 1 holds (0, 0); outputs in column 2 pre-set.
+//! xbar.force_state(0, 0, DeviceState::Lrs);
+//! xbar.force_state(0, 2, DeviceState::Lrs);
+//! xbar.force_state(1, 2, DeviceState::Lrs);
+//! // One cycle: both rows compute NOR(col0, col1) into col2 in parallel.
+//! xbar.row_nor(&[0, 1], 2, &[0, 1]);
+//! assert_eq!(xbar.state(0, 2), DeviceState::Hrs); // NOR(1, 0) = 0
+//! assert_eq!(xbar.state(1, 2), DeviceState::Lrs); // NOR(0, 0) = 1
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::{BfoMemristor, DeviceState, ElectricalParams, IdealMemristor, Memristor};
+
+/// A 2D crossbar of memristors; see the module docs.
+pub struct Crossbar {
+    rows: usize,
+    cols: usize,
+    cells: Vec<Box<dyn Memristor>>,
+    params: ElectricalParams,
+    rng: SmallRng,
+    cycles: u64,
+}
+
+impl std::fmt::Debug for Crossbar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Crossbar")
+            .field("rows", &self.rows)
+            .field("cols", &self.cols)
+            .field("cycles", &self.cycles)
+            .finish()
+    }
+}
+
+impl Crossbar {
+    /// An ideal `rows × cols` crossbar, all cells HRS.
+    pub fn ideal(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            cells: (0..rows * cols)
+                .map(|_| Box::new(IdealMemristor::new()) as Box<dyn Memristor>)
+                .collect(),
+            params: ElectricalParams::bfo(),
+            rng: SmallRng::seed_from_u64(0),
+            cycles: 0,
+        }
+    }
+
+    /// A BFO crossbar fabricated with `params`; `seed` drives D2D and C2C
+    /// randomness.
+    pub fn bfo(rows: usize, cols: usize, params: ElectricalParams, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let cells = (0..rows * cols)
+            .map(|_| Box::new(BfoMemristor::fabricate(params, &mut rng)) as Box<dyn Memristor>)
+            .collect();
+        Self {
+            rows,
+            cols,
+            cells,
+            params,
+            rng,
+            cycles: 0,
+        }
+    }
+
+    /// Number of wordlines (rows).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of bitlines (columns).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Cycles executed so far (each `row_nor`/`col_nor`/`v_op_column` call
+    /// is one cycle regardless of how many rows/columns it touches — the
+    /// crossbar's whole point).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// The state of cell `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn state(&self, row: usize, col: usize) -> DeviceState {
+        self.cells[self.index(row, col)].state()
+    }
+
+    /// Forces cell `(row, col)` into `state` (initialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn force_state(&mut self, row: usize, col: usize, state: DeviceState) {
+        let i = self.index(row, col);
+        self.cells[i].force_state(state);
+    }
+
+    /// Clears the whole array to HRS and resets the cycle counter.
+    pub fn reset(&mut self) {
+        for c in &mut self.cells {
+            c.force_state(DeviceState::Hrs);
+        }
+        self.cycles = 0;
+    }
+
+    /// SIMD MAGIC NOR along rows: every row in `rows` computes
+    /// `¬(∨ cells in input_cols)` into its `out_col` cell in one cycle.
+    ///
+    /// The bias pattern lives entirely on the bitlines (V0 on the input
+    /// columns, output column in the RESET orientation), so all selected
+    /// rows see it simultaneously; unselected rows are left floating.
+    /// Output cells must have been initialized to LRS.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_cols` is empty, any index is out of range, or
+    /// `out_col` is also an input column.
+    pub fn row_nor(&mut self, input_cols: &[usize], out_col: usize, rows: &[usize]) {
+        assert!(
+            !input_cols.is_empty(),
+            "row NOR needs at least one input column"
+        );
+        assert!(
+            !input_cols.contains(&out_col),
+            "output column must differ from inputs"
+        );
+        assert!(input_cols.iter().all(|&c| c < self.cols) && out_col < self.cols);
+        let v0 = self.params.v0_magic;
+        for &r in rows {
+            assert!(r < self.rows, "row {r} out of range");
+            // Per-row voltage divider, as in LineArray::magic_nor.
+            let g_par: f64 = input_cols
+                .iter()
+                .map(|&c| 1.0 / self.cells[self.index(r, c)].resistance())
+                .sum();
+            let r_par = 1.0 / g_par;
+            let r_out = self.cells[self.index(r, out_col)].resistance();
+            let v_node = v0 * r_out / (r_par + r_out);
+            let i_out = self.index(r, out_col);
+            self.cells[i_out].apply_voltage(-v_node, &mut self.rng);
+            for &c in input_cols {
+                let i_in = self.index(r, c);
+                self.cells[i_in].apply_voltage(v0 - v_node, &mut self.rng);
+            }
+        }
+        self.cycles += 1;
+    }
+
+    /// SIMD MAGIC NOR along columns: every column in `cols` computes
+    /// `¬(∨ cells in input_rows)` into its `out_row` cell in one cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_rows` is empty, any index is out of range, or
+    /// `out_row` is also an input row.
+    pub fn col_nor(&mut self, input_rows: &[usize], out_row: usize, cols: &[usize]) {
+        assert!(
+            !input_rows.is_empty(),
+            "column NOR needs at least one input row"
+        );
+        assert!(
+            !input_rows.contains(&out_row),
+            "output row must differ from inputs"
+        );
+        assert!(input_rows.iter().all(|&r| r < self.rows) && out_row < self.rows);
+        let v0 = self.params.v0_magic;
+        for &c in cols {
+            assert!(c < self.cols, "column {c} out of range");
+            let g_par: f64 = input_rows
+                .iter()
+                .map(|&r| 1.0 / self.cells[self.index(r, c)].resistance())
+                .sum();
+            let r_par = 1.0 / g_par;
+            let r_out = self.cells[self.index(out_row, c)].resistance();
+            let v_node = v0 * r_out / (r_par + r_out);
+            let i_out = self.index(out_row, c);
+            self.cells[i_out].apply_voltage(-v_node, &mut self.rng);
+            for &r in input_rows {
+                let i_in = self.index(r, c);
+                self.cells[i_in].apply_voltage(v0 - v_node, &mut self.rng);
+            }
+        }
+        self.cycles += 1;
+    }
+
+    /// One line-array-mode V-op cycle on a single column: each selected
+    /// row's cell sees its own TE level (wordline) against the shared BE
+    /// level on the column's bitline. `te[r] = None` leaves row `r`'s
+    /// wordline at the BE level (a dummy).
+    ///
+    /// This is exactly how a 1D line-array program embeds into a crossbar;
+    /// the *other* columns' bitlines are driven to follow each wordline? No
+    /// single level can follow several distinct wordlines, so all remaining
+    /// bitlines float and their cells see half-select stress — modeled by
+    /// applying half of the worst-case differential to them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range or `te.len() != rows`.
+    pub fn v_op_column(&mut self, col: usize, te: &[Option<bool>], be: bool) {
+        assert!(col < self.cols, "column {col} out of range");
+        assert_eq!(te.len(), self.rows, "one TE level per row required");
+        let vw = self.params.v_write;
+        let v_be = if be { vw } else { 0.0 };
+        let mut max_wl: f64 = v_be;
+        let mut min_wl: f64 = v_be;
+        for (r, lvl) in te.iter().enumerate() {
+            let v_te = match lvl {
+                Some(true) => vw,
+                Some(false) => 0.0,
+                None => v_be,
+            };
+            max_wl = max_wl.max(v_te);
+            min_wl = min_wl.min(v_te);
+            let i = self.index(r, col);
+            self.cells[i].apply_voltage(v_te - v_be, &mut self.rng);
+        }
+        // Half-select stress on the other columns: floating bitlines settle
+        // near the average wordline level; each off-column cell sees at
+        // most half of the wordline swing. With the BFO thresholds
+        // (v_write/2 < v_reset_th) this never switches ideal cells but can
+        // flip marginal ones under C2C jitter — the crossbar's "new
+        // complexity".
+        let v_float = (max_wl + min_wl) / 2.0;
+        for c in 0..self.cols {
+            if c == col {
+                continue;
+            }
+            for (r, lvl) in te.iter().enumerate() {
+                let v_te = match lvl {
+                    Some(true) => vw,
+                    Some(false) => 0.0,
+                    None => v_be,
+                };
+                let i = self.index(r, c);
+                self.cells[i].apply_voltage((v_te - v_float) / 2.0, &mut self.rng);
+            }
+        }
+        self.cycles += 1;
+    }
+
+    /// Reads cell `(row, col)` non-destructively.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn read(&mut self, row: usize, col: usize) -> DeviceState {
+        let i = self.index(row, col);
+        let current = self.params.v_read / self.cells[i].resistance();
+        self.cycles += 1;
+        DeviceState::from_bool(current > self.params.read_current_threshold())
+    }
+
+    fn index(&self, row: usize, col: usize) -> usize {
+        assert!(
+            row < self.rows && col < self.cols,
+            "cell ({row}, {col}) out of range"
+        );
+        row * self.cols + col
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simd_row_nor_computes_all_rows_in_one_cycle() {
+        let mut x = Crossbar::ideal(4, 3);
+        let inputs = [(false, false), (true, false), (false, true), (true, true)];
+        for (r, &(a, b)) in inputs.iter().enumerate() {
+            x.force_state(r, 0, DeviceState::from_bool(a));
+            x.force_state(r, 1, DeviceState::from_bool(b));
+            x.force_state(r, 2, DeviceState::Lrs);
+        }
+        x.row_nor(&[0, 1], 2, &[0, 1, 2, 3]);
+        assert_eq!(x.cycles(), 1, "all four NORs in one cycle");
+        for (r, &(a, b)) in inputs.iter().enumerate() {
+            assert_eq!(x.state(r, 2).to_bool(), !(a | b), "row {r}");
+            assert_eq!(x.state(r, 0).to_bool(), a, "inputs must survive");
+            assert_eq!(x.state(r, 1).to_bool(), b);
+        }
+    }
+
+    #[test]
+    fn col_nor_mirrors_row_nor() {
+        let mut x = Crossbar::ideal(3, 4);
+        let inputs = [(false, false), (true, false), (false, true), (true, true)];
+        for (c, &(a, b)) in inputs.iter().enumerate() {
+            x.force_state(0, c, DeviceState::from_bool(a));
+            x.force_state(1, c, DeviceState::from_bool(b));
+            x.force_state(2, c, DeviceState::Lrs);
+        }
+        x.col_nor(&[0, 1], 2, &[0, 1, 2, 3]);
+        for (c, &(a, b)) in inputs.iter().enumerate() {
+            assert_eq!(x.state(2, c).to_bool(), !(a | b), "column {c}");
+        }
+    }
+
+    #[test]
+    fn unselected_rows_are_untouched() {
+        let mut x = Crossbar::ideal(2, 3);
+        x.force_state(0, 0, DeviceState::Lrs);
+        x.force_state(0, 2, DeviceState::Lrs);
+        x.force_state(1, 0, DeviceState::Lrs);
+        x.force_state(1, 2, DeviceState::Lrs);
+        x.row_nor(&[0, 1], 2, &[0]); // only row 0 selected
+        assert_eq!(x.state(0, 2), DeviceState::Hrs);
+        assert_eq!(x.state(1, 2), DeviceState::Lrs, "row 1 must not execute");
+    }
+
+    #[test]
+    fn v_op_column_behaves_like_a_line_array() {
+        let mut x = Crossbar::ideal(3, 2);
+        // Column 0 as a line array: write 1 into row 0, 0 into row 1,
+        // dummy row 2.
+        x.v_op_column(0, &[Some(true), Some(false), None], false);
+        assert_eq!(x.state(0, 0), DeviceState::Lrs);
+        assert_eq!(x.state(1, 0), DeviceState::Hrs);
+        assert_eq!(x.state(2, 0), DeviceState::Hrs);
+        // Off-column cells must not have been disturbed (ideal devices,
+        // half-select below thresholds).
+        for r in 0..3 {
+            assert_eq!(
+                x.state(r, 1),
+                DeviceState::Hrs,
+                "half-selected cell ({r}, 1)"
+            );
+        }
+    }
+
+    #[test]
+    fn half_select_margins_hold() {
+        // The worst half-select differential must sit below both switching
+        // thresholds for the nominal parameter set.
+        let p = ElectricalParams::bfo();
+        let worst = p.v_write / 2.0;
+        assert!(worst < p.v_set_th, "half-select must not SET");
+        assert!(worst < p.v_reset_th * 2.0, "documented stress margin");
+    }
+
+    #[test]
+    fn double_inversion_copies_a_column() {
+        // copy col0 -> col2 for all rows: NOR(col0 -> col1) then
+        // NOR(col1 -> col2); two cycles regardless of row count.
+        let mut x = Crossbar::ideal(4, 3);
+        let values = [true, false, true, true];
+        for (r, &v) in values.iter().enumerate() {
+            x.force_state(r, 0, DeviceState::from_bool(v));
+            x.force_state(r, 1, DeviceState::Lrs);
+            x.force_state(r, 2, DeviceState::Lrs);
+        }
+        let all = [0, 1, 2, 3];
+        x.row_nor(&[0], 1, &all); // col1 = ~col0
+        x.row_nor(&[1], 2, &all); // col2 = ~col1 = col0
+        assert_eq!(x.cycles(), 2);
+        for (r, &v) in values.iter().enumerate() {
+            assert_eq!(x.state(r, 2).to_bool(), v, "row {r}");
+        }
+    }
+
+    #[test]
+    fn bfo_crossbar_without_variation_is_ideal() {
+        let mut x = Crossbar::bfo(2, 3, ElectricalParams::bfo(), 9);
+        x.force_state(0, 0, DeviceState::Lrs);
+        x.force_state(0, 2, DeviceState::Lrs);
+        x.force_state(1, 2, DeviceState::Lrs);
+        x.row_nor(&[0, 1], 2, &[0, 1]);
+        assert_eq!(x.state(0, 2), DeviceState::Hrs);
+        assert_eq!(x.state(1, 2), DeviceState::Lrs);
+        assert_eq!(x.read(1, 2), DeviceState::Lrs);
+    }
+
+    #[test]
+    #[should_panic(expected = "output column must differ")]
+    fn overlapping_nor_rejected() {
+        let mut x = Crossbar::ideal(1, 2);
+        x.row_nor(&[0], 0, &[0]);
+    }
+}

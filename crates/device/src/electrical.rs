@@ -1,0 +1,341 @@
+use rand::rngs::SmallRng;
+use serde::{Deserialize, Serialize};
+
+use crate::{DeviceState, Variability};
+
+/// Electrical parameters of a BFO-class self-rectifying bipolar memristor.
+///
+/// The values are synthetic but chosen to reproduce the qualitative behaviour
+/// of the paper's BiFeO₃ devices (Au/BFO/Pt stacks, interface-driven bipolar
+/// switching): a ~100× HRS/LRS window, write pulses well above the SET
+/// threshold, a small read voltage, and a MAGIC supply `V0` that clears all
+/// four divider constraints simultaneously:
+///
+/// * output RESET when some input is LRS: `V0·R_LRS/(R_LRS‖R_HRS + R_LRS) ≈
+///   0.50·V0 > v_reset_th`,
+/// * no output switch when both inputs are HRS: `≈ 0.02·V0 ≪ v_reset_th`,
+/// * no disturb of an HRS input when the other is LRS:
+///   `V0 − 0.50·V0 < v_set_th`,
+/// * no disturb when both inputs are HRS (they then absorb nearly the whole
+///   supply): `V0 < v_set_th`.
+///
+/// The last constraint forces `v_reset_th < v_set_th / 2` — the asymmetric
+/// thresholds are physical for self-rectifying BFO stacks, whose SET and
+/// RESET barriers differ.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ElectricalParams {
+    /// Nominal low-resistance-state resistance in Ω.
+    pub r_lrs: f64,
+    /// Nominal high-resistance-state resistance in Ω.
+    pub r_hrs: f64,
+    /// Write-pulse amplitude in V (applied as TE or BE level 1).
+    pub v_write: f64,
+    /// SET threshold in V: a TE−BE voltage above this switches HRS → LRS.
+    pub v_set_th: f64,
+    /// RESET threshold magnitude in V: a TE−BE voltage below `−v_reset_th`
+    /// switches LRS → HRS.
+    pub v_reset_th: f64,
+    /// Read-pulse amplitude in V (non-destructive).
+    pub v_read: f64,
+    /// MAGIC R-op supply voltage in V.
+    pub v0_magic: f64,
+    /// Variation corner applied to devices built from these parameters.
+    pub variability: Variability,
+}
+
+impl ElectricalParams {
+    /// The nominal BFO-like parameter set used throughout the benchmarks.
+    pub fn bfo() -> Self {
+        Self {
+            r_lrs: 1.0e6,
+            r_hrs: 1.0e8,
+            v_write: 7.0,
+            v_set_th: 6.5,
+            v_reset_th: 2.8,
+            v_read: 2.0,
+            v0_magic: 6.2,
+            variability: Variability::NONE,
+        }
+    }
+
+    /// The same parameters with a different variation corner.
+    pub fn with_variability(mut self, variability: Variability) -> Self {
+        self.variability = variability;
+        self
+    }
+
+    /// The read-current threshold separating logical 1 from 0:
+    /// `v_read / √(R_LRS·R_HRS)` (geometric midpoint of the window).
+    pub fn read_current_threshold(&self) -> f64 {
+        self.v_read / (self.r_lrs * self.r_hrs).sqrt()
+    }
+}
+
+impl Default for ElectricalParams {
+    fn default() -> Self {
+        Self::bfo()
+    }
+}
+
+/// A memristive device model usable in a [`LineArray`](crate::LineArray).
+///
+/// The trait is object-safe on purpose: arrays store boxed models so ideal
+/// and electrical devices can be mixed in tests.
+pub trait Memristor {
+    /// The current internal state.
+    fn state(&self) -> DeviceState;
+
+    /// Forces the state, bypassing electrical behaviour (used for
+    /// initialization, e.g. pre-setting MAGIC output cells to LRS).
+    fn force_state(&mut self, state: DeviceState);
+
+    /// The current resistance in Ω.
+    fn resistance(&self) -> f64;
+
+    /// Applies a TE−BE voltage for one write cycle, possibly switching the
+    /// device. `rng` drives cycle-to-cycle variation.
+    fn apply_voltage(&mut self, v: f64, rng: &mut SmallRng);
+}
+
+/// An ideal device: exact thresholds, nominal resistances, no variation.
+///
+/// Used for functional verification of schedules, where electrical noise
+/// would only obscure logic errors.
+#[derive(Debug, Clone)]
+pub struct IdealMemristor {
+    state: DeviceState,
+    params: ElectricalParams,
+}
+
+impl IdealMemristor {
+    /// A fresh device in the HRS (logic 0) state.
+    pub fn new() -> Self {
+        Self {
+            state: DeviceState::Hrs,
+            params: ElectricalParams::bfo(),
+        }
+    }
+}
+
+impl Default for IdealMemristor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Memristor for IdealMemristor {
+    fn state(&self) -> DeviceState {
+        self.state
+    }
+
+    fn force_state(&mut self, state: DeviceState) {
+        self.state = state;
+    }
+
+    fn resistance(&self) -> f64 {
+        match self.state {
+            DeviceState::Lrs => self.params.r_lrs,
+            DeviceState::Hrs => self.params.r_hrs,
+        }
+    }
+
+    fn apply_voltage(&mut self, v: f64, _rng: &mut SmallRng) {
+        if v >= self.params.v_set_th {
+            self.state = DeviceState::Lrs;
+        } else if v <= -self.params.v_reset_th {
+            self.state = DeviceState::Hrs;
+        }
+    }
+}
+
+/// A BFO-class device with D2D-perturbed resistances and C2C-jittered
+/// switching thresholds.
+#[derive(Debug, Clone)]
+pub struct BfoMemristor {
+    state: DeviceState,
+    params: ElectricalParams,
+    /// D2D-perturbed resistances, fixed at construction ("fabrication").
+    r_lrs: f64,
+    r_hrs: f64,
+}
+
+impl BfoMemristor {
+    /// Fabricates a device: draws its D2D resistance factors from `rng`.
+    pub fn fabricate(params: ElectricalParams, rng: &mut SmallRng) -> Self {
+        let v = params.variability;
+        Self {
+            state: DeviceState::Hrs,
+            r_lrs: params.r_lrs * v.d2d_factor(rng),
+            r_hrs: params.r_hrs * v.d2d_factor(rng),
+            params,
+        }
+    }
+
+    /// The device's fabricated (D2D-perturbed) LRS resistance.
+    pub fn r_lrs(&self) -> f64 {
+        self.r_lrs
+    }
+
+    /// The device's fabricated (D2D-perturbed) HRS resistance.
+    pub fn r_hrs(&self) -> f64 {
+        self.r_hrs
+    }
+}
+
+impl Memristor for BfoMemristor {
+    fn state(&self) -> DeviceState {
+        self.state
+    }
+
+    fn force_state(&mut self, state: DeviceState) {
+        self.state = state;
+    }
+
+    fn resistance(&self) -> f64 {
+        match self.state {
+            DeviceState::Lrs => self.r_lrs,
+            DeviceState::Hrs => self.r_hrs,
+        }
+    }
+
+    fn apply_voltage(&mut self, v: f64, rng: &mut SmallRng) {
+        let jitter = self.params.variability.c2c_factor(rng);
+        if v >= self.params.v_set_th * jitter {
+            self.state = DeviceState::Lrs;
+        } else if v <= -self.params.v_reset_th * jitter {
+            self.state = DeviceState::Hrs;
+        }
+    }
+}
+
+/// A defective device permanently stuck in one state — the yield failure
+/// mode motivating the paper's interest in simple, repairable topologies
+/// ("yield … can make reliable operation unattainable", §I; discrete line
+/// arrays allow replacing devices "upon failure in operation").
+///
+/// Write pulses and initialization have no effect; the device always reads
+/// back its stuck state.
+#[derive(Debug, Clone)]
+pub struct StuckMemristor {
+    stuck: DeviceState,
+    params: ElectricalParams,
+}
+
+impl StuckMemristor {
+    /// A device stuck at the given state.
+    pub fn new(stuck: DeviceState) -> Self {
+        Self {
+            stuck,
+            params: ElectricalParams::bfo(),
+        }
+    }
+}
+
+impl Memristor for StuckMemristor {
+    fn state(&self) -> DeviceState {
+        self.stuck
+    }
+
+    fn force_state(&mut self, _state: DeviceState) {}
+
+    fn resistance(&self) -> f64 {
+        match self.stuck {
+            DeviceState::Lrs => self.params.r_lrs,
+            DeviceState::Hrs => self.params.r_hrs,
+        }
+    }
+
+    fn apply_voltage(&mut self, _v: f64, _rng: &mut SmallRng) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stuck_devices_ignore_everything() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut d = StuckMemristor::new(DeviceState::Lrs);
+        d.apply_voltage(-10.0, &mut rng);
+        d.force_state(DeviceState::Hrs);
+        assert_eq!(d.state(), DeviceState::Lrs);
+        assert_eq!(d.resistance(), ElectricalParams::bfo().r_lrs);
+    }
+
+    #[test]
+    fn ideal_device_switches_at_thresholds() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut d = IdealMemristor::new();
+        assert_eq!(d.state(), DeviceState::Hrs);
+        d.apply_voltage(7.0, &mut rng);
+        assert_eq!(d.state(), DeviceState::Lrs);
+        assert_eq!(d.resistance(), 1.0e6);
+        d.apply_voltage(3.0, &mut rng); // below both thresholds: hold
+        assert_eq!(d.state(), DeviceState::Lrs);
+        d.apply_voltage(-7.0, &mut rng);
+        assert_eq!(d.state(), DeviceState::Hrs);
+        assert_eq!(d.resistance(), 1.0e8);
+    }
+
+    #[test]
+    fn bfo_without_variation_is_nominal() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let d = BfoMemristor::fabricate(ElectricalParams::bfo(), &mut rng);
+        assert_eq!(d.r_lrs(), 1.0e6);
+        assert_eq!(d.r_hrs(), 1.0e8);
+    }
+
+    #[test]
+    fn bfo_d2d_perturbs_resistances() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let params = ElectricalParams::bfo().with_variability(Variability::HIGH);
+        let a = BfoMemristor::fabricate(params, &mut rng);
+        let b = BfoMemristor::fabricate(params, &mut rng);
+        assert_ne!(a.r_lrs(), b.r_lrs());
+        assert!(a.r_lrs() > 0.0 && b.r_hrs() > 0.0);
+    }
+
+    #[test]
+    fn magic_margins_hold_nominally() {
+        // The documented inequalities that make the MAGIC NOR work.
+        let p = ElectricalParams::bfo();
+        let r_par = 1.0 / (1.0 / p.r_lrs + 1.0 / p.r_hrs); // one input LRS
+        let v_out = p.v0_magic * p.r_lrs / (r_par + p.r_lrs);
+        assert!(
+            v_out > p.v_reset_th,
+            "output must RESET when an input is LRS"
+        );
+        assert!(
+            p.v0_magic - v_out < p.v_set_th,
+            "LRS/HRS input pair must not be disturbed"
+        );
+        let r_par_hh = p.r_hrs / 2.0; // both inputs HRS
+        let v_out_hh = p.v0_magic * p.r_lrs / (r_par_hh + p.r_lrs);
+        assert!(
+            v_out_hh < p.v_reset_th / 4.0,
+            "output must hold when both inputs are HRS"
+        );
+        assert!(
+            p.v0_magic < p.v_set_th,
+            "HRS/HRS input pair must not be disturbed"
+        );
+        assert!(
+            p.v_write > p.v_set_th,
+            "write pulses must clear the SET threshold"
+        );
+        assert!(
+            p.v_write > p.v_reset_th,
+            "write pulses must clear the RESET threshold"
+        );
+    }
+
+    #[test]
+    fn read_current_threshold_separates_states() {
+        let p = ElectricalParams::bfo();
+        let i_lrs = p.v_read / p.r_lrs;
+        let i_hrs = p.v_read / p.r_hrs;
+        let th = p.read_current_threshold();
+        assert!(i_lrs > th && th > i_hrs);
+    }
+}

@@ -1,0 +1,60 @@
+//! Memristive device models, variability, and the 1D line-array executor.
+//!
+//! The paper validates its synthesized circuits on a physical line array of
+//! ten BiFeO₃ (BFO) memristors driven by a Keithley 2400 source meter
+//! (§V, Fig. 2). This crate is the simulated stand-in: it exercises exactly
+//! the same schedule → voltage-waveform → state-evolution path and produces
+//! the same observables (per-cell resistance per cycle, TE/BE voltages,
+//! |I| readouts).
+//!
+//! * [`DeviceState`] — the two resistive states (LRS ≙ logic 1,
+//!   HRS ≙ logic 0).
+//! * [`vop`] — the voltage-input operation of the paper's Table I.
+//! * [`ROpKind`] — the stateful operation families (MAGIC NOR for
+//!   BFO-class devices, NIMP for Ta₂O₅-class devices).
+//! * [`Memristor`], [`IdealMemristor`], [`BfoMemristor`] — device models;
+//!   the BFO model is an electrical threshold-switching model with
+//!   device-to-device (D2D) and cycle-to-cycle (C2C) variation.
+//! * [`LineArray`] — a 1D array with shared bottom electrode: parallel
+//!   V-op cycles, voltage-divider MAGIC R-ops, read cycles, and a full
+//!   [`MeasurementTrace`] of everything it did.
+//! * [`monte_carlo`] — reliability experiments quantifying the paper's
+//!   motivating claim that R-ops (especially cascaded ones) are less
+//!   reliable than V-ops under variation.
+//!
+//! # Example
+//!
+//! ```
+//! use mm_device::{DeviceState, LineArray};
+//!
+//! let mut array = LineArray::ideal(3);
+//! // One V-op cycle: write 1 into cell 0 (TE pulse, BE grounded).
+//! array.v_op_cycle(&[Some(true), None, None], false);
+//! assert_eq!(array.state(0), DeviceState::Lrs);
+//! // A MAGIC NOR with cells 0 and 1 as inputs, cell 2 as output.
+//! array.force_state(2, DeviceState::Lrs); // output init to 1
+//! array.magic_nor(&[0, 1], 2);
+//! assert_eq!(array.state(2), DeviceState::Hrs); // NOR(1, 0) = 0
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod crossbar;
+mod electrical;
+mod line_array;
+mod rop;
+mod state;
+mod trace;
+mod variability;
+
+pub mod monte_carlo;
+pub mod vop;
+
+pub use crossbar::Crossbar;
+pub use electrical::{BfoMemristor, ElectricalParams, IdealMemristor, Memristor, StuckMemristor};
+pub use line_array::LineArray;
+pub use rop::ROpKind;
+pub use state::DeviceState;
+pub use trace::{CycleKind, CycleRecord, MeasurementTrace};
+pub use variability::Variability;

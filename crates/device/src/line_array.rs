@@ -1,0 +1,418 @@
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::{
+    BfoMemristor, CycleKind, CycleRecord, DeviceState, ElectricalParams, IdealMemristor,
+    MeasurementTrace, Memristor,
+};
+
+/// A 1D line array of memristors with a shared bottom electrode.
+///
+/// This is the paper's hardware platform (§I, §V): a row of discrete
+/// devices whose TEs are individually driven and whose BEs are tied
+/// together during V-op cycles. R-ops temporarily rewire the involved
+/// cells into a MAGIC voltage divider, exactly as the paper's PCB switch
+/// unit does.
+///
+/// Every operation is appended to a [`MeasurementTrace`], so executing a
+/// synthesized schedule yields the same kind of record as the paper's
+/// Fig. 2 measurement.
+///
+/// # Example
+///
+/// ```
+/// use mm_device::{DeviceState, LineArray};
+///
+/// let mut array = LineArray::ideal(2);
+/// array.v_op_cycle(&[Some(true), Some(false)], false);
+/// assert_eq!(array.state(0), DeviceState::Lrs);
+/// assert_eq!(array.state(1), DeviceState::Hrs);
+/// assert_eq!(array.trace().len(), 1);
+/// ```
+pub struct LineArray {
+    cells: Vec<Box<dyn Memristor>>,
+    params: ElectricalParams,
+    rng: SmallRng,
+    trace: MeasurementTrace,
+}
+
+impl std::fmt::Debug for LineArray {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LineArray")
+            .field("n_cells", &self.cells.len())
+            .field("states", &self.states())
+            .field("recorded_cycles", &self.trace.len())
+            .finish()
+    }
+}
+
+impl LineArray {
+    /// An array of `n` ideal devices (exact thresholds, no variation), all
+    /// initialized to HRS.
+    pub fn ideal(n: usize) -> Self {
+        Self {
+            cells: (0..n)
+                .map(|_| Box::new(IdealMemristor::new()) as Box<dyn Memristor>)
+                .collect(),
+            params: ElectricalParams::bfo(),
+            rng: SmallRng::seed_from_u64(0),
+            trace: MeasurementTrace::new(),
+        }
+    }
+
+    /// An ideal array with defective (stuck) devices at the given
+    /// positions — the yield scenario of the paper's introduction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fault index is out of range.
+    pub fn ideal_with_faults(n: usize, faults: &[(usize, DeviceState)]) -> Self {
+        let mut array = Self::ideal(n);
+        for &(i, stuck) in faults {
+            assert!(i < n, "fault index {i} out of range");
+            array.cells[i] = Box::new(crate::StuckMemristor::new(stuck));
+        }
+        array
+    }
+
+    /// An array of `n` BFO devices fabricated with the given parameters.
+    ///
+    /// `seed` drives both fabrication (D2D) and operation (C2C) randomness;
+    /// equal seeds reproduce identical experiments.
+    pub fn bfo(n: usize, params: ElectricalParams, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let cells = (0..n)
+            .map(|_| Box::new(BfoMemristor::fabricate(params, &mut rng)) as Box<dyn Memristor>)
+            .collect();
+        Self {
+            cells,
+            params,
+            rng,
+            trace: MeasurementTrace::new(),
+        }
+    }
+
+    /// Number of cells in the array.
+    pub fn n_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The state of cell `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn state(&self, i: usize) -> DeviceState {
+        self.cells[i].state()
+    }
+
+    /// All cell states as logic values.
+    pub fn states(&self) -> Vec<bool> {
+        self.cells.iter().map(|c| c.state().to_bool()).collect()
+    }
+
+    /// Forces cell `i` into `state` and records an init cycle.
+    ///
+    /// Models the pre-setting of MAGIC output cells (the paper initializes
+    /// cells 7–10 to state 1 before executing the R-ops).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn force_state(&mut self, i: usize, state: DeviceState) {
+        self.cells[i].force_state(state);
+        self.record(
+            CycleKind::Init,
+            vec![None; self.cells.len()],
+            None,
+            vec![None; self.cells.len()],
+        );
+    }
+
+    /// Initializes all cells (without recording individual cycles) and
+    /// clears the trace: the experiment's time zero.
+    pub fn reset(&mut self, states: &[bool]) {
+        assert_eq!(
+            states.len(),
+            self.cells.len(),
+            "state vector must cover every cell"
+        );
+        for (cell, &s) in self.cells.iter_mut().zip(states) {
+            cell.force_state(DeviceState::from_bool(s));
+        }
+        self.trace = MeasurementTrace::new();
+    }
+
+    /// Executes one parallel V-op cycle.
+    ///
+    /// `te[i]` is the logic level driven on cell `i`'s TE; `None` floats the
+    /// cell, which the peripherals realize as a dummy cycle (TE tied to the
+    /// shared BE, so the cell holds its state). `be` is the shared
+    /// bottom-electrode level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `te.len()` differs from the cell count.
+    pub fn v_op_cycle(&mut self, te: &[Option<bool>], be: bool) {
+        assert_eq!(te.len(), self.cells.len(), "one TE level per cell required");
+        let vw = self.params.v_write;
+        let v_be = if be { vw } else { 0.0 };
+        let mut te_voltages = Vec::with_capacity(te.len());
+        let mut currents = Vec::with_capacity(te.len());
+        for (i, lvl) in te.iter().enumerate() {
+            let v_te = match lvl {
+                Some(l) => {
+                    if *l {
+                        vw
+                    } else {
+                        0.0
+                    }
+                }
+                None => v_be, // dummy cycle: TE follows BE
+            };
+            let dv = v_te - v_be;
+            self.cells[i].apply_voltage(dv, &mut self.rng);
+            te_voltages.push(Some(v_te));
+            currents.push(if dv == 0.0 {
+                None
+            } else {
+                Some(dv / self.cells[i].resistance())
+            });
+        }
+        self.record(CycleKind::VOp { be }, te_voltages, Some(v_be), currents);
+    }
+
+    /// Executes one MAGIC NOR R-op: `out ← ¬(in₁ ∨ in₂ ∨ …)`.
+    ///
+    /// The involved cells form a voltage divider: the supply `V0` drives the
+    /// input cells in parallel; their common far node feeds the output cell,
+    /// which is connected in the RESET orientation. The output must have
+    /// been initialized to LRS beforehand. Voltages are computed from the
+    /// pre-cycle resistances and applied to *all* involved devices, so input
+    /// disturb under variation is faithfully modeled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty, an index is out of range or repeated,
+    /// or `out` is also an input.
+    pub fn magic_nor(&mut self, inputs: &[usize], out: usize) {
+        assert!(!inputs.is_empty(), "MAGIC NOR needs at least one input");
+        let mut involved: Vec<usize> = inputs.to_vec();
+        involved.push(out);
+        involved.sort_unstable();
+        let before = involved.len();
+        involved.dedup();
+        assert_eq!(before, involved.len(), "MAGIC NOR cells must be distinct");
+        assert!(
+            *involved.last().expect("non-empty") < self.cells.len(),
+            "cell out of range"
+        );
+
+        let v0 = self.params.v0_magic;
+        let g_par: f64 = inputs
+            .iter()
+            .map(|&i| 1.0 / self.cells[i].resistance())
+            .sum();
+        let r_par = 1.0 / g_par;
+        let r_out = self.cells[out].resistance();
+        let v_node = v0 * r_out / (r_par + r_out);
+
+        // Output sits in the RESET orientation; inputs see the SET polarity.
+        let mut currents = vec![None; self.cells.len()];
+        for &i in inputs {
+            currents[i] = Some((v0 - v_node) / self.cells[i].resistance());
+        }
+        currents[out] = Some(v_node / r_out);
+        self.cells[out].apply_voltage(-v_node, &mut self.rng);
+        for &i in inputs {
+            self.cells[i].apply_voltage(v0 - v_node, &mut self.rng);
+        }
+
+        let mut te_voltages = vec![None; self.cells.len()];
+        for &i in inputs {
+            te_voltages[i] = Some(v0);
+        }
+        te_voltages[out] = Some(v_node);
+        self.record(
+            CycleKind::ROp {
+                inputs: inputs.to_vec(),
+                output: out,
+            },
+            te_voltages,
+            None,
+            currents,
+        );
+    }
+
+    /// Reads cell `i` with a small non-destructive pulse; returns the logic
+    /// value inferred from the read current.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn read(&mut self, i: usize) -> DeviceState {
+        let current = self.params.v_read / self.cells[i].resistance();
+        let value = current > self.params.read_current_threshold();
+        let mut te_voltages = vec![None; self.cells.len()];
+        te_voltages[i] = Some(self.params.v_read);
+        let mut currents = vec![None; self.cells.len()];
+        currents[i] = Some(current);
+        self.record(
+            CycleKind::Read { cell: i, value },
+            te_voltages,
+            Some(0.0),
+            currents,
+        );
+        DeviceState::from_bool(value)
+    }
+
+    /// The measurement record accumulated so far.
+    pub fn trace(&self) -> &MeasurementTrace {
+        &self.trace
+    }
+
+    /// The electrical parameters the array was built with.
+    pub fn params(&self) -> &ElectricalParams {
+        &self.params
+    }
+
+    fn record(
+        &mut self,
+        kind: CycleKind,
+        te_voltages: Vec<Option<f64>>,
+        be_voltage: Option<f64>,
+        currents: Vec<Option<f64>>,
+    ) {
+        self.trace.push(CycleRecord {
+            kind,
+            te_voltages,
+            be_voltage,
+            currents,
+            resistances: self.cells.iter().map(|c| c.resistance()).collect(),
+            states: self.cells.iter().map(|c| c.state()).collect(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{vop, Variability};
+
+    #[test]
+    fn v_op_cycle_matches_table1_semantics() {
+        for s0 in [false, true] {
+            for te in [false, true] {
+                for be in [false, true] {
+                    let mut a = LineArray::ideal(1);
+                    a.reset(&[s0]);
+                    a.v_op_cycle(&[Some(te)], be);
+                    let expected = vop::apply(DeviceState::from_bool(s0), te, be);
+                    assert_eq!(a.state(0), expected, "s0={s0} te={te} be={be}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn floating_te_is_a_dummy_cycle() {
+        let mut a = LineArray::ideal(2);
+        a.reset(&[true, false]);
+        a.v_op_cycle(&[None, None], true);
+        assert_eq!(a.state(0), DeviceState::Lrs);
+        assert_eq!(a.state(1), DeviceState::Hrs);
+    }
+
+    #[test]
+    fn magic_nor_all_input_combinations() {
+        for a_in in [false, true] {
+            for b_in in [false, true] {
+                let mut arr = LineArray::ideal(3);
+                arr.reset(&[a_in, b_in, true]); // output pre-set to 1
+                arr.magic_nor(&[0, 1], 2);
+                assert_eq!(arr.state(2).to_bool(), !(a_in | b_in), "NOR({a_in},{b_in})");
+                // Inputs must survive the operation.
+                assert_eq!(arr.state(0).to_bool(), a_in);
+                assert_eq!(arr.state(1).to_bool(), b_in);
+            }
+        }
+    }
+
+    #[test]
+    fn magic_nor_three_inputs() {
+        let mut arr = LineArray::ideal(4);
+        arr.reset(&[false, false, false, true]);
+        arr.magic_nor(&[0, 1, 2], 3);
+        assert_eq!(arr.state(3), DeviceState::Lrs);
+        arr.reset(&[false, true, false, true]);
+        arr.magic_nor(&[0, 1, 2], 3);
+        assert_eq!(arr.state(3), DeviceState::Hrs);
+    }
+
+    #[test]
+    fn read_is_non_destructive_and_correct() {
+        let mut a = LineArray::ideal(2);
+        a.reset(&[true, false]);
+        assert_eq!(a.read(0), DeviceState::Lrs);
+        assert_eq!(a.read(1), DeviceState::Hrs);
+        assert_eq!(a.state(0), DeviceState::Lrs);
+        assert_eq!(a.state(1), DeviceState::Hrs);
+        assert_eq!(a.trace().len(), 2);
+    }
+
+    #[test]
+    fn bfo_array_without_variation_behaves_ideally() {
+        let mut a = LineArray::bfo(3, ElectricalParams::bfo(), 99);
+        a.reset(&[true, false, true]);
+        a.magic_nor(&[0, 1], 2);
+        assert_eq!(a.state(2), DeviceState::Hrs);
+        a.reset(&[false, false, true]);
+        a.magic_nor(&[0, 1], 2);
+        assert_eq!(a.state(2), DeviceState::Lrs);
+    }
+
+    #[test]
+    fn trace_records_currents_and_unobservable_cycles() {
+        let mut a = LineArray::ideal(2);
+        a.reset(&[false, false]);
+        a.v_op_cycle(&[Some(true), Some(false)], false);
+        let rec = &a.trace().cycles()[0];
+        assert!(
+            rec.currents[0].is_some(),
+            "driven cell has measurable current"
+        );
+        assert!(
+            rec.currents[1].is_none(),
+            "TE == BE is unobservable per the paper"
+        );
+        assert_eq!(rec.be_voltage, Some(0.0));
+        assert_eq!(rec.states[0], DeviceState::Lrs);
+    }
+
+    #[test]
+    fn high_variation_eventually_breaks_r_ops_but_not_ideal() {
+        // Statistical smoke test: with a harsh corner, at least one of many
+        // NOR executions misfires, while the ideal array never does.
+        let params = ElectricalParams::bfo().with_variability(Variability {
+            d2d_sigma: 0.6,
+            c2c_sigma: 0.2,
+        });
+        let mut failures = 0;
+        for seed in 0..200 {
+            let mut a = LineArray::bfo(3, params, seed);
+            a.reset(&[true, false, true]);
+            a.magic_nor(&[0, 1], 2);
+            if a.state(2) != DeviceState::Hrs {
+                failures += 1;
+            }
+        }
+        assert!(failures > 0, "harsh variation should break some R-ops");
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn magic_nor_rejects_overlapping_cells() {
+        let mut a = LineArray::ideal(3);
+        a.magic_nor(&[0, 1], 1);
+    }
+}

@@ -1,0 +1,85 @@
+use std::fmt;
+use std::ops::Not;
+
+use serde::{Deserialize, Serialize};
+
+/// The internal state of a bipolar memristive device.
+///
+/// Following the paper (§II-A), the low-resistance state (LRS) encodes
+/// logic 1 and the high-resistance state (HRS) logic 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceState {
+    /// High-resistance state — logic 0.
+    Hrs,
+    /// Low-resistance state — logic 1.
+    Lrs,
+}
+
+impl DeviceState {
+    /// The logic value encoded by the state (LRS = 1).
+    pub fn to_bool(self) -> bool {
+        matches!(self, Self::Lrs)
+    }
+
+    /// The state encoding a logic value.
+    pub fn from_bool(value: bool) -> Self {
+        if value {
+            Self::Lrs
+        } else {
+            Self::Hrs
+        }
+    }
+}
+
+impl From<bool> for DeviceState {
+    fn from(value: bool) -> Self {
+        Self::from_bool(value)
+    }
+}
+
+impl From<DeviceState> for bool {
+    fn from(state: DeviceState) -> bool {
+        state.to_bool()
+    }
+}
+
+impl Not for DeviceState {
+    type Output = DeviceState;
+
+    fn not(self) -> DeviceState {
+        match self {
+            Self::Hrs => Self::Lrs,
+            Self::Lrs => Self::Hrs,
+        }
+    }
+}
+
+impl fmt::Display for DeviceState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Hrs => write!(f, "HRS"),
+            Self::Lrs => write!(f, "LRS"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_round_trip() {
+        assert_eq!(DeviceState::from_bool(true), DeviceState::Lrs);
+        assert_eq!(DeviceState::from_bool(false), DeviceState::Hrs);
+        assert!(DeviceState::Lrs.to_bool());
+        assert!(!DeviceState::Hrs.to_bool());
+        assert_eq!(!DeviceState::Lrs, DeviceState::Hrs);
+        assert!(bool::from(DeviceState::from(true)));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(DeviceState::Lrs.to_string(), "LRS");
+        assert_eq!(DeviceState::Hrs.to_string(), "HRS");
+    }
+}

@@ -1,0 +1,205 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::DeviceState;
+
+/// What a recorded cycle did — the row labels of the paper's Fig. 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CycleKind {
+    /// State initialization (pre-setting output cells, clearing the array).
+    Init,
+    /// A parallel V-op write cycle with the shared-BE logic level.
+    VOp {
+        /// Logic level applied to the shared bottom electrode.
+        be: bool,
+    },
+    /// A MAGIC R-op cycle.
+    ROp {
+        /// Input cell indices.
+        inputs: Vec<usize>,
+        /// Output cell index.
+        output: usize,
+    },
+    /// A read cycle of one cell.
+    Read {
+        /// The cell that was read.
+        cell: usize,
+        /// The logic value that was read out.
+        value: bool,
+    },
+}
+
+impl fmt::Display for CycleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Init => write!(f, "init"),
+            Self::VOp { be } => write!(f, "V-op (BE={})", u8::from(*be)),
+            Self::ROp { inputs, output } => {
+                write!(f, "R-op (in={inputs:?}, out={output})")
+            }
+            Self::Read { cell, value } => write!(f, "read cell {cell} -> {}", u8::from(*value)),
+        }
+    }
+}
+
+/// One cycle of the measurement record: the quantities the paper's Fig. 2
+/// plots for every cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CycleRecord {
+    /// What the cycle did.
+    pub kind: CycleKind,
+    /// Voltage applied to each cell's top electrode (`None` = not driven).
+    pub te_voltages: Vec<Option<f64>>,
+    /// Voltage on the shared bottom electrode (`None` during R-op cycles,
+    /// where the involved cells are rewired into the voltage divider).
+    pub be_voltage: Option<f64>,
+    /// Magnitude of the current through each cell (`None` when TE and BE
+    /// are biased equally — the paper notes such measurements are not
+    /// observable).
+    pub currents: Vec<Option<f64>>,
+    /// Each cell's resistance after the cycle, in Ω.
+    pub resistances: Vec<f64>,
+    /// Each cell's state after the cycle.
+    pub states: Vec<DeviceState>,
+}
+
+/// The full record of everything a [`LineArray`](crate::LineArray) executed.
+///
+/// Equivalent to the source-meter log behind the paper's Fig. 2.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MeasurementTrace {
+    cycles: Vec<CycleRecord>,
+}
+
+impl MeasurementTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn push(&mut self, record: CycleRecord) {
+        self.cycles.push(record);
+    }
+
+    /// The recorded cycles, oldest first.
+    pub fn cycles(&self) -> &[CycleRecord] {
+        &self.cycles
+    }
+
+    /// Number of recorded cycles.
+    pub fn len(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.cycles.is_empty()
+    }
+
+    /// Renders the trace as a fixed-width table (cells as columns, one block
+    /// of rows per cycle), mirroring the layout of the paper's Fig. 2.
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let n = self.cycles.first().map_or(0, |c| c.states.len());
+        let _ = write!(out, "{:<26}", "cycle");
+        for i in 0..n {
+            let _ = write!(out, "cell{i:<7}");
+        }
+        out.push('\n');
+        for (idx, c) in self.cycles.iter().enumerate() {
+            let _ = writeln!(out, "-- cycle {idx}: {}", c.kind);
+            let _ = write!(out, "{:<26}", "  TE [V]");
+            for v in &c.te_voltages {
+                match v {
+                    Some(v) => {
+                        let _ = write!(out, "{v:<11.2}");
+                    }
+                    None => {
+                        let _ = write!(out, "{:<11}", "-");
+                    }
+                }
+            }
+            out.push('\n');
+            let _ = write!(
+                out,
+                "{:<26}",
+                match c.be_voltage {
+                    Some(v) => format!("  BE [V] = {v:.2}"),
+                    None => "  BE: divider".to_string(),
+                }
+            );
+            out.push('\n');
+            let _ = write!(out, "{:<26}", "  |I| [uA]");
+            for i in &c.currents {
+                match i {
+                    Some(i) => {
+                        let _ = write!(out, "{:<11.3}", i.abs() * 1e6);
+                    }
+                    None => {
+                        let _ = write!(out, "{:<11}", "n/a");
+                    }
+                }
+            }
+            out.push('\n');
+            let _ = write!(out, "{:<26}", "  R [MOhm]");
+            for r in &c.resistances {
+                let _ = write!(out, "{:<11.2}", r / 1e6);
+            }
+            out.push('\n');
+            let _ = write!(out, "{:<26}", "  state");
+            for s in &c.states {
+                let _ = write!(out, "{:<11}", s.to_string());
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rendering_smoke() {
+        let mut trace = MeasurementTrace::new();
+        trace.push(CycleRecord {
+            kind: CycleKind::VOp { be: false },
+            te_voltages: vec![Some(7.0), None],
+            be_voltage: Some(0.0),
+            currents: vec![Some(7.0e-6), None],
+            resistances: vec![1.0e6, 1.0e8],
+            states: vec![DeviceState::Lrs, DeviceState::Hrs],
+        });
+        assert_eq!(trace.len(), 1);
+        assert!(!trace.is_empty());
+        let table = trace.to_table();
+        assert!(table.contains("V-op (BE=0)"));
+        assert!(table.contains("LRS"));
+        assert!(table.contains("n/a"));
+    }
+
+    #[test]
+    fn cycle_kind_display() {
+        assert_eq!(CycleKind::Init.to_string(), "init");
+        assert_eq!(CycleKind::VOp { be: true }.to_string(), "V-op (BE=1)");
+        assert_eq!(
+            CycleKind::ROp {
+                inputs: vec![0, 1],
+                output: 2
+            }
+            .to_string(),
+            "R-op (in=[0, 1], out=2)"
+        );
+        assert_eq!(
+            CycleKind::Read {
+                cell: 3,
+                value: true
+            }
+            .to_string(),
+            "read cell 3 -> 1"
+        );
+    }
+}

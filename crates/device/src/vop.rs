@@ -1,0 +1,72 @@
+//! The voltage-input operation (V-op) of the paper's Table I.
+//!
+//! A write cycle applies logic levels to the top and bottom electrodes: a
+//! write pulse encodes 1, its absence 0. When the electrodes agree the
+//! device sees no net voltage and keeps its state; when they differ the
+//! device is written to the TE value (TE = 1, BE = 0 is the SET polarity,
+//! TE = 0, BE = 1 the RESET polarity).
+
+use crate::DeviceState;
+
+/// Applies one V-op to a device state: `V(s, TE, BE) = TE if TE ≠ BE
+/// else s`.
+///
+/// # Example
+///
+/// ```
+/// use mm_device::{vop, DeviceState};
+///
+/// let s = DeviceState::Hrs;
+/// assert_eq!(vop::apply(s, true, false), DeviceState::Lrs); // SET
+/// assert_eq!(vop::apply(s, true, true), s); // hold
+/// ```
+pub fn apply(state: DeviceState, te: bool, be: bool) -> DeviceState {
+    if te == be {
+        state
+    } else {
+        DeviceState::from_bool(te)
+    }
+}
+
+/// The full Table I of the paper: every (s, TE, BE) combination.
+///
+/// Returned rows are `(s, te, be, next_state)`; useful for documentation
+/// and exhaustiveness checks.
+pub fn truth_table() -> [(DeviceState, bool, bool, DeviceState); 8] {
+    let mut rows = [(DeviceState::Hrs, false, false, DeviceState::Hrs); 8];
+    let mut i = 0;
+    for s in [DeviceState::Hrs, DeviceState::Lrs] {
+        for te in [false, true] {
+            for be in [false, true] {
+                rows[i] = (s, te, be, apply(s, te, be));
+                i += 1;
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_table1() {
+        // TE == BE holds the state; TE != BE writes TE.
+        for s in [DeviceState::Hrs, DeviceState::Lrs] {
+            assert_eq!(apply(s, false, false), s);
+            assert_eq!(apply(s, true, true), s);
+            assert_eq!(apply(s, true, false), DeviceState::Lrs);
+            assert_eq!(apply(s, false, true), DeviceState::Hrs);
+        }
+    }
+
+    #[test]
+    fn truth_table_is_exhaustive() {
+        let rows = truth_table();
+        assert_eq!(rows.len(), 8);
+        for (s, te, be, next) in rows {
+            assert_eq!(next, apply(s, te, be));
+        }
+    }
+}

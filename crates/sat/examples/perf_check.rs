@@ -1,0 +1,68 @@
+//! Quick throughput sanity check: hard random 3-SAT near the phase transition.
+use mm_sat::{Budget, CnfFormula, Lit, Solver};
+use std::time::Instant;
+
+#[allow(clippy::needless_range_loop)]
+fn main() {
+    let mut state = 0x9E3779B97F4A7C15u64;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for &(n, ratio) in &[(150usize, 4.2f64), (200, 4.2)] {
+        let m = (n as f64 * ratio) as usize;
+        let mut cnf = CnfFormula::new();
+        let vars: Vec<Lit> = (0..n).map(|_| cnf.new_lit()).collect();
+        for _ in 0..m {
+            let mut picked = Vec::new();
+            while picked.len() < 3 {
+                let v = (rng() % n as u64) as usize;
+                if !picked.iter().any(|&(p, _)| p == v) {
+                    picked.push((v, rng() % 2 == 0));
+                }
+            }
+            cnf.add_clause(
+                picked
+                    .iter()
+                    .map(|&(v, s)| if s { vars[v] } else { !vars[v] }),
+            );
+        }
+        let t = Instant::now();
+        let (res, stats) =
+            Solver::new(cnf).solve_with_budget(Budget::new().with_max_conflicts(2_000_000));
+        println!(
+            "n={n} m={m}: {:?} in {:.2?} ({})",
+            std::mem::discriminant(&res),
+            t.elapsed(),
+            stats
+        );
+    }
+    // Pigeonhole 10 into 9: a classic hard UNSAT case for CDCL.
+    let mut cnf = CnfFormula::new();
+    let holes = 9;
+    let pigeons = 10;
+    let vars: Vec<Vec<Lit>> = (0..pigeons)
+        .map(|_| (0..holes).map(|_| cnf.new_lit()).collect())
+        .collect();
+    for p in &vars {
+        cnf.add_clause(p.iter().copied());
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                cnf.add_clause([!vars[p1][h], !vars[p2][h]]);
+            }
+        }
+    }
+    let t = Instant::now();
+    let (res, stats) =
+        Solver::new(cnf).solve_with_budget(Budget::new().with_max_conflicts(5_000_000));
+    println!(
+        "php(10,9): {:?} in {:.2?} ({})",
+        std::mem::discriminant(&res),
+        t.elapsed(),
+        stats
+    );
+}

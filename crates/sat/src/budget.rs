@@ -1,0 +1,62 @@
+use std::time::Duration;
+
+/// Resource limits for a single [`Solver::solve`](crate::Solver::solve) call.
+///
+/// When a limit is exceeded the solver returns
+/// [`SatResult::Unknown`](crate::SatResult::Unknown) instead of an answer.
+/// This mirrors how the paper reports "≤" rows in Table IV where the
+/// optimality proof (an UNSAT instance) timed out.
+///
+/// # Example
+///
+/// ```
+/// use std::time::Duration;
+/// use mm_sat::Budget;
+///
+/// let b = Budget::new()
+///     .with_max_conflicts(100_000)
+///     .with_max_time(Duration::from_secs(60));
+/// assert_eq!(b.max_conflicts(), Some(100_000));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Budget {
+    max_conflicts: Option<u64>,
+    max_time: Option<Duration>,
+}
+
+impl Budget {
+    /// An unlimited budget: the solver runs to completion.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Limits the number of conflicts before giving up.
+    pub fn with_max_conflicts(mut self, conflicts: u64) -> Self {
+        self.max_conflicts = Some(conflicts);
+        self
+    }
+
+    /// Limits the wall-clock time before giving up.
+    ///
+    /// The limit is checked between restarts, so the overshoot is bounded by
+    /// one restart interval.
+    pub fn with_max_time(mut self, time: Duration) -> Self {
+        self.max_time = Some(time);
+        self
+    }
+
+    /// The conflict limit, if any.
+    pub fn max_conflicts(&self) -> Option<u64> {
+        self.max_conflicts
+    }
+
+    /// The time limit, if any.
+    pub fn max_time(&self) -> Option<Duration> {
+        self.max_time
+    }
+
+    /// Whether neither limit is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_conflicts.is_none() && self.max_time.is_none()
+    }
+}

@@ -1,0 +1,141 @@
+//! DIMACS CNF import and export.
+//!
+//! Useful for cross-checking the built-in solver against an external one,
+//! and for archiving the synthesis formulas `Φ(f, N_V, N_R)` alongside
+//! experiment results.
+//!
+//! # Example
+//!
+//! ```
+//! use mm_sat::{dimacs, CnfFormula};
+//!
+//! # fn main() -> Result<(), mm_sat::SatError> {
+//! let cnf = dimacs::parse("p cnf 2 2\n1 2 0\n-1 2 0\n")?;
+//! assert_eq!(cnf.n_vars(), 2);
+//! assert_eq!(cnf.n_clauses(), 2);
+//! let text = dimacs::to_string(&cnf);
+//! assert!(text.starts_with("p cnf 2 2"));
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::{CnfFormula, Lit, SatError};
+
+/// Parses DIMACS CNF text into a [`CnfFormula`].
+///
+/// Comment lines (`c …`) and the problem line (`p cnf V C`) are accepted;
+/// the declared counts are advisory and only used to pre-reserve variables.
+/// Clauses may span lines and must be 0-terminated.
+///
+/// # Errors
+///
+/// Returns [`SatError::ParseDimacs`] on malformed tokens, an empty clause,
+/// or a missing final terminator.
+pub fn parse(text: &str) -> Result<CnfFormula, SatError> {
+    let mut cnf = CnfFormula::new();
+    let mut current: Vec<Lit> = Vec::new();
+    let mut saw_terminator = true;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            let mut parts = rest.split_whitespace();
+            if parts.next() != Some("cnf") {
+                return Err(SatError::ParseDimacs {
+                    line: lineno + 1,
+                    reason: "problem line must be `p cnf <vars> <clauses>`".into(),
+                });
+            }
+            if let Some(v) = parts.next().and_then(|t| t.parse::<u32>().ok()) {
+                cnf.reserve_vars(v);
+            }
+            continue;
+        }
+        for token in line.split_whitespace() {
+            let value: i64 = token.parse().map_err(|_| SatError::ParseDimacs {
+                line: lineno + 1,
+                reason: format!("invalid literal token {token:?}"),
+            })?;
+            if value == 0 {
+                if current.is_empty() {
+                    return Err(SatError::ParseDimacs {
+                        line: lineno + 1,
+                        reason: "empty clause".into(),
+                    });
+                }
+                cnf.add_clause(current.drain(..));
+                saw_terminator = true;
+            } else {
+                let lit = Lit::from_dimacs(value).ok_or_else(|| SatError::ParseDimacs {
+                    line: lineno + 1,
+                    reason: format!("literal {value} out of range"),
+                })?;
+                current.push(lit);
+                saw_terminator = false;
+            }
+        }
+    }
+    if !saw_terminator {
+        return Err(SatError::ParseDimacs {
+            line: text.lines().count(),
+            reason: "last clause is not 0-terminated".into(),
+        });
+    }
+    Ok(cnf)
+}
+
+/// Serializes a [`CnfFormula`] to DIMACS CNF text.
+pub fn to_string(cnf: &CnfFormula) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p cnf {} {}", cnf.n_vars(), cnf.n_clauses());
+    for clause in cnf.clauses() {
+        for &l in clause {
+            let _ = write!(out, "{} ", l.to_dimacs());
+        }
+        let _ = writeln!(out, "0");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SatResult, Solver};
+
+    #[test]
+    fn round_trip() {
+        let text = "c a comment\np cnf 3 3\n1 2 0\n-1 3 0\n-2 -3 0\n";
+        let cnf = parse(text).unwrap();
+        assert_eq!(cnf.n_vars(), 3);
+        assert_eq!(cnf.n_clauses(), 3);
+        let again = parse(&to_string(&cnf)).unwrap();
+        assert_eq!(again.n_clauses(), cnf.n_clauses());
+        assert!(Solver::new(cnf).solve().is_sat());
+    }
+
+    #[test]
+    fn multi_line_clause() {
+        let cnf = parse("p cnf 2 1\n1\n2 0\n").unwrap();
+        assert_eq!(cnf.n_clauses(), 1);
+        assert_eq!(cnf.clauses()[0].len(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse("p cnf 1 1\nxyz 0\n").is_err());
+        assert!(parse("p cnf 1 1\n0\n").is_err());
+        assert!(parse("p cnf 1 1\n1 2\n").is_err());
+        assert!(parse("p dnf 1 1\n1 0\n").is_err());
+    }
+
+    #[test]
+    fn unsat_instance_round_trips() {
+        let text = "p cnf 1 2\n1 0\n-1 0\n";
+        let cnf = parse(text).unwrap();
+        assert_eq!(Solver::new(cnf).solve(), SatResult::Unsat);
+    }
+}

@@ -1,0 +1,27 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the SAT toolkit (currently only DIMACS parsing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SatError {
+    /// The DIMACS input could not be parsed.
+    ParseDimacs {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Explanation of what went wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ParseDimacs { line, reason } => {
+                write!(f, "invalid DIMACS input at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for SatError {}

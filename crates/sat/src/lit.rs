@@ -1,0 +1,167 @@
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, numbered from 0.
+///
+/// The DIMACS representation of variable `i` is `i + 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(u32);
+
+impl Var {
+    /// Creates a variable from its 0-based index.
+    pub fn from_index(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// The variable's 0-based index.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// The positive literal of this variable.
+    pub fn positive(self) -> Lit {
+        Lit::new(self, true)
+    }
+
+    /// The negative literal of this variable.
+    pub fn negative(self) -> Lit {
+        Lit::new(self, false)
+    }
+
+    /// Constructs a literal of this variable with the given polarity.
+    pub fn lit(self, positive: bool) -> Lit {
+        Lit::new(self, positive)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A literal: a variable together with a polarity.
+///
+/// Internally encoded as `2·var + (1 if negative)`, so the two literals of a
+/// variable are adjacent codes — handy for watch-list indexing.
+///
+/// # Example
+///
+/// ```
+/// use mm_sat::{Lit, Var};
+///
+/// let v = Var::from_index(3);
+/// let l = v.positive();
+/// assert_eq!(!l, v.negative());
+/// assert_eq!(l.var(), v);
+/// assert!(l.is_positive());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Creates a literal from a variable and polarity (`true` = positive).
+    pub fn new(var: Var, positive: bool) -> Self {
+        Self(var.0 * 2 + u32::from(!positive))
+    }
+
+    /// Reconstructs a literal from its internal code.
+    pub fn from_code(code: u32) -> Self {
+        Self(code)
+    }
+
+    /// The literal's internal code (`2·var + sign`).
+    pub fn code(self) -> u32 {
+        self.0
+    }
+
+    /// The literal's variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether the literal is positive.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Whether the literal is negative.
+    pub fn is_negative(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Converts to the DIMACS integer convention (`±(var + 1)`).
+    pub fn to_dimacs(self) -> i64 {
+        let v = i64::from(self.var().index()) + 1;
+        if self.is_positive() {
+            v
+        } else {
+            -v
+        }
+    }
+
+    /// Parses a literal from the DIMACS integer convention.
+    ///
+    /// Returns `None` for 0 (the DIMACS clause terminator) or values whose
+    /// magnitude does not fit a `u32`.
+    pub fn from_dimacs(value: i64) -> Option<Self> {
+        if value == 0 {
+            return None;
+        }
+        let magnitude = value.unsigned_abs();
+        if magnitude > u64::from(u32::MAX) {
+            return None;
+        }
+        let var = Var((magnitude - 1) as u32);
+        Some(Lit::new(var, value > 0))
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "¬")?;
+        }
+        write!(f, "{}", self.var())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_codes_are_adjacent() {
+        let v = Var::from_index(7);
+        assert_eq!(v.positive().code(), 14);
+        assert_eq!(v.negative().code(), 15);
+        assert_eq!(!v.positive(), v.negative());
+        assert_eq!(!!v.positive(), v.positive());
+    }
+
+    #[test]
+    fn dimacs_round_trip() {
+        for code in 0..40u32 {
+            let l = Lit::from_code(code);
+            assert_eq!(Lit::from_dimacs(l.to_dimacs()), Some(l));
+        }
+        assert_eq!(Lit::from_dimacs(0), None);
+        assert_eq!(Lit::from_dimacs(5), Some(Var::from_index(4).positive()));
+        assert_eq!(Lit::from_dimacs(-5), Some(Var::from_index(4).negative()));
+    }
+
+    #[test]
+    fn display_forms() {
+        let v = Var::from_index(2);
+        assert_eq!(v.positive().to_string(), "v2");
+        assert_eq!(v.negative().to_string(), "¬v2");
+    }
+}

@@ -1,0 +1,65 @@
+use crate::{Lit, Var};
+
+/// A satisfying assignment returned by the solver.
+///
+/// Every variable of the formula is assigned; variables that were irrelevant
+/// to satisfiability receive an arbitrary (but fixed) polarity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Model {
+    values: Vec<bool>,
+}
+
+impl Model {
+    pub(crate) fn new(values: Vec<bool>) -> Self {
+        Self { values }
+    }
+
+    /// The truth value of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable was not part of the solved formula.
+    pub fn var_value(&self, var: Var) -> bool {
+        self.values[var.index() as usize]
+    }
+
+    /// The truth value of a literal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the literal's variable was not part of the solved formula.
+    pub fn value(&self, lit: Lit) -> bool {
+        self.var_value(lit.var()) == lit.is_positive()
+    }
+
+    /// Number of assigned variables.
+    pub fn n_vars(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates over `(Var, bool)` pairs in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, bool)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (Var::from_index(i as u32), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_values_follow_polarity() {
+        let m = Model::new(vec![true, false]);
+        let v0 = Var::from_index(0);
+        let v1 = Var::from_index(1);
+        assert!(m.value(v0.positive()));
+        assert!(!m.value(v0.negative()));
+        assert!(!m.value(v1.positive()));
+        assert!(m.value(v1.negative()));
+        assert_eq!(m.n_vars(), 2);
+        assert_eq!(m.iter().count(), 2);
+    }
+}

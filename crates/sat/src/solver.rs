@@ -1,0 +1,947 @@
+// Index loops below are deliberate: they sidestep aliasing between the
+// iterated buffer and `&mut self` calls inside the loop bodies.
+#![allow(clippy::needless_range_loop)]
+
+use std::time::Instant;
+
+use crate::{Budget, CnfFormula, Lit, Model, SolverStats, Var};
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatResult {
+    /// The formula is satisfiable; a witness assignment is attached.
+    Sat(Model),
+    /// The formula is unsatisfiable.
+    Unsat,
+    /// The solver exhausted its [`Budget`] before reaching an answer.
+    Unknown,
+}
+
+impl SatResult {
+    /// The model, if the result is [`SatResult::Sat`].
+    pub fn model(&self) -> Option<&Model> {
+        match self {
+            Self::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether the result is [`SatResult::Sat`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, Self::Sat(_))
+    }
+
+    /// Whether the result is [`SatResult::Unsat`].
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, Self::Unsat)
+    }
+}
+
+/// Why a variable is assigned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Reason {
+    /// A decision or a top-level fact.
+    Decision,
+    /// Implied by the clause with this index.
+    Clause(u32),
+    /// Implied by a binary clause whose other literal (now false) is given.
+    Binary(Lit),
+}
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    deleted: bool,
+    activity: f32,
+    lbd: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watch {
+    clause: u32,
+    blocker: Lit,
+}
+
+const UNASSIGNED: i8 = 0;
+
+/// A conflict-driven clause-learning (CDCL) SAT solver.
+///
+/// Construct with a finished [`CnfFormula`] and call [`solve`](Self::solve)
+/// or [`solve_with_budget`](Self::solve_with_budget). A solver instance is
+/// single-shot: it consumes its formula and is dropped after one call.
+///
+/// # Example
+///
+/// ```
+/// use mm_sat::{CnfFormula, SatResult, Solver};
+///
+/// let mut cnf = CnfFormula::new();
+/// let a = cnf.new_lit();
+/// cnf.add_clause([a]);
+/// cnf.add_clause([!a]);
+/// assert_eq!(Solver::new(cnf).solve(), SatResult::Unsat);
+/// ```
+#[derive(Debug)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    /// `bin_implications[l.code()]` lists the partner literals of all binary
+    /// clauses containing `l`; traversed when `l` becomes false (each entry
+    /// is then implied).
+    bin_implications: Vec<Vec<Lit>>,
+    /// `watches[l.code()]` lists clauses currently watching literal `l`;
+    /// traversed when `l` becomes false.
+    watches: Vec<Vec<Watch>>,
+    assign: Vec<i8>,
+    level: Vec<u32>,
+    reason: Vec<Reason>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    heap: VarHeap,
+    saved_phase: Vec<bool>,
+    seen: Vec<bool>,
+    analyze_stack: Vec<Lit>,
+    analyze_clear: Vec<Var>,
+    cla_inc: f32,
+    ok: bool,
+    stats: SolverStats,
+    n_vars: usize,
+    minimize_enabled: bool,
+}
+
+impl Solver {
+    /// Builds a solver from a formula.
+    pub fn new(cnf: CnfFormula) -> Self {
+        let n = cnf.n_vars() as usize;
+        let mut solver = Self {
+            clauses: Vec::new(),
+            bin_implications: vec![Vec::new(); 2 * n],
+            watches: vec![Vec::new(); 2 * n],
+            assign: vec![UNASSIGNED; n],
+            level: vec![0; n],
+            reason: vec![Reason::Decision; n],
+            trail: Vec::with_capacity(n),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: vec![0.0; n],
+            var_inc: 1.0,
+            heap: VarHeap::new(n),
+            saved_phase: vec![false; n],
+            seen: vec![false; n],
+            analyze_stack: Vec::new(),
+            analyze_clear: Vec::new(),
+            cla_inc: 1.0,
+            ok: true,
+            stats: SolverStats::default(),
+            n_vars: n,
+            minimize_enabled: true,
+        };
+        for clause in cnf.clauses() {
+            solver.add_original_clause(clause);
+            if !solver.ok {
+                break;
+            }
+        }
+        solver
+    }
+
+    /// Disables (or re-enables) learnt-clause minimization.
+    ///
+    /// Minimization is on by default; switching it off exists for ablation
+    /// measurements of the solver itself.
+    pub fn set_minimize(&mut self, enabled: bool) {
+        self.minimize_enabled = enabled;
+    }
+
+    /// Solves the formula to completion (no budget).
+    pub fn solve(self) -> SatResult {
+        self.solve_with_budget(Budget::new()).0
+    }
+
+    /// Solves under a [`Budget`], also returning the search statistics.
+    pub fn solve_with_budget(mut self, budget: Budget) -> (SatResult, SolverStats) {
+        let start = Instant::now();
+        let result = self.search(budget, start);
+        self.stats.solve_time = start.elapsed();
+        (result, self.stats)
+    }
+
+    fn add_original_clause(&mut self, lits: &[Lit]) {
+        debug_assert!(!lits.is_empty());
+        match lits.len() {
+            1 => match self.value(lits[0]) {
+                v if v == UNASSIGNED => {
+                    self.enqueue(lits[0], Reason::Decision);
+                }
+                -1 => self.ok = false,
+                _ => {}
+            },
+            2 => {
+                // Indexed by the falsified literal: when lits[0] becomes
+                // false, lits[1] is implied (and vice versa).
+                self.bin_implications[lits[0].code() as usize].push(lits[1]);
+                self.bin_implications[lits[1].code() as usize].push(lits[0]);
+            }
+            _ => {
+                let idx = self.clauses.len() as u32;
+                self.watches[lits[0].code() as usize].push(Watch {
+                    clause: idx,
+                    blocker: lits[1],
+                });
+                self.watches[lits[1].code() as usize].push(Watch {
+                    clause: idx,
+                    blocker: lits[0],
+                });
+                self.clauses.push(Clause {
+                    lits: lits.to_vec(),
+                    learnt: false,
+                    deleted: false,
+                    activity: 0.0,
+                    lbd: 0,
+                });
+            }
+        }
+    }
+
+    #[inline]
+    fn value(&self, l: Lit) -> i8 {
+        let v = self.assign[l.var().index() as usize];
+        if l.is_positive() {
+            v
+        } else {
+            -v
+        }
+    }
+
+    #[inline]
+    fn current_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Reason) {
+        debug_assert_eq!(self.value(l), UNASSIGNED);
+        let v = l.var().index() as usize;
+        self.assign[v] = if l.is_positive() { 1 } else { -1 };
+        self.level[v] = self.current_level();
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    /// Unit propagation; returns the conflicting clause's literals on
+    /// conflict.
+    fn propagate(&mut self) -> Option<Vec<Lit>> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            let false_lit = !p;
+            let fcode = false_lit.code() as usize;
+
+            // Binary layer first: cheapest propagations.
+            for i in 0..self.bin_implications[fcode].len() {
+                let q = self.bin_implications[fcode][i];
+                match self.value(q) {
+                    1 => {}
+                    UNASSIGNED => {
+                        self.stats.propagations += 1;
+                        self.enqueue(q, Reason::Binary(false_lit));
+                    }
+                    _ => return Some(vec![q, false_lit]),
+                }
+            }
+
+            // Long clauses watching `false_lit`.
+            let mut ws = std::mem::take(&mut self.watches[fcode]);
+            let mut i = 0;
+            let mut conflict = None;
+            'watches: while i < ws.len() {
+                let w = ws[i];
+                if self.value(w.blocker) == 1 {
+                    i += 1;
+                    continue;
+                }
+                let cidx = w.clause as usize;
+                if self.clauses[cidx].deleted {
+                    ws.swap_remove(i);
+                    continue;
+                }
+                // Normalize: watched literals sit at positions 0 and 1.
+                if self.clauses[cidx].lits[0] == false_lit {
+                    self.clauses[cidx].lits.swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[cidx].lits[1], false_lit);
+                let first = self.clauses[cidx].lits[0];
+                if first != w.blocker && self.value(first) == 1 {
+                    ws[i].blocker = first;
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                for k in 2..self.clauses[cidx].lits.len() {
+                    let cand = self.clauses[cidx].lits[k];
+                    if self.value(cand) != -1 {
+                        self.clauses[cidx].lits.swap(1, k);
+                        self.watches[cand.code() as usize].push(Watch {
+                            clause: w.clause,
+                            blocker: first,
+                        });
+                        ws.swap_remove(i);
+                        continue 'watches;
+                    }
+                }
+                // No replacement: clause is unit or conflicting.
+                if self.value(first) == -1 {
+                    conflict = Some(self.clauses[cidx].lits.clone());
+                    break;
+                }
+                self.stats.propagations += 1;
+                self.enqueue(first, Reason::Clause(w.clause));
+                i += 1;
+            }
+            // Restore the (possibly shrunk) watch list.
+            debug_assert!(self.watches[fcode].is_empty());
+            self.watches[fcode] = ws;
+            if conflict.is_some() {
+                self.qhead = self.trail.len();
+                return conflict;
+            }
+        }
+        None
+    }
+
+    /// Copies the literals of `l`'s reason clause into `buf` (clearing it
+    /// first). Avoids the per-resolution allocation that dominates analyze.
+    fn copy_reason_lits(&self, l: Lit, buf: &mut Vec<Lit>) {
+        buf.clear();
+        match self.reason[l.var().index() as usize] {
+            Reason::Decision => {}
+            Reason::Binary(other) => buf.extend([l, other]),
+            Reason::Clause(c) => buf.extend_from_slice(&self.clauses[c as usize].lits),
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, conflict: Vec<Lit>) -> (Vec<Lit>, u32) {
+        let current = self.current_level();
+        let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // placeholder for the asserting literal
+        let mut counter = 0usize;
+        let mut reason_buf = conflict;
+        let mut skip: Option<Lit> = None;
+        let mut idx = self.trail.len();
+
+        loop {
+            if let Some(p) = skip {
+                if let Reason::Clause(c) = self.reason[p.var().index() as usize] {
+                    self.bump_clause(c);
+                }
+            }
+            for i in 0..reason_buf.len() {
+                let q = reason_buf[i];
+                if Some(q) == skip {
+                    continue;
+                }
+                let v = q.var().index() as usize;
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump_var(q.var());
+                    if self.level[v] >= current {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Walk back to the next marked trail literal.
+            loop {
+                idx -= 1;
+                if self.seen[self.trail[idx].var().index() as usize] {
+                    break;
+                }
+            }
+            let p = self.trail[idx];
+            self.seen[p.var().index() as usize] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !p;
+                break;
+            }
+            let mut buf = std::mem::take(&mut reason_buf);
+            self.copy_reason_lits(p, &mut buf);
+            reason_buf = buf;
+            skip = Some(p);
+        }
+
+        // Mark remaining literals as seen for minimization bookkeeping.
+        for &l in &learnt[1..] {
+            self.seen[l.var().index() as usize] = true;
+        }
+        if self.minimize_enabled {
+            self.minimize_learnt(&mut learnt);
+        }
+
+        // Compute backtrack level and move that literal to position 1.
+        let bt_level = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index() as usize]
+                    > self.level[learnt[max_i].var().index() as usize]
+                {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index() as usize]
+        };
+
+        for &l in &learnt {
+            self.seen[l.var().index() as usize] = false;
+        }
+        for v in self.analyze_clear.drain(..) {
+            self.seen[v.index() as usize] = false;
+        }
+
+        (learnt, bt_level)
+    }
+
+    /// Removes learnt-clause literals that are implied by the rest
+    /// (recursive minimization à la MiniSat, conservative variant).
+    fn minimize_learnt(&mut self, learnt: &mut Vec<Lit>) {
+        let before = learnt.len();
+        let mut keep = Vec::with_capacity(learnt.len() - 1);
+        for i in 1..learnt.len() {
+            let l = learnt[i];
+            if self.literal_is_redundant(l) {
+                // The removed literal's seen flag must be cleared after
+                // analysis like every other mark.
+                self.analyze_clear.push(l.var());
+            } else {
+                keep.push(l);
+            }
+        }
+        learnt.truncate(1);
+        learnt.extend(keep);
+        self.stats.minimized_literals += (before - learnt.len()) as u64;
+    }
+
+    fn literal_is_redundant(&mut self, lit: Lit) -> bool {
+        if matches!(self.reason[lit.var().index() as usize], Reason::Decision) {
+            return false;
+        }
+        self.analyze_stack.clear();
+        self.analyze_stack.push(lit);
+        let mut to_undo: Vec<Var> = Vec::new();
+        let mut rl: Vec<Lit> = Vec::new();
+        while let Some(l) = self.analyze_stack.pop() {
+            self.copy_reason_lits(!l, &mut rl);
+            let skip = !l;
+            for i in 0..rl.len() {
+                let q = rl[i];
+                if q == skip {
+                    continue;
+                }
+                let v = q.var().index() as usize;
+                if self.seen[v] || self.level[v] == 0 {
+                    continue;
+                }
+                if matches!(self.reason[v], Reason::Decision) {
+                    // Not implied: undo speculative marks and keep the literal.
+                    for u in to_undo {
+                        self.seen[u.index() as usize] = false;
+                    }
+                    return false;
+                }
+                self.seen[v] = true;
+                to_undo.push(q.var());
+                self.analyze_stack.push(q);
+            }
+        }
+        // Marks stay seen; remember to clear them after analyze().
+        self.analyze_clear.extend(to_undo);
+        true
+    }
+
+    fn backtrack_to(&mut self, level: u32) {
+        if self.current_level() <= level {
+            return;
+        }
+        let lim = self.trail_lim[level as usize];
+        for i in (lim..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var().index() as usize;
+            self.saved_phase[v] = self.assign[v] == 1;
+            self.assign[v] = UNASSIGNED;
+            self.heap.insert(l.var(), &self.activity);
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn learn(&mut self, learnt: Vec<Lit>) {
+        let lbd = self.compute_lbd(&learnt);
+        match learnt.len() {
+            1 => {
+                self.enqueue(learnt[0], Reason::Decision);
+            }
+            2 => {
+                self.bin_implications[learnt[0].code() as usize].push(learnt[1]);
+                self.bin_implications[learnt[1].code() as usize].push(learnt[0]);
+                self.enqueue(learnt[0], Reason::Binary(learnt[1]));
+            }
+            _ => {
+                let idx = self.clauses.len() as u32;
+                self.watches[learnt[0].code() as usize].push(Watch {
+                    clause: idx,
+                    blocker: learnt[1],
+                });
+                self.watches[learnt[1].code() as usize].push(Watch {
+                    clause: idx,
+                    blocker: learnt[0],
+                });
+                let first = learnt[0];
+                self.clauses.push(Clause {
+                    lits: learnt,
+                    learnt: true,
+                    deleted: false,
+                    activity: self.cla_inc,
+                    lbd,
+                });
+                self.stats.learnt_clauses += 1;
+                self.enqueue(first, Reason::Clause(idx));
+            }
+        }
+    }
+
+    fn compute_lbd(&mut self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = lits
+            .iter()
+            .map(|l| self.level[l.var().index() as usize])
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        let i = v.index() as usize;
+        self.activity[i] += self.var_inc;
+        if self.activity[i] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap.update(v, &self.activity);
+    }
+
+    fn decay_var_activity(&mut self) {
+        self.var_inc /= 0.95;
+    }
+
+    fn bump_clause(&mut self, c: u32) {
+        let clause = &mut self.clauses[c as usize];
+        if !clause.learnt {
+            return;
+        }
+        clause.activity += self.cla_inc;
+        if clause.activity > 1e20 {
+            for cl in &mut self.clauses {
+                cl.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    fn decay_clause_activity(&mut self) {
+        self.cla_inc /= 0.999;
+    }
+
+    fn is_reason(&self, idx: u32) -> bool {
+        let c = &self.clauses[idx as usize];
+        let first = c.lits[0];
+        self.value(first) == 1 && self.reason[first.var().index() as usize] == Reason::Clause(idx)
+    }
+
+    fn reduce_db(&mut self) {
+        let mut candidates: Vec<u32> = (0..self.clauses.len() as u32)
+            .filter(|&i| {
+                let c = &self.clauses[i as usize];
+                c.learnt && !c.deleted && c.lbd > 2 && !self.is_reason(i)
+            })
+            .collect();
+        candidates.sort_by(|&a, &b| {
+            let ca = &self.clauses[a as usize];
+            let cb = &self.clauses[b as usize];
+            cb.lbd.cmp(&ca.lbd).then(
+                ca.activity
+                    .partial_cmp(&cb.activity)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+        });
+        let delete_count = candidates.len() / 2;
+        for &idx in &candidates[..delete_count] {
+            self.clauses[idx as usize].deleted = true;
+            self.clauses[idx as usize].lits.clear();
+            self.clauses[idx as usize].lits.shrink_to_fit();
+            self.stats.deleted_clauses += 1;
+        }
+        // Stale watch entries are dropped lazily during propagation.
+    }
+
+    fn decide(&mut self) -> Option<Lit> {
+        while let Some(v) = self.heap.pop(&self.activity) {
+            if self.assign[v.index() as usize] == UNASSIGNED {
+                let phase = self.saved_phase[v.index() as usize];
+                return Some(v.lit(phase));
+            }
+        }
+        None
+    }
+
+    fn extract_model(&self) -> Model {
+        Model::new((0..self.n_vars).map(|v| self.assign[v] == 1).collect())
+    }
+
+    fn search(&mut self, budget: Budget, start: Instant) -> SatResult {
+        if !self.ok {
+            return SatResult::Unsat;
+        }
+        if self.propagate().is_some() {
+            return SatResult::Unsat;
+        }
+
+        let mut restart_idx: u64 = 0;
+        let restart_base: u64 = 128;
+        let mut conflicts_until_restart = luby(restart_idx) * restart_base;
+        let mut next_reduce: u64 = 4000;
+
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.stats.conflicts += 1;
+                if self.current_level() == 0 {
+                    return SatResult::Unsat;
+                }
+                let (learnt, bt) = self.analyze(conflict);
+                self.backtrack_to(bt);
+                self.learn(learnt);
+                self.decay_var_activity();
+                self.decay_clause_activity();
+
+                conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
+                if self.stats.conflicts >= next_reduce {
+                    next_reduce += 4000 + 600 * (self.stats.conflicts / 4000);
+                    self.reduce_db();
+                }
+            } else {
+                if conflicts_until_restart == 0 {
+                    // Budget checks piggyback on restarts.
+                    if let Some(max) = budget.max_conflicts() {
+                        if self.stats.conflicts >= max {
+                            return SatResult::Unknown;
+                        }
+                    }
+                    if let Some(max) = budget.max_time() {
+                        if start.elapsed() >= max {
+                            return SatResult::Unknown;
+                        }
+                    }
+                    restart_idx += 1;
+                    conflicts_until_restart = luby(restart_idx) * restart_base;
+                    self.stats.restarts += 1;
+                    self.backtrack_to(0);
+                    continue;
+                }
+                match self.decide() {
+                    Some(l) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(l, Reason::Decision);
+                    }
+                    None => return SatResult::Sat(self.extract_model()),
+                }
+            }
+        }
+    }
+}
+
+/// The Luby restart sequence (1, 1, 2, 1, 1, 2, 4, …), 0-indexed.
+fn luby(x: u64) -> u64 {
+    let mut x = x;
+    let (mut size, mut seq) = (1u64, 0u32);
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) >> 1;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+/// Max-heap over variables keyed by activity, with index positions for
+/// `update`.
+#[derive(Debug)]
+struct VarHeap {
+    heap: Vec<Var>,
+    pos: Vec<usize>,
+}
+
+const NOT_IN_HEAP: usize = usize::MAX;
+
+impl VarHeap {
+    fn new(n: usize) -> Self {
+        let heap: Vec<Var> = (0..n as u32).map(Var::from_index).collect();
+        let pos = (0..n).collect();
+        Self { heap, pos }
+    }
+
+    fn insert(&mut self, v: Var, act: &[f64]) {
+        if self.pos[v.index() as usize] != NOT_IN_HEAP {
+            return;
+        }
+        self.pos[v.index() as usize] = self.heap.len();
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, act);
+    }
+
+    fn update(&mut self, v: Var, act: &[f64]) {
+        let p = self.pos[v.index() as usize];
+        if p != NOT_IN_HEAP {
+            self.sift_up(p, act);
+        }
+    }
+
+    fn pop(&mut self, act: &[f64]) -> Option<Var> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("heap non-empty");
+        self.pos[top.index() as usize] = NOT_IN_HEAP;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last.index() as usize] = 0;
+            self.sift_down(0, act);
+        }
+        Some(top)
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if act[self.heap[i].index() as usize] <= act[self.heap[parent].index() as usize] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut largest = i;
+            if l < self.heap.len()
+                && act[self.heap[l].index() as usize] > act[self.heap[largest].index() as usize]
+            {
+                largest = l;
+            }
+            if r < self.heap.len()
+                && act[self.heap[r].index() as usize] > act[self.heap[largest].index() as usize]
+            {
+                largest = r;
+            }
+            if largest == i {
+                break;
+            }
+            self.swap(i, largest);
+            i = largest;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a].index() as usize] = a;
+        self.pos[self.heap[b].index() as usize] = b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CnfFormula;
+
+    fn lits(cnf: &mut CnfFormula, n: usize) -> Vec<Lit> {
+        (0..n).map(|_| cnf.new_lit()).collect()
+    }
+
+    /// Pigeonhole principle: `pigeons` into `holes`; UNSAT iff pigeons > holes.
+    fn pigeonhole(pigeons: usize, holes: usize) -> CnfFormula {
+        let mut cnf = CnfFormula::new();
+        let vars: Vec<Vec<Lit>> = (0..pigeons).map(|_| lits(&mut cnf, holes)).collect();
+        for p in &vars {
+            cnf.add_clause(p.iter().copied());
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    cnf.add_clause([!vars[p1][h], !vars[p2][h]]);
+                }
+            }
+        }
+        cnf
+    }
+
+    #[test]
+    fn trivial_cases() {
+        let mut cnf = CnfFormula::new();
+        let a = cnf.new_lit();
+        cnf.add_clause([a]);
+        assert!(Solver::new(cnf.clone()).solve().is_sat());
+        cnf.add_clause([!a]);
+        assert!(Solver::new(cnf).solve().is_unsat());
+        assert!(Solver::new(CnfFormula::new()).solve().is_sat());
+    }
+
+    #[test]
+    fn pigeonhole_unsat() {
+        for holes in 1..=5usize {
+            let cnf = pigeonhole(holes + 1, holes);
+            assert!(
+                Solver::new(cnf).solve().is_unsat(),
+                "php({}, {holes})",
+                holes + 1
+            );
+        }
+    }
+
+    #[test]
+    fn pigeonhole_sat_when_enough_holes() {
+        for holes in 1..=6usize {
+            let cnf = pigeonhole(holes, holes);
+            let clauses: Vec<Vec<Lit>> = cnf.clauses().to_vec();
+            match Solver::new(cnf).solve() {
+                SatResult::Sat(m) => {
+                    for c in &clauses {
+                        assert!(c.iter().any(|&l| m.value(l)), "model violates clause");
+                    }
+                }
+                other => panic!("php({holes},{holes}) must be SAT, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn models_satisfy_all_clauses_on_random_instances() {
+        // Deterministic xorshift so the test is reproducible.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..60 {
+            let n_vars = 8 + (rng() % 8) as usize;
+            let n_clauses = (3 * n_vars) + (rng() % 10) as usize;
+            let mut cnf = CnfFormula::new();
+            let vars = lits(&mut cnf, n_vars);
+            let mut clause_list = Vec::new();
+            for _ in 0..n_clauses {
+                let len = 1 + (rng() % 3) as usize;
+                let clause: Vec<Lit> = (0..len)
+                    .map(|_| {
+                        let v = vars[(rng() % n_vars as u64) as usize];
+                        if rng() % 2 == 0 {
+                            v
+                        } else {
+                            !v
+                        }
+                    })
+                    .collect();
+                clause_list.push(clause.clone());
+                cnf.add_clause(clause);
+            }
+            // Brute-force ground truth.
+            let expected_sat = (0..(1u32 << n_vars)).any(|bits| {
+                clause_list.iter().all(|c| {
+                    c.iter().any(|l| {
+                        let val = (bits >> l.var().index()) & 1 == 1;
+                        val == l.is_positive()
+                    })
+                })
+            });
+            match Solver::new(cnf).solve() {
+                SatResult::Sat(m) => {
+                    assert!(
+                        expected_sat,
+                        "round {round}: solver said SAT, brute force UNSAT"
+                    );
+                    for c in &clause_list {
+                        assert!(c.iter().any(|&l| m.value(l)), "round {round}: bad model");
+                    }
+                }
+                SatResult::Unsat => {
+                    assert!(
+                        !expected_sat,
+                        "round {round}: solver said UNSAT, brute force SAT"
+                    )
+                }
+                SatResult::Unknown => panic!("round {round}: no budget was set"),
+            }
+        }
+    }
+
+    #[test]
+    fn budget_returns_unknown() {
+        let cnf = pigeonhole(9, 8); // hard enough to exceed a 10-conflict budget
+        let (result, stats) =
+            Solver::new(cnf).solve_with_budget(Budget::new().with_max_conflicts(10));
+        assert_eq!(result, SatResult::Unknown);
+        assert!(stats.conflicts >= 10);
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let expected = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let got: Vec<u64> = (0..expected.len() as u64).map(luby).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn at_most_one_chain_propagates() {
+        // A long implication chain mixed with an exactly-one block exercises
+        // binary propagation, learning and backtracking together.
+        let mut cnf = CnfFormula::new();
+        let chain = lits(&mut cnf, 50);
+        for w in chain.windows(2) {
+            cnf.add_clause([!w[0], w[1]]);
+        }
+        let block = lits(&mut cnf, 10);
+        cnf.exactly_one(&block, crate::ExactlyOne::Pairwise);
+        cnf.add_clause([chain[0]]);
+        cnf.add_clause([!chain[49], block[3]]);
+        match Solver::new(cnf).solve() {
+            SatResult::Sat(m) => {
+                assert!(m.value(block[3]));
+                assert_eq!(block.iter().filter(|&&b| m.value(b)).count(), 1);
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let cnf = pigeonhole(6, 5);
+        let (result, stats) = Solver::new(cnf).solve_with_budget(Budget::new());
+        assert!(result.is_unsat());
+        assert!(stats.conflicts > 0);
+        assert!(stats.propagations > 0);
+        assert!(stats.solve_time.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,42 @@
+use std::fmt;
+use std::time::Duration;
+
+/// Search statistics of one solver run.
+///
+/// These numbers back the `Vars`, `Clauses` and `T[s]` columns of the
+/// paper's Table IV (the variable/clause counts come from the CNF itself,
+/// the runtime from [`SolverStats::solve_time`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct SolverStats {
+    /// Number of decisions taken.
+    pub decisions: u64,
+    /// Number of unit propagations performed.
+    pub propagations: u64,
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses currently in the database.
+    pub learnt_clauses: u64,
+    /// Number of learnt clauses deleted by database reductions.
+    pub deleted_clauses: u64,
+    /// Number of literals removed by conflict-clause minimization.
+    pub minimized_literals: u64,
+    /// Wall-clock time of the solve call.
+    pub solve_time: Duration,
+}
+
+impl fmt::Display for SolverStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} conflicts, {} decisions, {} propagations, {} restarts in {:.3}s",
+            self.conflicts,
+            self.decisions,
+            self.propagations,
+            self.restarts,
+            self.solve_time.as_secs_f64()
+        )
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based cross-validation of the CDCL solver against brute force.
+
+use mm_sat::{Budget, CnfFormula, ExactlyOne, Lit, SatResult, Solver, Var};
+use proptest::prelude::*;
+
+/// A random clause set over `n_vars` variables, as (var, polarity) pairs.
+fn clauses_strategy(n_vars: u32) -> impl Strategy<Value = Vec<Vec<(u32, bool)>>> {
+    let clause = prop::collection::vec((0..n_vars, any::<bool>()), 1..=4);
+    prop::collection::vec(clause, 1..60)
+}
+
+fn build(n_vars: u32, raw: &[Vec<(u32, bool)>]) -> (CnfFormula, Vec<Vec<Lit>>) {
+    let mut cnf = CnfFormula::new();
+    cnf.reserve_vars(n_vars);
+    let mut list = Vec::new();
+    for c in raw {
+        let clause: Vec<Lit> = c
+            .iter()
+            .map(|&(v, pos)| Var::from_index(v).lit(pos))
+            .collect();
+        list.push(clause.clone());
+        cnf.add_clause(clause);
+    }
+    (cnf, list)
+}
+
+fn brute_force_sat(n_vars: u32, clauses: &[Vec<Lit>]) -> bool {
+    (0u64..(1 << n_vars)).any(|bits| {
+        clauses.iter().all(|c| {
+            c.iter()
+                .any(|l| ((bits >> l.var().index()) & 1 == 1) == l.is_positive())
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn solver_agrees_with_brute_force(raw in clauses_strategy(10)) {
+        let (cnf, clauses) = build(10, &raw);
+        let expected = brute_force_sat(10, &clauses);
+        match Solver::new(cnf).solve() {
+            SatResult::Sat(model) => {
+                prop_assert!(expected, "solver SAT but brute force UNSAT");
+                for c in &clauses {
+                    prop_assert!(c.iter().any(|&l| model.value(l)), "model violates a clause");
+                }
+            }
+            SatResult::Unsat => prop_assert!(!expected, "solver UNSAT but brute force SAT"),
+            SatResult::Unknown => prop_assert!(false, "no budget was set"),
+        }
+    }
+
+    #[test]
+    fn minimization_does_not_change_answers(raw in clauses_strategy(9)) {
+        let (cnf, _) = build(9, &raw);
+        let with = Solver::new(cnf.clone()).solve().is_sat();
+        let mut solver = Solver::new(cnf);
+        solver.set_minimize(false);
+        let without = solver.solve().is_sat();
+        prop_assert_eq!(with, without);
+    }
+
+    #[test]
+    fn exactly_one_models_are_exact(k in 1usize..10, pick in any::<prop::sample::Index>()) {
+        for enc in [ExactlyOne::Pairwise, ExactlyOne::Sequential, ExactlyOne::Commander] {
+            let mut cnf = CnfFormula::new();
+            let ys: Vec<Lit> = (0..k).map(|_| cnf.new_lit()).collect();
+            cnf.exactly_one(&ys, enc);
+            // Forcing any single y_i to be true must be satisfiable with all
+            // other block literals false.
+            let chosen = pick.index(k);
+            cnf.add_unit(ys[chosen]);
+            match Solver::new(cnf).solve() {
+                SatResult::Sat(m) => {
+                    for (i, &y) in ys.iter().enumerate() {
+                        prop_assert_eq!(m.value(y), i == chosen);
+                    }
+                }
+                other => prop_assert!(false, "expected SAT, got {:?}", other),
+            }
+        }
+    }
+
+    #[test]
+    fn budgeted_solves_never_lie(raw in clauses_strategy(10)) {
+        // With a tiny budget the solver may return Unknown, but when it does
+        // answer, the answer must match brute force.
+        let (cnf, clauses) = build(10, &raw);
+        let expected = brute_force_sat(10, &clauses);
+        let (result, _) =
+            Solver::new(cnf).solve_with_budget(Budget::new().with_max_conflicts(8));
+        match result {
+            SatResult::Sat(_) => prop_assert!(expected),
+            SatResult::Unsat => prop_assert!(!expected),
+            SatResult::Unknown => {}
+        }
+    }
+}

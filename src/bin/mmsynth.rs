@@ -1,0 +1,244 @@
+//! `mmsynth` — command-line front end for memristive mixed-mode synthesis.
+//!
+//! ```text
+//! mmsynth synth   --function gf22_mul --rops 4 --legs 6 --steps 3 [--budget 300]
+//!                 [--dot | --json | --dimacs | --schedule]
+//! mmsynth map     --function adder3 [--dot | --json]
+//! mmsynth run     --function gf22_mul --input 1011 [--trace] [--seed 42]
+//! mmsynth census  --inputs 3 [--pre K] [--post K] [--tebe K]
+//! mmsynth list
+//! ```
+//!
+//! Functions are either named generators (see `mmsynth list`) or comma-
+//! separated truth-table bitstrings (`--function 0110,1000` = two outputs).
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use memristive_mm::boolfn::{generators, MultiOutputFn, TruthTable};
+use memristive_mm::circuit::Schedule;
+use memristive_mm::device::{ElectricalParams, LineArray};
+use memristive_mm::sat::Budget;
+use memristive_mm::synth::universality::{census, CensusConfig};
+use memristive_mm::synth::{heuristic, SynthResult, SynthSpec, Synthesizer};
+
+fn named_functions() -> Vec<(&'static str, MultiOutputFn)> {
+    vec![
+        ("adder1", generators::ripple_adder(1)),
+        ("adder2", generators::ripple_adder(2)),
+        ("adder3", generators::ripple_adder(3)),
+        ("adder4", generators::ripple_adder(4)),
+        ("gf22_mul", generators::gf22_multiplier()),
+        ("gf16_inv", generators::gf16_inversion()),
+        ("and2", generators::and_gate(2)),
+        ("and4", generators::and_gate(4)),
+        ("or4", generators::or_gate(4)),
+        ("nand4", generators::nand_gate(4)),
+        ("nor4", generators::nor_gate(4)),
+        ("xor2", generators::xor_gate(2)),
+        ("xor3", generators::xor_gate(3)),
+        ("maj3", generators::majority_gate(3)),
+        ("mux21", generators::mux21()),
+        ("mul2", generators::int_multiplier(2)),
+        ("cmp2", generators::comparator(2)),
+        ("popcount4", generators::popcount(4)),
+    ]
+}
+
+fn parse_function(spec: &str) -> Result<MultiOutputFn, String> {
+    for (name, f) in named_functions() {
+        if name == spec {
+            return Ok(f);
+        }
+    }
+    // Comma-separated bitstrings.
+    let tables: Result<Vec<TruthTable>, _> =
+        spec.split(',').map(TruthTable::from_bitstring).collect();
+    match tables {
+        Ok(ts) => MultiOutputFn::new("cli", ts).map_err(|e| e.to_string()),
+        Err(e) => Err(format!(
+            "{spec:?} is neither a known function name nor a truth-table list: {e}"
+        )),
+    }
+}
+
+struct Args {
+    flags: HashMap<String, String>,
+    bare: Vec<String>,
+}
+
+fn parse_args(argv: &[String]) -> Args {
+    let mut flags = HashMap::new();
+    let mut bare = Vec::new();
+    let mut it = argv.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().expect("peeked").clone(),
+                _ => String::from("true"),
+            };
+            flags.insert(name.to_string(), value);
+        } else {
+            bare.push(a.clone());
+        }
+    }
+    Args { flags, bare }
+}
+
+impl Args {
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    fn get_usize(&self, name: &str, default: usize) -> usize {
+        self.get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&argv);
+    let command = args.bare.first().map(String::as_str).unwrap_or("help");
+    match run(command, &args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(command: &str, args: &Args) -> Result<(), String> {
+    match command {
+        "list" => {
+            println!("named functions:");
+            for (name, f) in named_functions() {
+                println!(
+                    "  {name:<12} {} inputs, {} outputs",
+                    f.n_inputs(),
+                    f.n_outputs()
+                );
+            }
+            Ok(())
+        }
+        "census" => {
+            let n = args.get_usize("inputs", 3) as u8;
+            let cfg = CensusConfig::new(n)
+                .with_pre(args.get_usize("pre", 0) as u32)
+                .with_post(args.get_usize("post", 0) as u32)
+                .with_tebe(args.get_usize("tebe", 0) as u32);
+            let reached = census(&cfg);
+            println!(
+                "{reached} of {} {n}-input functions realizable with {cfg:?}",
+                1u64 << (1 << n)
+            );
+            Ok(())
+        }
+        "map" => {
+            let f = parse_function(args.get("function").ok_or("--function required")?)?;
+            let circuit = heuristic::map(&f).map_err(|e| e.to_string())?;
+            emit_circuit(&circuit, args)
+        }
+        "synth" => {
+            let f = parse_function(args.get("function").ok_or("--function required")?)?;
+            let rops = args.get_usize("rops", 0);
+            let spec = if args.has("r-only") {
+                SynthSpec::r_only(&f, args.get_usize("r-only", 1))
+            } else {
+                let legs = args.get_usize(
+                    "legs",
+                    SynthSpec::paper_legs(&f, rops, f.name().starts_with("adder")),
+                );
+                SynthSpec::mixed_mode(&f, rops, legs, args.get_usize("steps", 3))
+            }
+            .map_err(|e| e.to_string())?;
+            let synth = Synthesizer::new().with_budget(
+                Budget::new()
+                    .with_max_time(Duration::from_secs(args.get_usize("budget", 120) as u64)),
+            );
+            if args.has("dimacs") {
+                print!("{}", synth.export_dimacs(&spec).map_err(|e| e.to_string())?);
+                return Ok(());
+            }
+            let outcome = synth.run(&spec).map_err(|e| e.to_string())?;
+            eprintln!(
+                "{} vars, {} clauses, {}",
+                outcome.encode_stats.n_vars, outcome.encode_stats.n_clauses, outcome.solver_stats
+            );
+            match outcome.result {
+                SynthResult::Realizable(circuit) => emit_circuit(&circuit, args),
+                SynthResult::Unrealizable => {
+                    println!(
+                        "UNSAT: no circuit exists within these budgets (optimality certificate)"
+                    );
+                    Ok(())
+                }
+                SynthResult::Unknown => Err("budget exhausted; raise --budget".into()),
+            }
+        }
+        "run" => {
+            let f = parse_function(args.get("function").ok_or("--function required")?)?;
+            let input = args
+                .get("input")
+                .ok_or("--input required (e.g. --input 1011)")?;
+            if input.len() != f.n_inputs() as usize {
+                return Err(format!("--input must have {} bits", f.n_inputs()));
+            }
+            let x = u32::from_str_radix(input, 2).map_err(|e| e.to_string())?;
+            let circuit = heuristic::map(&f).map_err(|e| e.to_string())?;
+            let schedule = Schedule::compile(&circuit).map_err(|e| e.to_string())?;
+            let seed = args.get_usize("seed", 42) as u64;
+            let mut array = LineArray::bfo(schedule.n_cells(), ElectricalParams::bfo(), seed);
+            let out = schedule.execute(x, &mut array);
+            if args.has("trace") {
+                print!("{}", array.trace().to_table());
+            }
+            let bits: String = out.iter().map(|&b| if b { '1' } else { '0' }).collect();
+            println!("{}({input}) = {bits}", f.name());
+            Ok(())
+        }
+        _ => {
+            println!(
+                "usage: mmsynth <synth|map|run|census|list> [--function NAME|BITS,...]\n\
+                 \x20      synth: --rops N [--legs N] [--steps N] [--r-only N] [--budget s]\n\
+                 \x20             [--dot | --json | --dimacs | --schedule]\n\
+                 \x20      map:   [--dot | --json | --schedule]\n\
+                 \x20      run:   --input BITS [--trace] [--seed N]\n\
+                 \x20      census: --inputs N [--pre K] [--post K] [--tebe K]"
+            );
+            Ok(())
+        }
+    }
+}
+
+fn emit_circuit(circuit: &memristive_mm::circuit::MmCircuit, args: &Args) -> Result<(), String> {
+    if args.has("dot") {
+        print!("{}", circuit.to_dot());
+    } else if args.has("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(circuit).map_err(|e| e.to_string())?
+        );
+    } else if args.has("schedule") {
+        let schedule = Schedule::compile(circuit).map_err(|e| e.to_string())?;
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&schedule).map_err(|e| e.to_string())?
+        );
+    } else {
+        print!("{}", circuit.to_text());
+        let m = circuit.metrics();
+        println!(
+            "metrics: N_R={} N_L={} N_VS={} N_St={} N_Dev={}",
+            m.n_rops, m.n_legs, m.n_vsteps, m.n_steps, m.n_devices_structural
+        );
+    }
+    Ok(())
+}

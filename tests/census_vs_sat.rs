@@ -1,0 +1,60 @@
+//! Cross-validation of two independent implementations of the same
+//! question: the universality census (bit-mask closure) and the SAT
+//! synthesizer (CNF + CDCL) must agree on which functions are V-op
+//! realizable.
+
+use memristive_mm::boolfn::{MultiOutputFn, TruthTable};
+use memristive_mm::synth::universality::{census_set, CensusConfig};
+use memristive_mm::synth::{SynthSpec, Synthesizer};
+
+/// Exhaustive for n = 2: all 16 functions, census vs SAT.
+#[test]
+fn census_and_sat_agree_on_all_2_input_functions() {
+    let reachable = census_set(&CensusConfig::new(2));
+    for bits in 0..16u64 {
+        let tt = TruthTable::from_packed(2, bits).expect("2-input table");
+        let f = MultiOutputFn::new(format!("f{bits:x}"), vec![tt]).expect("one output");
+        // 4 V-op steps are enough to reach the fixed point for n = 2.
+        let spec = SynthSpec::mixed_mode(&f, 0, 1, 4).expect("valid");
+        let sat_realizable = Synthesizer::new()
+            .run(&spec)
+            .expect("runs")
+            .circuit()
+            .is_some();
+        let census_realizable = reachable.contains(&(bits as u32));
+        assert_eq!(
+            sat_realizable, census_realizable,
+            "disagreement on function {bits:04b}"
+        );
+    }
+    // Sanity: V-ops reach every 2-input function except XOR and XNOR.
+    assert_eq!(reachable.len(), 14);
+    assert!(!reachable.contains(&0b0110), "XOR2 must be unreachable");
+    assert!(!reachable.contains(&0b1001), "XNOR2 must be unreachable");
+}
+
+/// Spot checks for n = 3 (exhaustive would be 256 SAT calls; sample the
+/// interesting boundary).
+#[test]
+fn census_and_sat_agree_on_3_input_samples() {
+    let reachable = census_set(&CensusConfig::new(3));
+    for bits in [
+        0x00u64, 0xff, 0x96, /* xor3 */
+        0x17, /* maj3' */
+        0x80, 0x7f, 0x01, 0xe8,
+    ] {
+        let tt = TruthTable::from_packed(3, bits).expect("3-input table");
+        let f = MultiOutputFn::new(format!("f{bits:02x}"), vec![tt]).expect("one output");
+        let spec = SynthSpec::mixed_mode(&f, 0, 1, 5).expect("valid");
+        let sat_realizable = Synthesizer::new()
+            .run(&spec)
+            .expect("runs")
+            .circuit()
+            .is_some();
+        assert_eq!(
+            sat_realizable,
+            reachable.contains(&(bits as u32)),
+            "disagreement on function {bits:08b}"
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based cross-crate invariants: for arbitrary functions, the
+//! heuristic mapper, the schedule compiler, and the device simulator agree
+//! with direct truth-table evaluation.
+
+use memristive_mm::boolfn::{generators, MultiOutputFn, TruthTable};
+use memristive_mm::circuit::Schedule;
+use memristive_mm::device::{ElectricalParams, LineArray};
+use memristive_mm::synth::heuristic;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// heuristic-map → symbolic eval ≡ spec, for every 3-input function.
+    #[test]
+    fn heuristic_map_is_correct(bits in 0u64..256) {
+        let tt = TruthTable::from_packed(3, bits).expect("3-input table");
+        let f = MultiOutputFn::new("prop", vec![tt]).expect("one output");
+        let c = heuristic::map(&f).expect("maps");
+        prop_assert!(c.implements(&f));
+    }
+
+    /// heuristic-map → schedule → ideal line array ≡ spec (full pipeline).
+    #[test]
+    fn pipeline_execution_matches_spec(bits in 0u64..65536) {
+        let tt = TruthTable::from_packed(4, bits).expect("4-input table");
+        let f = MultiOutputFn::new("prop", vec![tt]).expect("one output");
+        let c = heuristic::map(&f).expect("maps");
+        let schedule = Schedule::compile(&c).expect("schedulable");
+        prop_assert!(schedule.verify(&f));
+    }
+
+    /// Electrical execution without variation agrees with ideal execution.
+    #[test]
+    fn electrical_equals_ideal(bits in 0u64..256, x in 0u32..8, seed in any::<u64>()) {
+        let tt = TruthTable::from_packed(3, bits).expect("3-input table");
+        let f = MultiOutputFn::new("prop", vec![tt]).expect("one output");
+        let c = heuristic::map(&f).expect("maps");
+        let schedule = Schedule::compile(&c).expect("schedulable");
+        let ideal = schedule.run_ideal(x);
+        let mut array = LineArray::bfo(schedule.n_cells(), ElectricalParams::bfo(), seed);
+        let electric = schedule.execute(x, &mut array);
+        prop_assert_eq!(ideal, electric);
+    }
+
+    /// Multi-output functions built from random pairs also survive the
+    /// pipeline.
+    #[test]
+    fn multi_output_pipeline(b1 in 0u64..256, b2 in 0u64..256) {
+        let t1 = TruthTable::from_packed(3, b1).expect("valid");
+        let t2 = TruthTable::from_packed(3, b2).expect("valid");
+        let f = MultiOutputFn::new("pair", vec![t1, t2]).expect("two outputs");
+        let c = heuristic::map(&f).expect("maps");
+        let schedule = Schedule::compile(&c).expect("schedulable");
+        prop_assert!(schedule.verify(&f));
+    }
+
+    /// Serde round-trips preserve circuits exactly.
+    #[test]
+    fn serde_round_trip(bits in 0u64..65536) {
+        let tt = TruthTable::from_packed(4, bits).expect("valid");
+        let f = MultiOutputFn::new("prop", vec![tt]).expect("one output");
+        let c = heuristic::map(&f).expect("maps");
+        let json = serde_json::to_string(&c).expect("serializes");
+        let back: memristive_mm::circuit::MmCircuit = serde_json::from_str(&json).expect("parses");
+        prop_assert_eq!(c, back);
+    }
+}
+
+/// Census monotonicity: more R-ops never shrink the reachable set.
+#[test]
+fn census_is_monotone() {
+    use memristive_mm::synth::universality::{census, CensusConfig};
+    let mut prev = 0;
+    for k in 0..=4 {
+        let now = census(&CensusConfig::new(3).with_pre(k));
+        assert!(now >= prev, "k_pre = {k}");
+        prev = now;
+    }
+    let mut prev = 0;
+    for k in 0..=3 {
+        let now = census(&CensusConfig::new(3).with_post(k));
+        assert!(now >= prev, "k_post rounds = {k}");
+        prev = now;
+    }
+}
+
+/// The adder generators agree with the heuristic + simulator across
+/// widths (a long-pipeline smoke of everything at once).
+#[test]
+fn adders_survive_everything() {
+    for width in 1..=3u8 {
+        let f = generators::ripple_adder(width);
+        let c = heuristic::map(&f).expect("maps");
+        let schedule = Schedule::compile(&c).expect("schedulable");
+        assert!(schedule.verify(&f), "width {width}");
+    }
+}
