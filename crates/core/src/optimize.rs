@@ -8,6 +8,8 @@
 //! budget) or only *bounded* (the paper's "≤" rows, where the solver timed
 //! out).
 
+pub mod parallel;
+
 use std::time::Duration;
 
 use mm_boolfn::MultiOutputFn;
@@ -286,7 +288,10 @@ mod tests {
             .take_while(|c| c.result != SynthResultKind::Realizable)
             .any(|c| c.result == SynthResultKind::Unknown);
         if unknown_below_sat {
-            assert!(!report.proven_optimal, "Unknown below the optimum forfeits the proof");
+            assert!(
+                !report.proven_optimal,
+                "Unknown below the optimum forfeits the proof"
+            );
         }
         assert!(report.total_time() > std::time::Duration::ZERO);
     }

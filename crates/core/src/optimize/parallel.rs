@@ -1,0 +1,411 @@
+//! Parallel portfolio minimization with cooperative cancellation.
+//!
+//! The sequential loops in [`optimize`](crate::optimize) probe one budget
+//! point at a time. The functions here dispatch the independent `(N_V, N_R)`
+//! decision problems of a minimization run across a thread pool instead,
+//! wiring every in-flight solver call to a
+//! [`CancellationToken`](mm_sat::CancellationToken):
+//!
+//! * a **SAT** answer at budget `k` cancels every call at a budget `> k`
+//!   (a smaller witness already exists, larger budgets are uninteresting);
+//! * an **UNSAT** answer at budget `k` cancels every call at a budget `< k`
+//!   (the budget lattice is monotone, so everything below is also UNSAT).
+//!
+//! # Determinism
+//!
+//! For fixed inputs and a conflict-limited (or unlimited) per-call budget,
+//! the reported optimum and `proven_optimal` are identical for every thread
+//! count; only the order and number of entries in
+//! [`OptimizeReport::calls`] may vary. The argument rests on the monotone
+//! budget lattice (realizable at `k` implies realizable at `k + 1`):
+//!
+//! * Let `k*` be the smallest ladder point the (deterministic) solver
+//!   answers SAT. Nothing can cancel `k*`: a completed SAT strictly below
+//!   it cannot exist (by minimality of `k*`), and a completed UNSAT
+//!   strictly above it would contradict monotone truth. So `k*` always
+//!   completes and `best` is always its (deterministic) witness.
+//! * Let `u*` be the largest ladder point the solver answers UNSAT
+//!   (`u* < k*`). By the same case analysis `u*` always completes, and
+//!   every point `≤ u*` is UNSAT by the lattice closure whether or not its
+//!   own call was cancelled.
+//! * Points in `(u*, k*)` — where the solver gives up with Unknown — can
+//!   never be cancelled (no SAT exists below them, no UNSAT above them),
+//!   so they always report Unknown.
+//!
+//! Hence `proven_optimal` — "`k* `is the ladder minimum, or every point
+//! below `k*` is conclusively UNSAT" — is schedule-independent. Wall-clock
+//! time limits break the first premise (the solver's answer at a point
+//! stops being a function of the formula), so determinism across thread
+//! counts is only guaranteed for conflict-limited or unlimited budgets.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use mm_boolfn::MultiOutputFn;
+use mm_circuit::MmCircuit;
+use mm_sat::CancellationToken;
+
+use super::{record, CallRecord, OptimizeReport};
+use crate::{EncodeOptions, SynthError, SynthResult, SynthSpec, Synthesizer};
+
+/// A sensible default worker count: the machine's available parallelism.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The conclusive outcome of one ladder point after the portfolio run.
+#[derive(Debug)]
+enum PointOutcome {
+    /// The solver returned a verified circuit.
+    Sat(Box<MmCircuit>),
+    /// The solver proved the point infeasible.
+    Unsat,
+    /// The solver gave up (budget exhausted or cancelled mid-run).
+    Unknown,
+    /// The point's token was already tripped before the call started, so no
+    /// solver was ever launched (no [`CallRecord`] exists for it).
+    Skipped,
+}
+
+/// What one budget ladder run concluded.
+struct LadderOutcome {
+    /// Ladder index of the cheapest SAT point, with its circuit.
+    best: Option<(usize, MmCircuit)>,
+    /// Whether every point below the best is conclusively UNSAT (directly
+    /// or via the lattice closure under the largest completed UNSAT).
+    proven: bool,
+    /// Call records in completion order.
+    calls: Vec<CallRecord>,
+}
+
+/// Solves an ascending budget ladder (`specs[i]` strictly weaker than
+/// `specs[i + 1]`) with `jobs` workers and lattice-driven cancellation.
+fn run_ladder(
+    synth: &Synthesizer,
+    specs: &[SynthSpec],
+    jobs: usize,
+) -> Result<LadderOutcome, SynthError> {
+    let n = specs.len();
+    let jobs = jobs.max(1).min(n.max(1));
+    let tokens: Vec<CancellationToken> = (0..n).map(|_| CancellationToken::new()).collect();
+    let outcomes: Mutex<Vec<Option<PointOutcome>>> = Mutex::new((0..n).map(|_| None).collect());
+    let calls: Mutex<Vec<CallRecord>> = Mutex::new(Vec::new());
+    let first_error: Mutex<Option<SynthError>> = Mutex::new(None);
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| {
+                worker(
+                    synth,
+                    specs,
+                    &tokens,
+                    &cursor,
+                    &outcomes,
+                    &calls,
+                    &first_error,
+                );
+            });
+        }
+    });
+
+    if let Some(e) = first_error.into_inner().expect("no poisoned lock") {
+        return Err(e);
+    }
+    let outcomes = outcomes.into_inner().expect("no poisoned lock");
+    let calls = calls.into_inner().expect("no poisoned lock");
+
+    let mut best: Option<(usize, MmCircuit)> = None;
+    let mut u_max: Option<usize> = None;
+    for (idx, outcome) in outcomes.into_iter().enumerate() {
+        match outcome.expect("every ladder point is visited") {
+            PointOutcome::Sat(c) => {
+                if best.is_none() {
+                    best = Some((idx, *c));
+                }
+            }
+            PointOutcome::Unsat => u_max = Some(idx),
+            PointOutcome::Unknown | PointOutcome::Skipped => {}
+        }
+    }
+    let proven = match &best {
+        None => false,
+        Some((0, _)) => true,
+        Some((k, _)) => u_max.is_some_and(|u| u >= k - 1),
+    };
+    Ok(LadderOutcome {
+        best,
+        proven,
+        calls,
+    })
+}
+
+fn worker(
+    synth: &Synthesizer,
+    specs: &[SynthSpec],
+    tokens: &[CancellationToken],
+    cursor: &AtomicUsize,
+    outcomes: &Mutex<Vec<Option<PointOutcome>>>,
+    calls: &Mutex<Vec<CallRecord>>,
+    first_error: &Mutex<Option<SynthError>>,
+) {
+    loop {
+        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+        if idx >= specs.len() {
+            return;
+        }
+        if first_error.lock().expect("no poisoned lock").is_some() {
+            set_outcome(outcomes, idx, PointOutcome::Skipped);
+            continue;
+        }
+        if tokens[idx].is_cancelled() {
+            set_outcome(outcomes, idx, PointOutcome::Skipped);
+            continue;
+        }
+        let budget = synth.budget().with_cancellation(tokens[idx].clone());
+        let point_synth = synth.clone().with_budget(budget);
+        match point_synth.run(&specs[idx]) {
+            Ok(outcome) => {
+                calls
+                    .lock()
+                    .expect("no poisoned lock")
+                    .push(record(&outcome, &specs[idx]));
+                let point = match outcome.result {
+                    SynthResult::Realizable(c) => {
+                        // A witness at `idx` settles every larger budget.
+                        for token in &tokens[idx + 1..] {
+                            token.cancel();
+                        }
+                        PointOutcome::Sat(Box::new(c))
+                    }
+                    SynthResult::Unrealizable => {
+                        // Lattice monotonicity: UNSAT here closes everything
+                        // below.
+                        for token in &tokens[..idx] {
+                            token.cancel();
+                        }
+                        PointOutcome::Unsat
+                    }
+                    SynthResult::Unknown => PointOutcome::Unknown,
+                };
+                set_outcome(outcomes, idx, point);
+            }
+            Err(e) => {
+                let mut slot = first_error.lock().expect("no poisoned lock");
+                if slot.is_none() {
+                    *slot = Some(e);
+                }
+                drop(slot);
+                for token in tokens {
+                    token.cancel();
+                }
+                set_outcome(outcomes, idx, PointOutcome::Skipped);
+            }
+        }
+    }
+}
+
+fn set_outcome(outcomes: &Mutex<Vec<Option<PointOutcome>>>, idx: usize, outcome: PointOutcome) {
+    outcomes.lock().expect("no poisoned lock")[idx] = Some(outcome);
+}
+
+/// Parallel version of [`minimize_r_only`](super::minimize_r_only): probes
+/// `N_R = 1..=max_rops` concurrently with `jobs` workers.
+///
+/// The reported optimum and `proven_optimal` are independent of `jobs` (see
+/// the module docs); `calls` ordering may differ.
+///
+/// # Errors
+///
+/// Propagates [`SynthError`] from spec construction or synthesis.
+pub fn minimize_r_only(
+    synth: &Synthesizer,
+    f: &MultiOutputFn,
+    max_rops: usize,
+    options: &EncodeOptions,
+    jobs: usize,
+) -> Result<OptimizeReport, SynthError> {
+    let specs = (1..=max_rops)
+        .map(|n_rops| Ok(SynthSpec::r_only(f, n_rops)?.with_options(options.clone())))
+        .collect::<Result<Vec<_>, SynthError>>()?;
+    let ladder = run_ladder(synth, &specs, jobs)?;
+    Ok(OptimizeReport {
+        best: ladder.best.map(|(_, c)| c),
+        proven_optimal: ladder.proven,
+        calls: ladder.calls,
+    })
+}
+
+/// Parallel version of [`minimize_vsteps`](super::minimize_vsteps): probes
+/// `N_VS = 1..=max_vsteps` (fixed `N_R`, `N_L`) concurrently.
+///
+/// # Errors
+///
+/// Propagates [`SynthError`] from spec construction or synthesis.
+pub fn minimize_vsteps(
+    synth: &Synthesizer,
+    f: &MultiOutputFn,
+    n_rops: usize,
+    n_legs: usize,
+    max_vsteps: usize,
+    options: &EncodeOptions,
+    jobs: usize,
+) -> Result<OptimizeReport, SynthError> {
+    let specs = (1..=max_vsteps)
+        .map(|vs| Ok(SynthSpec::mixed_mode(f, n_rops, n_legs, vs)?.with_options(options.clone())))
+        .collect::<Result<Vec<_>, SynthError>>()?;
+    let ladder = run_ladder(synth, &specs, jobs)?;
+    Ok(OptimizeReport {
+        best: ladder.best.map(|(_, c)| c),
+        proven_optimal: ladder.proven,
+        calls: ladder.calls,
+    })
+}
+
+/// Parallel version of [`minimize_mixed_mode`](super::minimize_mixed_mode).
+///
+/// Runs two portfolio phases: an `N_R` ladder at `max_vsteps` (the paper's
+/// outer loop), then an `N_VS` ladder at the smallest feasible `N_R` (the
+/// inner loop). Within each phase all points run concurrently under the
+/// cancellation protocol.
+///
+/// # Errors
+///
+/// Propagates [`SynthError`] from spec construction or synthesis.
+pub fn minimize_mixed_mode(
+    synth: &Synthesizer,
+    f: &MultiOutputFn,
+    max_rops: usize,
+    max_vsteps: usize,
+    is_adder: bool,
+    options: &EncodeOptions,
+    jobs: usize,
+) -> Result<OptimizeReport, SynthError> {
+    // Phase 1: find the smallest feasible N_R at the full V-step budget.
+    let rop_specs = (0..=max_rops)
+        .map(|n_rops| {
+            let n_legs = SynthSpec::paper_legs(f, n_rops, is_adder);
+            Ok(SynthSpec::mixed_mode(f, n_rops, n_legs, max_vsteps)?.with_options(options.clone()))
+        })
+        .collect::<Result<Vec<_>, SynthError>>()?;
+    let outer = run_ladder(synth, &rop_specs, jobs)?;
+    let mut calls = outer.calls;
+    let Some((rop_idx, _)) = outer.best else {
+        return Ok(OptimizeReport {
+            best: None,
+            proven_optimal: false,
+            calls,
+        });
+    };
+
+    // Phase 2: shrink the V-step budget at that N_R.
+    let n_rops = rop_idx; // ladder index 0 is N_R = 0
+    let n_legs = SynthSpec::paper_legs(f, n_rops, is_adder);
+    let mut inner = minimize_vsteps(synth, f, n_rops, n_legs, max_vsteps, options, jobs)?;
+    calls.append(&mut inner.calls);
+    Ok(OptimizeReport {
+        best: inner.best,
+        // N_R minimality comes from the outer ladder's closure, N_VS
+        // minimality from the inner one — mirroring the sequential loop.
+        proven_optimal: outer.proven && inner.proven_optimal,
+        calls,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use mm_boolfn::generators;
+
+    use super::super::SynthResultKind;
+    use super::*;
+
+    fn reports_agree(a: &OptimizeReport, b: &OptimizeReport) {
+        assert_eq!(a.proven_optimal, b.proven_optimal);
+        match (&a.best, &b.best) {
+            (None, None) => {}
+            (Some(x), Some(y)) => {
+                assert_eq!(x.metrics().n_rops, y.metrics().n_rops);
+                assert_eq!(x.metrics().n_vsteps, y.metrics().n_vsteps);
+                assert_eq!(x.metrics().n_legs, y.metrics().n_legs);
+            }
+            other => panic!("best presence differs across thread counts: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn r_only_matches_sequential_and_is_jobs_invariant() {
+        let f = generators::xor_gate(2);
+        let opts = EncodeOptions::recommended();
+        let synth = Synthesizer::new();
+        let seq = super::super::minimize_r_only(&synth, &f, 5, &opts).unwrap();
+        for jobs in [1, 2, 8] {
+            let par = minimize_r_only(&synth, &f, 5, &opts, jobs).unwrap();
+            reports_agree(&seq, &par);
+            assert_eq!(
+                par.best.as_ref().map(|c| c.metrics().n_rops),
+                Some(3),
+                "XOR2 needs 3 R-ops (Table IV)"
+            );
+            assert!(par.proven_optimal);
+        }
+    }
+
+    #[test]
+    fn vsteps_ladder_proves_and2_optimum_at_any_width() {
+        let f = generators::and_gate(2);
+        let opts = EncodeOptions::recommended();
+        let synth = Synthesizer::new();
+        for jobs in [1, 3] {
+            let report = minimize_vsteps(&synth, &f, 0, 1, 4, &opts, jobs).unwrap();
+            let best = report.best.expect("AND2 is V-realizable");
+            assert_eq!(best.metrics().n_vsteps, 1);
+            assert!(report.proven_optimal);
+        }
+    }
+
+    #[test]
+    fn mixed_mode_xor_is_jobs_invariant() {
+        let f = generators::xor_gate(2);
+        let opts = EncodeOptions::recommended();
+        let synth = Synthesizer::new();
+        let mut reports = Vec::new();
+        for jobs in [1, 2, 8] {
+            let report = minimize_mixed_mode(&synth, &f, 3, 3, false, &opts, jobs).unwrap();
+            let best = report.best.as_ref().expect("XOR2 is MM-realizable");
+            assert!(best.implements(&f));
+            assert!(best.metrics().n_rops >= 1);
+            reports.push(report);
+        }
+        for pair in reports.windows(2) {
+            reports_agree(&pair[0], &pair[1]);
+        }
+    }
+
+    #[test]
+    fn skipped_points_leave_no_call_records() {
+        // With one worker the ladder degenerates to the sequential scan-up:
+        // every point after the first SAT is skipped before launch, so the
+        // call list matches the sequential loop's exactly.
+        let f = generators::nor_gate(2);
+        let opts = EncodeOptions::recommended();
+        let report = minimize_r_only(&Synthesizer::new(), &f, 4, &opts, 1).unwrap();
+        assert_eq!(report.calls.len(), 1, "NOR2 is SAT at N_R = 1");
+        assert_eq!(report.calls[0].result, SynthResultKind::Realizable);
+    }
+
+    #[test]
+    fn budget_exhaustion_never_claims_optimality_in_parallel() {
+        use mm_sat::Budget;
+        let f = generators::gf22_multiplier();
+        let synth = Synthesizer::new().with_budget(Budget::new().with_max_conflicts(1));
+        for jobs in [1, 4] {
+            let report =
+                minimize_r_only(&synth, &f, 5, &EncodeOptions::recommended(), jobs).unwrap();
+            if report.best.is_none() {
+                assert!(!report.proven_optimal);
+            }
+        }
+    }
+}

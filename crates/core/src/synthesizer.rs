@@ -90,7 +90,7 @@ impl Synthesizer {
 
     /// The configured budget.
     pub fn budget(&self) -> Budget {
-        self.budget
+        self.budget.clone()
     }
 
     /// Builds `Φ(f, N_V, N_R)` and returns it as DIMACS CNF text, for
@@ -113,7 +113,8 @@ impl Synthesizer {
     /// property of the function).
     pub fn run(&self, spec: &SynthSpec) -> Result<SynthOutcome, SynthError> {
         let encoded = encoder::encode(spec)?;
-        let (result, solver_stats) = Solver::new(encoded.cnf).solve_with_budget(self.budget);
+        let (result, solver_stats) =
+            Solver::new(encoded.cnf).solve_with_budget(self.budget.clone());
         let result = match result {
             SatResult::Sat(model) => {
                 let circuit = decoder::decode(spec, &encoded.map, &model)?;

@@ -1,4 +1,56 @@
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
+
+/// A cooperative cancellation handle shared between a solver call and the
+/// code that launched it.
+///
+/// Cloning the token is cheap (an [`Arc`] bump) and every clone observes the
+/// same flag. The solver polls [`is_cancelled`](Self::is_cancelled) inside
+/// its propagate/decide loop — far more often than its restart-based budget
+/// checks — so a [`cancel`](Self::cancel) from another thread aborts the
+/// call promptly with [`SatResult::Unknown`](crate::SatResult::Unknown).
+///
+/// This is the primitive behind the portfolio minimality search: once one
+/// budget point answers, sibling calls whose outcome is already implied by
+/// the monotone budget lattice are cancelled instead of running to
+/// completion.
+///
+/// # Example
+///
+/// ```
+/// use mm_sat::CancellationToken;
+///
+/// let token = CancellationToken::new();
+/// let observer = token.clone();
+/// assert!(!observer.is_cancelled());
+/// token.cancel();
+/// assert!(observer.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancellationToken(Arc<AtomicBool>);
+
+impl CancellationToken {
+    /// A fresh, un-tripped token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trips the token. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`cancel`](Self::cancel) has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Whether `self` and `other` share one underlying flag.
+    pub fn same_token(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
 
 /// Resource limits for a single [`Solver::solve`](crate::Solver::solve) call.
 ///
@@ -6,6 +58,9 @@ use std::time::Duration;
 /// [`SatResult::Unknown`](crate::SatResult::Unknown) instead of an answer.
 /// This mirrors how the paper reports "≤" rows in Table IV where the
 /// optimality proof (an UNSAT instance) timed out.
+///
+/// A budget may also carry a [`CancellationToken`]; tripping it aborts the
+/// call from outside, again yielding `Unknown`.
 ///
 /// # Example
 ///
@@ -18,11 +73,25 @@ use std::time::Duration;
 ///     .with_max_time(Duration::from_secs(60));
 /// assert_eq!(b.max_conflicts(), Some(100_000));
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct Budget {
     max_conflicts: Option<u64>,
     max_time: Option<Duration>,
+    cancel: Option<CancellationToken>,
 }
+
+impl PartialEq for Budget {
+    fn eq(&self, other: &Self) -> bool {
+        let tokens_match = match (&self.cancel, &other.cancel) {
+            (None, None) => true,
+            (Some(a), Some(b)) => a.same_token(b),
+            _ => false,
+        };
+        self.max_conflicts == other.max_conflicts && self.max_time == other.max_time && tokens_match
+    }
+}
+
+impl Eq for Budget {}
 
 impl Budget {
     /// An unlimited budget: the solver runs to completion.
@@ -45,6 +114,12 @@ impl Budget {
         self
     }
 
+    /// Attaches a cancellation token; tripping it aborts the call.
+    pub fn with_cancellation(mut self, token: CancellationToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     /// The conflict limit, if any.
     pub fn max_conflicts(&self) -> Option<u64> {
         self.max_conflicts
@@ -55,8 +130,42 @@ impl Budget {
         self.max_time
     }
 
-    /// Whether neither limit is set.
+    /// The attached cancellation token, if any.
+    pub fn cancellation(&self) -> Option<&CancellationToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Whether no limit is set and no cancellation token is attached.
     pub fn is_unlimited(&self) -> bool {
-        self.max_conflicts.is_none() && self.max_time.is_none()
+        self.max_conflicts.is_none() && self.max_time.is_none() && self.cancel.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_clones_share_state() {
+        let t = CancellationToken::new();
+        let c = t.clone();
+        assert!(!t.is_cancelled());
+        c.cancel();
+        assert!(t.is_cancelled());
+        assert!(t.same_token(&c));
+        assert!(!t.same_token(&CancellationToken::new()));
+    }
+
+    #[test]
+    fn budget_equality_is_token_identity() {
+        let t = CancellationToken::new();
+        let a = Budget::new().with_cancellation(t.clone());
+        let b = Budget::new().with_cancellation(t);
+        assert_eq!(a, b);
+        let c = Budget::new().with_cancellation(CancellationToken::new());
+        assert_ne!(a, c);
+        assert_eq!(Budget::new(), Budget::new());
+        assert!(!a.is_unlimited());
+        assert!(Budget::new().is_unlimited());
     }
 }

@@ -53,7 +53,7 @@ mod stats;
 
 pub mod dimacs;
 
-pub use budget::Budget;
+pub use budget::{Budget, CancellationToken};
 pub use cnf::{CnfFormula, ExactlyOne};
 pub use error::SatError;
 pub use lit::{Lit, Var};

@@ -620,7 +620,26 @@ impl Solver {
         let mut conflicts_until_restart = luby(restart_idx) * restart_base;
         let mut next_reduce: u64 = 4000;
 
+        // Cancellation is polled every `CANCEL_POLL_INTERVAL` propagate/decide
+        // rounds — far more often than restarts — so an external cancel()
+        // aborts the call promptly even when the search is deep in a run
+        // between restarts. The poll itself is one relaxed atomic load.
+        const CANCEL_POLL_INTERVAL: u32 = 1024;
+        let cancel = budget.cancellation().cloned();
+        let mut cancel_countdown = 1u32; // poll on the first iteration
+
         loop {
+            if let Some(token) = &cancel {
+                cancel_countdown -= 1;
+                if cancel_countdown == 0 {
+                    cancel_countdown = CANCEL_POLL_INTERVAL;
+                    self.stats.cancel_polls += 1;
+                    if token.is_cancelled() {
+                        self.stats.cancelled = true;
+                        return SatResult::Unknown;
+                    }
+                }
+            }
             if let Some(conflict) = self.propagate() {
                 self.stats.conflicts += 1;
                 if self.current_level() == 0 {
@@ -904,6 +923,58 @@ mod tests {
             Solver::new(cnf).solve_with_budget(Budget::new().with_max_conflicts(10));
         assert_eq!(result, SatResult::Unknown);
         assert!(stats.conflicts >= 10);
+    }
+
+    #[test]
+    fn cancellation_aborts_promptly() {
+        use crate::CancellationToken;
+        use std::time::Duration;
+
+        // php(11, 10) takes a CDCL solver far longer than the test's
+        // tolerance, so finishing under it proves the abort worked. The
+        // generous time budget exists only to bound the test if cancellation
+        // were broken.
+        let cnf = pigeonhole(11, 10);
+        let token = CancellationToken::new();
+        let budget = Budget::new()
+            .with_max_time(Duration::from_secs(120))
+            .with_cancellation(token.clone());
+
+        let handle = std::thread::spawn(move || {
+            let start = Instant::now();
+            let (result, stats) = Solver::new(cnf).solve_with_budget(budget);
+            (result, stats, start.elapsed())
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        let cancel_time = Instant::now();
+        token.cancel();
+        let (result, stats, elapsed) = handle.join().expect("solver thread panicked");
+
+        assert_eq!(result, SatResult::Unknown);
+        assert!(stats.cancelled, "abort must be attributed to the token");
+        assert!(stats.cancel_polls > 0);
+        // Prompt: the solver noticed the trip in well under the time budget
+        // (poll interval is 1024 propagate/decide rounds, i.e. milliseconds).
+        assert!(
+            cancel_time.elapsed() < Duration::from_secs(10),
+            "solver took {:?} after cancel",
+            cancel_time.elapsed()
+        );
+        assert!(elapsed < Duration::from_secs(60));
+    }
+
+    #[test]
+    fn pre_cancelled_budget_returns_unknown_immediately() {
+        use crate::CancellationToken;
+
+        let token = CancellationToken::new();
+        token.cancel();
+        let cnf = pigeonhole(8, 7);
+        let (result, stats) =
+            Solver::new(cnf).solve_with_budget(Budget::new().with_cancellation(token));
+        assert_eq!(result, SatResult::Unknown);
+        assert!(stats.cancelled);
+        assert_eq!(stats.conflicts, 0, "no search work after a pre-trip");
     }
 
     #[test]

@@ -25,6 +25,12 @@ pub struct SolverStats {
     pub minimized_literals: u64,
     /// Wall-clock time of the solve call.
     pub solve_time: Duration,
+    /// Number of cancellation-token polls performed in the search loop.
+    pub cancel_polls: u64,
+    /// Whether the call was aborted by a tripped
+    /// [`CancellationToken`](crate::CancellationToken) (as opposed to
+    /// exhausting a conflict/time limit or finishing).
+    pub cancelled: bool,
 }
 
 impl fmt::Display for SolverStats {

@@ -1,11 +1,13 @@
 //! `mmsynth` — command-line front end for memristive mixed-mode synthesis.
 //!
 //! ```text
-//! mmsynth synth   --function gf22_mul --rops 4 --legs 6 --steps 3 [--budget 300]
-//!                 [--dot | --json | --dimacs | --schedule]
-//! mmsynth map     --function adder3 [--dot | --json]
-//! mmsynth run     --function gf22_mul --input 1011 [--trace] [--seed 42]
-//! mmsynth census  --inputs 3 [--pre K] [--post K] [--tebe K]
+//! mmsynth synth    --function gf22_mul --rops 4 --legs 6 --steps 3 [--budget 300]
+//!                  [--dot | --json | --dimacs | --schedule]
+//! mmsynth minimize --function gf22_mul [--max-rops N] [--max-steps N] [--r-only]
+//!                  [--jobs N] [--conflicts N] [--dot | --json | --schedule]
+//! mmsynth map      --function adder3 [--dot | --json]
+//! mmsynth run      --function gf22_mul --input 1011 [--trace] [--seed 42]
+//! mmsynth census   --inputs 3 [--pre K] [--post K] [--tebe K]
 //! mmsynth list
 //! ```
 //!
@@ -20,8 +22,9 @@ use memristive_mm::boolfn::{generators, MultiOutputFn, TruthTable};
 use memristive_mm::circuit::Schedule;
 use memristive_mm::device::{ElectricalParams, LineArray};
 use memristive_mm::sat::Budget;
+use memristive_mm::synth::optimize::parallel;
 use memristive_mm::synth::universality::{census, CensusConfig};
-use memristive_mm::synth::{heuristic, SynthResult, SynthSpec, Synthesizer};
+use memristive_mm::synth::{heuristic, EncodeOptions, SynthResult, SynthSpec, Synthesizer};
 
 fn named_functions() -> Vec<(&'static str, MultiOutputFn)> {
     vec![
@@ -183,6 +186,69 @@ fn run(command: &str, args: &Args) -> Result<(), String> {
                 SynthResult::Unknown => Err("budget exhausted; raise --budget".into()),
             }
         }
+        "minimize" => {
+            let f = parse_function(args.get("function").ok_or("--function required")?)?;
+            let jobs = args.get_usize("jobs", parallel::default_jobs()).max(1);
+            let options = EncodeOptions::recommended();
+            let mut synth = Synthesizer::new();
+            // A conflict (not wall-clock) limit keeps the portfolio result
+            // deterministic across --jobs settings; unlimited by default.
+            if args.has("conflicts") {
+                synth = synth.with_budget(
+                    Budget::new().with_max_conflicts(args.get_usize("conflicts", 0) as u64),
+                );
+            }
+            let report = if args.has("r-only") {
+                parallel::minimize_r_only(&synth, &f, args.get_usize("max-rops", 8), &options, jobs)
+            } else {
+                let is_adder = args.has("adder") || f.name().starts_with("adder");
+                parallel::minimize_mixed_mode(
+                    &synth,
+                    &f,
+                    args.get_usize("max-rops", 8),
+                    args.get_usize("max-steps", 6),
+                    is_adder,
+                    &options,
+                    jobs,
+                )
+            }
+            .map_err(|e| e.to_string())?;
+            for c in &report.calls {
+                eprintln!(
+                    "  N_R={} N_L={} N_VS={} -> {:?} ({} vars, {} clauses, {:.3}s)",
+                    c.n_rops,
+                    c.n_legs,
+                    c.n_vsteps,
+                    c.result,
+                    c.n_vars,
+                    c.n_clauses,
+                    c.time.as_secs_f64()
+                );
+            }
+            eprintln!(
+                "{} calls, {:.3}s solver time, {jobs} jobs",
+                report.calls.len(),
+                report.total_time().as_secs_f64()
+            );
+            match report.best {
+                Some(circuit) => {
+                    emit_circuit(&circuit, args)?;
+                    println!(
+                        "optimality: {}",
+                        if report.proven_optimal {
+                            "proven (UNSAT below)"
+                        } else {
+                            "upper bound only"
+                        }
+                    );
+                    Ok(())
+                }
+                None => Err(
+                    "no circuit found within the search limits; raise --max-rops/--max-steps"
+                        .into(),
+                ),
+            }
+        }
         "run" => {
             let f = parse_function(args.get("function").ok_or("--function required")?)?;
             let input = args
@@ -206,12 +272,14 @@ fn run(command: &str, args: &Args) -> Result<(), String> {
         }
         _ => {
             println!(
-                "usage: mmsynth <synth|map|run|census|list> [--function NAME|BITS,...]\n\
-                 \x20      synth: --rops N [--legs N] [--steps N] [--r-only N] [--budget s]\n\
-                 \x20             [--dot | --json | --dimacs | --schedule]\n\
-                 \x20      map:   [--dot | --json | --schedule]\n\
-                 \x20      run:   --input BITS [--trace] [--seed N]\n\
-                 \x20      census: --inputs N [--pre K] [--post K] [--tebe K]"
+                "usage: mmsynth <synth|minimize|map|run|census|list> [--function NAME|BITS,...]\n\
+                 \x20      synth:    --rops N [--legs N] [--steps N] [--r-only N] [--budget s]\n\
+                 \x20                [--dot | --json | --dimacs | --schedule]\n\
+                 \x20      minimize: [--max-rops N] [--max-steps N] [--r-only] [--adder]\n\
+                 \x20                [--jobs N] [--conflicts N] [--dot | --json | --schedule]\n\
+                 \x20      map:      [--dot | --json | --schedule]\n\
+                 \x20      run:      --input BITS [--trace] [--seed N]\n\
+                 \x20      census:   --inputs N [--pre K] [--post K] [--tebe K]"
             );
             Ok(())
         }

@@ -1,0 +1,237 @@
+//! Offline micro-bench harness exposing the `criterion` surface the
+//! workspace's benches use: `Criterion`, benchmark groups,
+//! `bench_function`/`bench_with_input`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Unlike upstream, there is no statistical engine: each benchmark runs
+//! `sample_size` timed iterations after one warm-up and prints min/mean
+//! wall-clock per iteration. That is enough to compare configurations
+//! (which is what the repo's benches are for) without the plotting and
+//! regression machinery. `--bench <filter>` style positional filters are
+//! honored as substring matches.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendered from the parameter alone.
+    pub fn from_parameter(p: impl std::fmt::Display) -> Self {
+        Self(p.to_string())
+    }
+
+    /// An id with an explicit function name and parameter.
+    pub fn new(name: impl Into<String>, p: impl std::fmt::Display) -> Self {
+        Self(format!("{}/{}", name.into(), p))
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, executing one warm-up call plus `sample_size` samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        self.results.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.results.push(start.elapsed());
+        }
+    }
+}
+
+/// Top-level bench context (mirrors `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "bench");
+        Self {
+            sample_size: 10,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let samples = self.sample_size;
+        run_one(name, samples, self.filter.as_deref(), f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the per-benchmark sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    fn effective_samples(&self) -> usize {
+        self.sample_size.unwrap_or(self.criterion.sample_size)
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let samples = self.effective_samples();
+        run_one(&full, samples, self.criterion.filter.as_deref(), f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (upstream finalizes reports here; we need no-op).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, filter: Option<&str>, mut f: F) {
+    if let Some(needle) = filter {
+        if !name.contains(needle) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        samples,
+        results: Vec::with_capacity(samples),
+    };
+    f(&mut bencher);
+    if bencher.results.is_empty() {
+        println!("{name:<48} (no measurement: closure never called iter)");
+        return;
+    }
+    let min = bencher.results.iter().min().expect("non-empty");
+    let total: Duration = bencher.results.iter().sum();
+    let mean = total / bencher.results.len() as u32;
+    println!(
+        "{name:<48} min {:>12} mean {:>12} ({} samples)",
+        format_duration(*min),
+        format_duration(mean),
+        bencher.results.len()
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions (both upstream forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        // No CLI filter in the test harness context should stop this name.
+        c.filter = None;
+        let mut runs = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function("f", |b| b.iter(|| runs += 1));
+            g.finish();
+        }
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+}

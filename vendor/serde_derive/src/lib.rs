@@ -1,0 +1,369 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline serde
+//! shim, written against `proc_macro` alone (no `syn`/`quote`, which are
+//! unavailable offline).
+//!
+//! The generated impls only need field *names* and *arities* — payload
+//! types are recovered by inference at the construction site (struct
+//! literals and variant constructors), so the parser never has to
+//! understand Rust's type grammar beyond skipping it. Supported shapes are
+//! exactly what the workspace derives on: non-generic structs (named,
+//! tuple, unit) and enums whose variants are unit, tuple, or struct-like.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-tree flavor).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render(&item, true).parse().expect("generated code parses")
+}
+
+/// Derives `serde::Deserialize` (value-tree flavor).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render(&item, false).parse().expect("generated code parses")
+}
+
+enum Fields {
+    Unit,
+    /// Tuple struct/variant with this many elements.
+    Tuple(usize),
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut toks);
+    let kw = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic types ({name})");
+    }
+    let shape = match kw.as_str() {
+        "struct" => Shape::Struct(match toks.next() {
+            None => Fields::Unit,
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            other => panic!("unexpected token after struct name: {other:?}"),
+        }),
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body, got {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    };
+    Item { name, shape }
+}
+
+fn skip_attrs_and_vis(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                match toks.next() {
+                    Some(TokenTree::Group(_)) => {}
+                    other => panic!("expected attribute body, got {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                toks.next();
+                // `pub(crate)` and friends carry a parenthesized scope.
+                if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    toks.next();
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skips one type expression: everything up to a `,` at angle-bracket
+/// depth 0. Token streams already group `()`/`[]`/`{}`, so only `<>` needs
+/// explicit tracking.
+fn skip_type(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle_depth = 0i32;
+    while let Some(t) = toks.peek() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+        toks.next();
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut toks = stream.into_iter().peekable();
+    let mut names = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        match toks.next() {
+            None => return names,
+            Some(TokenTree::Ident(i)) => names.push(i.to_string()),
+            other => panic!("expected field name, got {other:?}"),
+        }
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field name, got {other:?}"),
+        }
+        skip_type(&mut toks);
+        match toks.next() {
+            None => return names,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            other => panic!("expected `,` between fields, got {other:?}"),
+        }
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut toks = stream.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        if toks.peek().is_none() {
+            return count;
+        }
+        skip_type(&mut toks);
+        count += 1;
+        match toks.next() {
+            None => return count,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            other => panic!("expected `,` between tuple fields, got {other:?}"),
+        }
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut toks = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        let name = match toks.next() {
+            None => return variants,
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        let fields = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                toks.next();
+                Fields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let names = parse_named_fields(g.stream());
+                toks.next();
+                Fields::Named(names)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant, if any.
+        if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            toks.next();
+            while let Some(t) = toks.peek() {
+                if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                    break;
+                }
+                toks.next();
+            }
+        }
+        variants.push(Variant { name, fields });
+        match toks.next() {
+            None => return variants,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            other => panic!("expected `,` between variants, got {other:?}"),
+        }
+    }
+}
+
+// ---- code generation ---------------------------------------------------
+
+fn render(item: &Item, serialize: bool) -> String {
+    match (&item.shape, serialize) {
+        (Shape::Struct(fields), true) => render_struct_ser(&item.name, fields),
+        (Shape::Struct(fields), false) => render_struct_de(&item.name, fields),
+        (Shape::Enum(variants), true) => render_enum_ser(&item.name, variants),
+        (Shape::Enum(variants), false) => render_enum_de(&item.name, variants),
+    }
+}
+
+fn fields_to_value(fields: &Fields, access: &dyn Fn(&str) -> String) -> String {
+    match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value({})", access(&i.to_string())))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Fields::Named(names) => {
+            let pairs: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({}))",
+                        access(f)
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", pairs.join(", "))
+        }
+    }
+}
+
+fn fields_from_value(ctor: &str, fields: &Fields, src: &str) -> String {
+    match fields {
+        Fields::Unit => ctor.to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::de_idx({src}, {i})?"))
+                .collect();
+            format!("{ctor}({})", items.join(", "))
+        }
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| format!("{f}: ::serde::de_field({src}, \"{f}\")?"))
+                .collect();
+            format!("{ctor} {{ {} }}", inits.join(", "))
+        }
+    }
+}
+
+fn render_struct_ser(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        // Single-element tuple structs serialize as their payload
+        // (serde's newtype-struct convention).
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        _ => fields_to_value(fields, &|f| format!("&self.{f}")),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn render_struct_de(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Tuple(1) => format!("{name}(::serde::Deserialize::from_value(v)?)"),
+        _ => fields_from_value(name, fields, "v"),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         Ok({body})\n\
+         }}\n\
+         }}"
+    )
+}
+
+fn render_enum_ser(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vn = &v.name;
+            match &v.fields {
+                Fields::Unit => format!(
+                    "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                ),
+                Fields::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                    let payload = if *n == 1 {
+                        "::serde::Serialize::to_value(f0)".to_string()
+                    } else {
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                    };
+                    format!(
+                        "{name}::{vn}({}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), {payload})]),",
+                        binds.join(", ")
+                    )
+                }
+                Fields::Named(fs) => {
+                    let pairs: Vec<String> = fs
+                        .iter()
+                        .map(|f| {
+                            format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))")
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{vn} {{ {} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(vec![{}]))]),",
+                        fs.join(", "),
+                        pairs.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n\
+         match self {{\n{}\n}}\n\
+         }}\n\
+         }}",
+        arms.join("\n")
+    )
+}
+
+fn render_enum_de(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vn = &v.name;
+            let ctor = format!("{name}::{vn}");
+            let build = match &v.fields {
+                Fields::Unit => ctor,
+                Fields::Tuple(1) => format!("{ctor}(::serde::Deserialize::from_value(inner)?)"),
+                other => fields_from_value(&ctor, other, "inner"),
+            };
+            format!("\"{vn}\" => Ok({build}),")
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         let (tag, inner) = ::serde::enum_parts(v)?;\n\
+         let _ = inner;\n\
+         match tag {{\n{}\n\
+         other => Err(::serde::Error::msg(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+         }}\n\
+         }}\n\
+         }}",
+        arms.join("\n")
+    )
+}
