@@ -1,0 +1,84 @@
+//! Cost of certification, measured in three configurations on the same
+//! UNSAT workload: proof logging off (the default hot path), logging on
+//! (DRAT emission into memory), and logging plus an in-tree checker pass.
+//!
+//! The first two configurations bound the overhead the `--certify` flag
+//! adds to every solve; the acceptance bar for the certification PR is
+//! that configuration one is indistinguishable from the pre-certification
+//! solver (the logging hooks are a single predictable branch when no
+//! writer is installed).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mm_sat::{drat, Budget, CnfFormula, Lit, SatResult, Solver};
+use mm_synth::{SynthSpec, Synthesizer};
+
+/// Pigeonhole `pigeons` into `holes`: the classic hard UNSAT family.
+fn pigeonhole(pigeons: usize, holes: usize) -> CnfFormula {
+    let mut cnf = CnfFormula::new();
+    let vars: Vec<Vec<Lit>> = (0..pigeons)
+        .map(|_| (0..holes).map(|_| cnf.new_lit()).collect())
+        .collect();
+    for p in &vars {
+        cnf.add_clause(p.iter().copied());
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                cnf.add_clause([!vars[p1][h], !vars[p2][h]]);
+            }
+        }
+    }
+    cnf
+}
+
+fn certify_overhead(c: &mut Criterion) {
+    let cnf = pigeonhole(8, 7);
+    let mut group = c.benchmark_group("certify_overhead/php_8_7");
+
+    group.bench_function("logging_off", |b| {
+        b.iter(|| {
+            let (result, _) = Solver::new(cnf.clone()).solve_with_budget(Budget::new());
+            assert_eq!(result, SatResult::Unsat);
+        })
+    });
+    group.bench_function("logging_on", |b| {
+        b.iter(|| {
+            let (result, _, proof) = Solver::new(cnf.clone()).solve_certified(Budget::new());
+            assert_eq!(result, SatResult::Unsat);
+            proof.expect("log present")
+        })
+    });
+    group.bench_function("logging_plus_check", |b| {
+        b.iter(|| {
+            let (result, _, proof) = Solver::new(cnf.clone()).solve_certified(Budget::new());
+            assert_eq!(result, SatResult::Unsat);
+            drat::check(&cnf, &proof.expect("log present")).expect("proof checks")
+        })
+    });
+    group.finish();
+
+    // The same three configurations through the full synthesis stack, on a
+    // Table III boundary instance (XOR2 is V-op unrealizable).
+    let f = mm_boolfn::generators::xor_gate(2);
+    let spec = SynthSpec::mixed_mode(&f, 0, 2, 3).expect("valid spec");
+    let mut group = c.benchmark_group("certify_overhead/xor2_unrealizable");
+    group.bench_function("plain", |b| {
+        b.iter(|| {
+            let outcome = Synthesizer::new().run(&spec).expect("runs");
+            assert!(outcome.is_unrealizable());
+        })
+    });
+    group.bench_function("certified", |b| {
+        b.iter(|| {
+            let outcome = Synthesizer::new()
+                .with_certification(true)
+                .run(&spec)
+                .expect("runs");
+            assert!(outcome.certificate.is_some());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, certify_overhead);
+criterion_main!(benches);

@@ -194,11 +194,15 @@ impl Schedule {
             }
         }
 
-        // Serialized R-ops.
+        // Serialized R-ops. NOR(a, a) = NOT a: a repeated operand is
+        // electrically the same cell connected once, so the cycle lists it
+        // once — the device model requires the involved cells be distinct.
         for (j, rop) in circuit.rops().iter().enumerate() {
+            let mut inputs = vec![cell_of(rop.in1), cell_of(rop.in2)];
+            inputs.dedup();
             cycles.push(ScheduleCycle::ROp {
                 rop: j,
-                inputs: vec![cell_of(rop.in1), cell_of(rop.in2)],
+                inputs,
                 output: rout_base + j,
             });
         }
@@ -419,6 +423,35 @@ mod tests {
         assert!(schedule.verify(&generators::nor_gate(2)));
         // 1 V-op step + 1 R-op + 1 readout.
         assert_eq!(schedule.cycles().len(), 3);
+    }
+
+    #[test]
+    fn repeated_rop_operand_compiles_to_a_single_input_cell() {
+        // NOR(a, a) = NOT a: the decoder may legitimately produce a
+        // repeated operand, and the device model requires distinct cells,
+        // so compilation must collapse the pair.
+        let c = MmCircuit::builder(1)
+            .leg(VLeg::new(vec![VOp::new(Literal::Pos(1), Literal::Const0)]))
+            .rop(ROp::nor(Signal::Leg(0), Signal::Leg(0)))
+            .output(Signal::ROp(0))
+            .build()
+            .unwrap();
+        let schedule = Schedule::compile(&c).unwrap();
+        let rop_inputs = schedule
+            .cycles()
+            .iter()
+            .find_map(|cy| match cy {
+                ScheduleCycle::ROp { inputs, .. } => Some(inputs.clone()),
+                _ => None,
+            })
+            .expect("schedule has the R-op cycle");
+        assert_eq!(rop_inputs.len(), 1);
+        let not_gate = mm_boolfn::MultiOutputFn::new(
+            "not1",
+            vec![mm_boolfn::TruthTable::from_packed(1, 0b01).unwrap()],
+        )
+        .unwrap();
+        assert!(schedule.verify(&not_gate));
     }
 
     #[test]

@@ -28,6 +28,17 @@ pub enum SynthError {
         /// 0-based index of the first mismatching output.
         output: usize,
     },
+    /// An UNSAT answer's DRAT proof was rejected by the in-tree checker —
+    /// the solver's answer cannot be trusted and no optimality claim may be
+    /// made from it.
+    CertificationFailed {
+        /// The checker's rejection, verbatim.
+        reason: String,
+    },
+    /// The decoded circuit passed truth-table verification, but its
+    /// compiled schedule computes something else on the device line-array
+    /// model — a schedule-compiler or device-model bug if it ever occurs.
+    DeviceVerificationFailed,
 }
 
 impl fmt::Display for SynthError {
@@ -38,6 +49,15 @@ impl fmt::Display for SynthError {
             Self::Decode(e) => write!(f, "decoded circuit is malformed: {e}"),
             Self::VerificationFailed { output } => {
                 write!(f, "decoded circuit mismatches the spec on output {output}")
+            }
+            Self::CertificationFailed { reason } => {
+                write!(f, "UNSAT certificate rejected: {reason}")
+            }
+            Self::DeviceVerificationFailed => {
+                write!(
+                    f,
+                    "compiled schedule diverges from the spec on the device model"
+                )
             }
         }
     }

@@ -61,4 +61,4 @@ pub mod universality;
 pub use encoder::EncodeStats;
 pub use error::SynthError;
 pub use spec::{EncodeMode, EncodeOptions, SharedBe, SynthSpec};
-pub use synthesizer::{SynthOutcome, SynthResult, Synthesizer};
+pub use synthesizer::{SynthOutcome, SynthResult, Synthesizer, UnsatCertificate};

@@ -14,6 +14,7 @@ use std::time::Duration;
 
 use mm_boolfn::MultiOutputFn;
 use mm_circuit::MmCircuit;
+use mm_sat::DratProof;
 
 use crate::{EncodeOptions, SynthError, SynthResult, SynthSpec, Synthesizer};
 
@@ -34,6 +35,16 @@ pub struct CallRecord {
     pub n_clauses: usize,
     /// Encode + solve time.
     pub time: Duration,
+    /// DRAT steps emitted by the call (0 when proof logging was off).
+    pub proof_steps: u64,
+    /// Time spent checking the call's proof (zero when not certified).
+    pub check_time: Duration,
+    /// Whether an `Unrealizable` answer is backed by a checker-accepted
+    /// proof. Always `false` for `Realizable`/`Unknown` calls.
+    pub certified: bool,
+    /// The checker-accepted refutation itself, retained so certified runs
+    /// can archive per-call proof files. `None` unless `certified`.
+    pub proof: Option<DratProof>,
 }
 
 /// A [`SynthResult`] variant tag without the circuit
@@ -79,6 +90,10 @@ fn record(outcome: &crate::SynthOutcome, spec: &SynthSpec) -> CallRecord {
         n_vars: outcome.encode_stats.n_vars,
         n_clauses: outcome.encode_stats.n_clauses,
         time: outcome.total_time(),
+        proof_steps: outcome.solver_stats.proof_steps,
+        check_time: outcome.solver_stats.proof_check_time,
+        certified: outcome.certificate.is_some(),
+        proof: outcome.certificate.as_ref().map(|c| c.proof.clone()),
     }
 }
 

@@ -37,6 +37,20 @@
 //! time limits break the first premise (the solver's answer at a point
 //! stops being a function of the formula), so determinism across thread
 //! counts is only guaranteed for conflict-limited or unlimited budgets.
+//!
+//! # Certified UNSAT
+//!
+//! Running the ladder with a
+//! [certifying](crate::Synthesizer::with_certification) synthesizer makes
+//! every UNSAT rung pass through the DRAT checker before it is allowed to
+//! contribute to `proven_optimal`: each `Unrealizable` point carries a
+//! checker-accepted refutation in its [`CallRecord`] (`certified`,
+//! `proof`), and a rejected proof aborts the whole run with
+//! [`SynthError::CertificationFailed`]. Cancellation composes soundly with
+//! certification by construction — a cancelled solve returns `Unknown`
+//! *before* the proof log is ever concluded with the empty clause, so an
+//! aborted rung can never present a proof that checks, let alone assert an
+//! UNSAT it did not finish.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -393,6 +407,43 @@ mod tests {
         let report = minimize_r_only(&Synthesizer::new(), &f, 4, &opts, 1).unwrap();
         assert_eq!(report.calls.len(), 1, "NOR2 is SAT at N_R = 1");
         assert_eq!(report.calls[0].result, SynthResultKind::Realizable);
+    }
+
+    #[test]
+    fn certified_ladder_agrees_and_backs_every_unsat_with_a_proof() {
+        let f = generators::xor_gate(2);
+        let opts = EncodeOptions::recommended();
+        let plain = Synthesizer::new();
+        let certifying = Synthesizer::new().with_certification(true);
+        let baseline = minimize_r_only(&plain, &f, 5, &opts, 2).unwrap();
+        for jobs in [1, 4] {
+            let report = minimize_r_only(&certifying, &f, 5, &opts, jobs).unwrap();
+            reports_agree(&baseline, &report);
+            let unsat_calls: Vec<_> = report
+                .calls
+                .iter()
+                .filter(|c| c.result == SynthResultKind::Unrealizable)
+                .collect();
+            assert!(
+                !unsat_calls.is_empty(),
+                "XOR2 R-only has UNSAT rungs at N_R = 1, 2"
+            );
+            for call in unsat_calls {
+                assert!(call.certified, "uncertified UNSAT at N_R = {}", call.n_rops);
+                let proof = call.proof.as_ref().expect("certified call keeps its proof");
+                assert!(proof.is_concluded());
+                assert!(call.proof_steps > 0);
+            }
+            // Non-UNSAT calls never carry a certificate.
+            for call in report
+                .calls
+                .iter()
+                .filter(|c| c.result != SynthResultKind::Unrealizable)
+            {
+                assert!(!call.certified);
+                assert!(call.proof.is_none());
+            }
+        }
     }
 
     #[test]

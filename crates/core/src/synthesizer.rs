@@ -1,7 +1,8 @@
 use std::time::Duration;
 
 use mm_circuit::MmCircuit;
-use mm_sat::{Budget, SatResult, Solver, SolverStats};
+use mm_sat::drat::{self, CheckStats};
+use mm_sat::{Budget, DratProof, SatResult, Solver, SolverStats};
 
 use crate::{decoder, encoder, EncodeStats, SynthError, SynthSpec};
 
@@ -18,6 +19,16 @@ pub enum SynthResult {
     Unknown,
 }
 
+/// A checker-accepted DRAT refutation backing one
+/// [`SynthResult::Unrealizable`] answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnsatCertificate {
+    /// The solver's derivation, ending in the empty clause.
+    pub proof: DratProof,
+    /// Work counters of the successful check.
+    pub check: CheckStats,
+}
+
 /// Outcome of [`Synthesizer::run`]: the result plus encode/solve
 /// statistics (the paper's `Vars`, `Clauses` and `T[s]` columns).
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +39,10 @@ pub struct SynthOutcome {
     pub encode_stats: EncodeStats,
     /// Search statistics of the SAT solver.
     pub solver_stats: SolverStats,
+    /// The verified refutation, when the synthesizer ran with
+    /// [certification](Synthesizer::with_certification) and the answer was
+    /// [`SynthResult::Unrealizable`]; `None` otherwise.
+    pub certificate: Option<UnsatCertificate>,
 }
 
 impl SynthOutcome {
@@ -74,6 +89,7 @@ impl SynthOutcome {
 #[derive(Debug, Clone, Default)]
 pub struct Synthesizer {
     budget: Budget,
+    certify: bool,
 }
 
 impl Synthesizer {
@@ -86,6 +102,26 @@ impl Synthesizer {
     pub fn with_budget(mut self, budget: Budget) -> Self {
         self.budget = budget;
         self
+    }
+
+    /// Turns certification on or off (default: off).
+    ///
+    /// With certification on, every UNSAT answer is solved with DRAT
+    /// logging and the proof is run through the in-tree checker
+    /// ([`mm_sat::drat::check`]) before `Unrealizable` is returned — a
+    /// rejected proof surfaces as [`SynthError::CertificationFailed`]
+    /// instead of a silently untrustworthy optimality claim. SAT answers
+    /// are additionally re-verified by exhaustive simulation of the
+    /// compiled schedule on the device line-array model, closing the
+    /// encoder → decoder → device loop.
+    pub fn with_certification(mut self, certify: bool) -> Self {
+        self.certify = certify;
+        self
+    }
+
+    /// Whether certification is on.
+    pub fn is_certifying(&self) -> bool {
+        self.certify
     }
 
     /// The configured budget.
@@ -113,6 +149,9 @@ impl Synthesizer {
     /// property of the function).
     pub fn run(&self, spec: &SynthSpec) -> Result<SynthOutcome, SynthError> {
         let encoded = encoder::encode(spec)?;
+        if self.certify {
+            return self.run_certified(spec, encoded);
+        }
         let (result, solver_stats) =
             Solver::new(encoded.cnf).solve_with_budget(self.budget.clone());
         let result = match result {
@@ -128,8 +167,71 @@ impl Synthesizer {
             result,
             encode_stats: encoded.stats,
             solver_stats,
+            certificate: None,
         })
     }
+
+    /// Certified variant of [`run`](Self::run): the formula is kept for the
+    /// checker, the solve logs a DRAT proof, and neither answer is returned
+    /// unverified.
+    fn run_certified(
+        &self,
+        spec: &SynthSpec,
+        encoded: encoder::Encoded,
+    ) -> Result<SynthOutcome, SynthError> {
+        let cnf = encoded.cnf.clone();
+        let (result, mut solver_stats, proof) =
+            Solver::new(encoded.cnf).solve_certified(self.budget.clone());
+        let mut certificate = None;
+        let result = match result {
+            SatResult::Sat(model) => {
+                let circuit = decoder::decode(spec, &encoded.map, &model)?;
+                verify(&circuit, spec)?;
+                verify_on_device(&circuit, spec)?;
+                SynthResult::Realizable(circuit)
+            }
+            SatResult::Unsat => {
+                let proof = proof.expect("certified solve always returns the log");
+                match drat::check(&cnf, &proof) {
+                    Ok(check) => {
+                        solver_stats.proof_checked = true;
+                        solver_stats.proof_check_time = check.check_time;
+                        certificate = Some(UnsatCertificate { proof, check });
+                        SynthResult::Unrealizable
+                    }
+                    Err(e) => {
+                        return Err(SynthError::CertificationFailed {
+                            reason: e.to_string(),
+                        })
+                    }
+                }
+            }
+            SatResult::Unknown => SynthResult::Unknown,
+        };
+        Ok(SynthOutcome {
+            result,
+            encode_stats: encoded.stats,
+            solver_stats,
+            certificate,
+        })
+    }
+}
+
+/// Compiles the circuit to a line-array schedule and replays all `2^n`
+/// input rows on the ideal device model.
+///
+/// R-op families without a MAGIC-NOR schedule (e.g. NIMP) are skipped — the
+/// truth-table check in [`verify`] remains their functional verification.
+fn verify_on_device(circuit: &MmCircuit, spec: &SynthSpec) -> Result<(), SynthError> {
+    let schedule = match mm_circuit::Schedule::compile(circuit) {
+        Ok(s) => s,
+        Err(mm_circuit::CircuitError::UnsupportedROpKind { .. }) => return Ok(()),
+        Err(e) => return Err(SynthError::from(e)),
+    };
+    if !schedule.verify(spec.function()) {
+        return Err(SynthError::DeviceVerificationFailed);
+    }
+    Ok(())
 }
 
 fn verify(circuit: &MmCircuit, spec: &SynthSpec) -> Result<(), SynthError> {
@@ -377,6 +479,69 @@ mod tests {
             let result = mm_sat::Solver::new(cnf).solve();
             assert_eq!(result.is_sat(), expect_sat);
         }
+    }
+
+    #[test]
+    fn certified_unrealizable_carries_checked_proof() {
+        let f = generators::and_gate(3);
+        let spec = SynthSpec::mixed_mode(&f, 0, 1, 1).unwrap();
+        let outcome = Synthesizer::new()
+            .with_certification(true)
+            .run(&spec)
+            .unwrap();
+        assert!(outcome.is_unrealizable());
+        let cert = outcome
+            .certificate
+            .as_ref()
+            .expect("certified UNSAT carries its certificate");
+        assert!(cert.proof.is_concluded());
+        assert!(outcome.solver_stats.proof_checked);
+        assert_eq!(outcome.solver_stats.proof_check_time, cert.check.check_time);
+        // The proof really refutes the exported formula, re-checked from
+        // the DIMACS round trip (independent of the in-process CNF object).
+        let text = Synthesizer::new().export_dimacs(&spec).unwrap();
+        let cnf = mm_sat::dimacs::parse(&text).unwrap();
+        mm_sat::drat::check(&cnf, &cert.proof).expect("proof checks against exported CNF");
+    }
+
+    #[test]
+    fn certified_sat_passes_device_model_and_has_no_certificate() {
+        let f = generators::xor_gate(2);
+        let spec = SynthSpec::mixed_mode(&f, 1, 2, 2).unwrap();
+        let outcome = Synthesizer::new()
+            .with_certification(true)
+            .run(&spec)
+            .unwrap();
+        let c = outcome.circuit().expect("XOR2 is MM-realizable");
+        assert!(c.implements(&f));
+        assert!(outcome.certificate.is_none());
+        assert!(!outcome.solver_stats.proof_checked);
+    }
+
+    #[test]
+    fn certified_nimp_sat_skips_schedule_but_still_verifies() {
+        // NIMP circuits have no MAGIC-NOR schedule; certification must not
+        // reject them (truth-table verification still applies).
+        let f = generators::xor_gate(2);
+        let spec = SynthSpec::mixed_mode(&f, 2, 2, 2)
+            .unwrap()
+            .with_rop_kind(mm_circuit::ROpKind::Nimp);
+        let outcome = Synthesizer::new()
+            .with_certification(true)
+            .run(&spec)
+            .unwrap();
+        assert!(outcome.circuit().expect("XOR2 from NIMPs").implements(&f));
+    }
+
+    #[test]
+    fn uncertified_run_logs_no_proof() {
+        let f = generators::and_gate(3);
+        let spec = SynthSpec::mixed_mode(&f, 0, 1, 1).unwrap();
+        let outcome = Synthesizer::new().run(&spec).unwrap();
+        assert!(outcome.is_unrealizable());
+        assert!(outcome.certificate.is_none());
+        assert_eq!(outcome.solver_stats.proof_steps, 0);
+        assert_eq!(outcome.solver_stats.proof_literals, 0);
     }
 
     #[test]

@@ -77,6 +77,7 @@ impl CancellationToken {
 pub struct Budget {
     max_conflicts: Option<u64>,
     max_time: Option<Duration>,
+    max_proof_steps: Option<u64>,
     cancel: Option<CancellationToken>,
 }
 
@@ -87,7 +88,10 @@ impl PartialEq for Budget {
             (Some(a), Some(b)) => a.same_token(b),
             _ => false,
         };
-        self.max_conflicts == other.max_conflicts && self.max_time == other.max_time && tokens_match
+        self.max_conflicts == other.max_conflicts
+            && self.max_time == other.max_time
+            && self.max_proof_steps == other.max_proof_steps
+            && tokens_match
     }
 }
 
@@ -114,6 +118,16 @@ impl Budget {
         self
     }
 
+    /// Limits the number of DRAT proof steps (clause additions + deletions)
+    /// recorded before giving up. Only meaningful with proof logging on;
+    /// caps the disk/memory footprint of a certification run.
+    ///
+    /// Like the time limit, this is checked between restarts.
+    pub fn with_max_proof_steps(mut self, steps: u64) -> Self {
+        self.max_proof_steps = Some(steps);
+        self
+    }
+
     /// Attaches a cancellation token; tripping it aborts the call.
     pub fn with_cancellation(mut self, token: CancellationToken) -> Self {
         self.cancel = Some(token);
@@ -130,6 +144,11 @@ impl Budget {
         self.max_time
     }
 
+    /// The proof-step limit, if any.
+    pub fn max_proof_steps(&self) -> Option<u64> {
+        self.max_proof_steps
+    }
+
     /// The attached cancellation token, if any.
     pub fn cancellation(&self) -> Option<&CancellationToken> {
         self.cancel.as_ref()
@@ -137,7 +156,10 @@ impl Budget {
 
     /// Whether no limit is set and no cancellation token is attached.
     pub fn is_unlimited(&self) -> bool {
-        self.max_conflicts.is_none() && self.max_time.is_none() && self.cancel.is_none()
+        self.max_conflicts.is_none()
+            && self.max_time.is_none()
+            && self.max_proof_steps.is_none()
+            && self.cancel.is_none()
     }
 }
 

@@ -1,11 +1,12 @@
 use std::error::Error;
 use std::fmt;
 
-/// Errors produced by the SAT toolkit (currently only DIMACS parsing).
+/// Errors produced by the SAT toolkit (DIMACS and DRAT text parsing).
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum SatError {
-    /// The DIMACS input could not be parsed.
+    /// The DIMACS-style input (a formula or a DRAT proof) could not be
+    /// parsed.
     ParseDimacs {
         /// 1-based line number of the offending input line.
         line: usize,

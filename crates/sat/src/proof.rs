@@ -1,0 +1,139 @@
+//! Proof emission backends for the solver's DRAT logging.
+//!
+//! The solver talks to a [`ProofWriter`]; two backends are provided:
+//!
+//! * [`DratProof`](crate::DratProof) — an in-memory step list, the backend
+//!   used by [`Solver::solve_certified`](crate::Solver::solve_certified) so
+//!   the proof can be handed straight to the checker in
+//!   [`drat`](crate::drat);
+//! * [`FileProofWriter`] — a buffered text stream in the standard DRAT
+//!   format, for archiving proofs or cross-checking with `drat-trim`.
+//!
+//! A writer only learns that the derivation is complete through
+//! [`conclude_unsat`](ProofWriter::conclude_unsat), which the solver calls
+//! exclusively when it returns a genuine UNSAT. A cancelled or
+//! budget-exhausted solve therefore leaves the proof without its final
+//! empty clause, and the checker rejects it — an aborted run can never
+//! masquerade as a completed optimality certificate.
+
+use std::any::Any;
+use std::fmt::Debug;
+use std::fs::File;
+use std::io::{self, BufWriter, Write as _};
+use std::path::Path;
+
+use crate::Lit;
+
+/// Receiver for the clause additions and deletions of one solver run.
+///
+/// Implementations must tolerate any interleaving of calls; the solver
+/// emits an addition per learnt clause, a deletion per database-reduction
+/// victim, and at most one conclusion.
+pub trait ProofWriter: Debug + Send {
+    /// Records the addition of a derived (learnt) clause.
+    fn add_clause(&mut self, lits: &[Lit]);
+
+    /// Records the deletion of a clause from the active set.
+    fn delete_clause(&mut self, lits: &[Lit]);
+
+    /// Records the derivation of the empty clause: the formula is UNSAT.
+    ///
+    /// Only called when the solver actually returns
+    /// [`SatResult::Unsat`](crate::SatResult::Unsat); a proof without this
+    /// step never passes [`drat::check`](crate::drat::check).
+    fn conclude_unsat(&mut self);
+
+    /// Recovers the concrete writer after the solver returns it.
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+/// Streams proof steps to a file in the textual DRAT format.
+///
+/// Additions are emitted as DIMACS literal lines (`1 -2 0`), deletions with
+/// a `d` prefix (`d 1 -2 0`), and the conclusion as the bare terminator
+/// `0`. I/O errors are sticky: the first one is kept and later writes are
+/// skipped, so the caller can check [`finish`](Self::finish) once at the
+/// end instead of threading results through the solver's hot path.
+#[derive(Debug)]
+pub struct FileProofWriter {
+    out: BufWriter<File>,
+    steps_written: u64,
+    error: Option<io::ErrorKind>,
+}
+
+impl FileProofWriter {
+    /// Creates (or truncates) the proof file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying file-creation error.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self {
+            out: BufWriter::new(File::create(path)?),
+            steps_written: 0,
+            error: None,
+        })
+    }
+
+    /// Number of steps written so far.
+    pub fn steps_written(&self) -> u64 {
+        self.steps_written
+    }
+
+    /// Flushes the stream and reports the first sticky I/O error, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first write/flush error encountered over the writer's
+    /// lifetime.
+    pub fn finish(mut self) -> io::Result<()> {
+        let flush = self.out.flush();
+        if let Some(kind) = self.error {
+            return Err(io::Error::from(kind));
+        }
+        flush
+    }
+
+    fn write_step(&mut self, prefix: &str, lits: &[Lit]) {
+        if self.error.is_some() {
+            return;
+        }
+        let mut line = String::with_capacity(prefix.len() + 6 * lits.len() + 2);
+        line.push_str(prefix);
+        for &l in lits {
+            line.push_str(&l.to_dimacs().to_string());
+            line.push(' ');
+        }
+        line.push_str("0\n");
+        if let Err(e) = self.out.write_all(line.as_bytes()) {
+            self.error = Some(e.kind());
+            return;
+        }
+        self.steps_written += 1;
+    }
+}
+
+impl ProofWriter for FileProofWriter {
+    fn add_clause(&mut self, lits: &[Lit]) {
+        self.write_step("", lits);
+    }
+
+    fn delete_clause(&mut self, lits: &[Lit]) {
+        self.write_step("d ", lits);
+    }
+
+    fn conclude_unsat(&mut self) {
+        self.write_step("", &[]);
+        // The conclusion is the last step; make it durable immediately so a
+        // crashing caller still leaves a checkable file behind.
+        if self.error.is_none() {
+            if let Err(e) = self.out.flush() {
+                self.error = Some(e.kind());
+            }
+        }
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}

@@ -4,7 +4,8 @@
 
 use std::time::Instant;
 
-use crate::{Budget, CnfFormula, Lit, Model, SolverStats, Var};
+use crate::drat::DratProof;
+use crate::{Budget, CnfFormula, Lit, Model, ProofWriter, SolverStats, Var};
 
 /// Outcome of a [`Solver::solve`] call.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -110,6 +111,9 @@ pub struct Solver {
     stats: SolverStats,
     n_vars: usize,
     minimize_enabled: bool,
+    /// DRAT log sink; `None` keeps the hot path to a single well-predicted
+    /// branch per learn/delete site.
+    proof: Option<Box<dyn ProofWriter>>,
 }
 
 impl Solver {
@@ -138,6 +142,7 @@ impl Solver {
             stats: SolverStats::default(),
             n_vars: n,
             minimize_enabled: true,
+            proof: None,
         };
         for clause in cnf.clauses() {
             solver.add_original_clause(clause);
@@ -156,17 +161,86 @@ impl Solver {
         self.minimize_enabled = enabled;
     }
 
+    /// Installs a DRAT proof sink. Every learnt clause, every database
+    /// deletion, and (on UNSAT) the final empty clause are forwarded to it.
+    ///
+    /// With no writer installed the logging sites compile down to one
+    /// `Option` check each; see the `certify_overhead` bench.
+    pub fn with_proof_writer(mut self, writer: Box<dyn ProofWriter>) -> Self {
+        self.proof = Some(writer);
+        self
+    }
+
     /// Solves the formula to completion (no budget).
     pub fn solve(self) -> SatResult {
         self.solve_with_budget(Budget::new()).0
     }
 
     /// Solves under a [`Budget`], also returning the search statistics.
-    pub fn solve_with_budget(mut self, budget: Budget) -> (SatResult, SolverStats) {
+    pub fn solve_with_budget(self, budget: Budget) -> (SatResult, SolverStats) {
+        let (result, stats, _) = self.solve_logged(budget);
+        (result, stats)
+    }
+
+    /// Solves under a [`Budget`], returning the proof writer installed via
+    /// [`with_proof_writer`](Self::with_proof_writer) (if any) alongside the
+    /// result and statistics.
+    ///
+    /// [`ProofWriter::conclude_unsat`] is invoked exactly when the result is
+    /// [`SatResult::Unsat`] — a cancelled or budget-exhausted run hands back
+    /// an unconcluded writer whose proof the checker will reject.
+    pub fn solve_logged(
+        mut self,
+        budget: Budget,
+    ) -> (SatResult, SolverStats, Option<Box<dyn ProofWriter>>) {
         let start = Instant::now();
         let result = self.search(budget, start);
+        if result.is_unsat() {
+            if let Some(w) = self.proof.as_mut() {
+                w.conclude_unsat();
+                self.stats.proof_steps += 1;
+            }
+        }
         self.stats.solve_time = start.elapsed();
-        (result, self.stats)
+        (result, self.stats, self.proof)
+    }
+
+    /// Solves with an in-memory [`DratProof`] log, for certification.
+    ///
+    /// The returned proof is `Some` whenever logging ran (it always does
+    /// here) and is concluded only on a genuine UNSAT; pass it to
+    /// [`drat::check`](crate::drat::check) together with the original
+    /// formula to certify the answer.
+    pub fn solve_certified(
+        mut self,
+        budget: Budget,
+    ) -> (SatResult, SolverStats, Option<DratProof>) {
+        if self.proof.is_none() {
+            self.proof = Some(Box::<DratProof>::default());
+        }
+        let (result, stats, writer) = self.solve_logged(budget);
+        let proof = writer
+            .and_then(|w| w.into_any().downcast::<DratProof>().ok())
+            .map(|boxed| *boxed);
+        (result, stats, proof)
+    }
+
+    #[inline]
+    fn proof_add(&mut self, lits: &[Lit]) {
+        if let Some(w) = self.proof.as_mut() {
+            w.add_clause(lits);
+            self.stats.proof_steps += 1;
+            self.stats.proof_literals += lits.len() as u64;
+        }
+    }
+
+    #[inline]
+    fn proof_delete(&mut self, lits: &[Lit]) {
+        if let Some(w) = self.proof.as_mut() {
+            w.delete_clause(lits);
+            self.stats.proof_steps += 1;
+            self.stats.proof_literals += lits.len() as u64;
+        }
     }
 
     fn add_original_clause(&mut self, lits: &[Lit]) {
@@ -483,6 +557,10 @@ impl Solver {
     }
 
     fn learn(&mut self, learnt: Vec<Lit>) {
+        // One emission site covers both analysis and minimization: `learnt`
+        // is the final (post-minimization) clause, which is RUP w.r.t. the
+        // clauses currently alive, so the derivation stays checkable.
+        self.proof_add(&learnt);
         let lbd = self.compute_lbd(&learnt);
         match learnt.len() {
             1 => {
@@ -585,9 +663,11 @@ impl Solver {
         });
         let delete_count = candidates.len() / 2;
         for &idx in &candidates[..delete_count] {
+            // Take the literals so the deletion can be logged after the
+            // storage is reclaimed.
+            let lits = std::mem::take(&mut self.clauses[idx as usize].lits);
+            self.proof_delete(&lits);
             self.clauses[idx as usize].deleted = true;
-            self.clauses[idx as usize].lits.clear();
-            self.clauses[idx as usize].lits.shrink_to_fit();
             self.stats.deleted_clauses += 1;
         }
         // Stale watch entries are dropped lazily during propagation.
@@ -666,6 +746,11 @@ impl Solver {
                     }
                     if let Some(max) = budget.max_time() {
                         if start.elapsed() >= max {
+                            return SatResult::Unknown;
+                        }
+                    }
+                    if let Some(max) = budget.max_proof_steps() {
+                        if self.stats.proof_steps >= max {
                             return SatResult::Unknown;
                         }
                     }
@@ -975,6 +1060,102 @@ mod tests {
         assert_eq!(result, SatResult::Unknown);
         assert!(stats.cancelled);
         assert_eq!(stats.conflicts, 0, "no search work after a pre-trip");
+    }
+
+    #[test]
+    fn certified_pigeonhole_proofs_check() {
+        for holes in 1..=4usize {
+            let cnf = pigeonhole(holes + 1, holes);
+            let (result, stats, proof) = Solver::new(cnf.clone()).solve_certified(Budget::new());
+            assert!(result.is_unsat(), "php({}, {holes})", holes + 1);
+            let proof = proof.expect("certified solve returns the log");
+            assert!(proof.is_concluded());
+            assert_eq!(stats.proof_steps as usize, proof.n_steps());
+            let check = crate::drat::check(&cnf, &proof)
+                .unwrap_or_else(|e| panic!("php({}, {holes}) proof rejected: {e}", holes + 1));
+            assert_eq!(check.additions + check.deletions + 1, proof.n_steps());
+        }
+    }
+
+    #[test]
+    fn sat_solve_leaves_proof_unconcluded() {
+        let cnf = pigeonhole(4, 4);
+        let (result, _, proof) = Solver::new(cnf.clone()).solve_certified(Budget::new());
+        assert!(result.is_sat());
+        let proof = proof.expect("log present");
+        assert!(!proof.is_concluded());
+        assert_eq!(
+            crate::drat::check(&cnf, &proof),
+            Err(crate::drat::DratError::NoEmptyClause)
+        );
+    }
+
+    #[test]
+    fn cancelled_solve_yields_unknown_and_uncheckable_proof() {
+        use crate::CancellationToken;
+
+        let token = CancellationToken::new();
+        token.cancel();
+        let cnf = pigeonhole(8, 7);
+        let (result, stats, proof) =
+            Solver::new(cnf.clone()).solve_certified(Budget::new().with_cancellation(token));
+        assert_eq!(result, SatResult::Unknown);
+        assert!(stats.cancelled);
+        let proof = proof.expect("log present even when aborted");
+        assert!(!proof.is_concluded());
+        assert!(crate::drat::check(&cnf, &proof).is_err());
+    }
+
+    #[test]
+    fn proof_step_budget_returns_unknown() {
+        let cnf = pigeonhole(9, 8);
+        let (result, stats, proof) =
+            Solver::new(cnf).solve_certified(Budget::new().with_max_proof_steps(10));
+        assert_eq!(result, SatResult::Unknown);
+        assert!(stats.proof_steps >= 10);
+        assert!(!proof.expect("log present").is_concluded());
+    }
+
+    #[test]
+    fn proofs_with_db_reduction_still_check() {
+        // Large enough to cross the 4000-conflict reduce_db threshold, so
+        // the proof contains deletion steps the checker must undo.
+        let cnf = pigeonhole(8, 7);
+        let (result, stats, proof) = Solver::new(cnf.clone()).solve_certified(Budget::new());
+        assert!(result.is_unsat());
+        let proof = proof.expect("log present");
+        if stats.deleted_clauses == 0 {
+            // Deletions are what this test is about; the instance must be
+            // hard enough to trigger at least one reduction.
+            panic!("php(8,7) no longer triggers reduce_db; grow the instance");
+        }
+        let check = crate::drat::check(&cnf, &proof).expect("proof with deletions checks");
+        assert!(check.deletions > 0);
+        assert!(check.core_additions <= check.additions);
+    }
+
+    #[test]
+    fn file_proof_writer_output_reparses_and_checks() {
+        let cnf = pigeonhole(5, 4);
+        let dir = std::env::temp_dir().join("mm-sat-proof-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join(format!("php54-{}.drat", std::process::id()));
+        let writer = crate::FileProofWriter::create(&path).expect("create proof file");
+        let (result, _, writer) = Solver::new(cnf.clone())
+            .with_proof_writer(Box::new(writer))
+            .solve_logged(Budget::new());
+        assert!(result.is_unsat());
+        let writer = writer
+            .expect("writer returned")
+            .into_any()
+            .downcast::<crate::FileProofWriter>()
+            .expect("concrete type");
+        assert!(writer.steps_written() > 0);
+        writer.finish().expect("no sticky I/O error");
+        let text = std::fs::read_to_string(&path).expect("proof file readable");
+        let proof = DratProof::parse(&text).expect("file round-trips");
+        crate::drat::check(&cnf, &proof).expect("file-backed proof checks");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

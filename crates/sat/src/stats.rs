@@ -31,18 +31,67 @@ pub struct SolverStats {
     /// [`CancellationToken`](crate::CancellationToken) (as opposed to
     /// exhausting a conflict/time limit or finishing).
     pub cancelled: bool,
+    /// Number of DRAT proof steps emitted (additions + deletions + the
+    /// concluding empty clause). Zero when proof logging is off.
+    pub proof_steps: u64,
+    /// Total literals across all emitted proof steps — a proxy for the
+    /// proof's size on disk.
+    pub proof_literals: u64,
+    /// Wall-clock time spent checking the emitted proof. Zero until a
+    /// caller (e.g. certified synthesis) runs the checker and stamps it.
+    pub proof_check_time: Duration,
+    /// Whether the emitted proof was run through
+    /// [`drat::check`](crate::drat::check) and accepted.
+    pub proof_checked: bool,
 }
 
 impl fmt::Display for SolverStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // One line, comma-separated `name value` pairs: bench scrapers rely
+        // on this staying parseable.
         write!(
             f,
-            "{} conflicts, {} decisions, {} propagations, {} restarts in {:.3}s",
+            "{} conflicts, {} decisions, {} propagations, {} restarts, \
+             {} cancel-polls, cancelled {}, {} proof-steps, {} proof-literals, \
+             checked {} in {:.3}s (+{:.3}s check)",
             self.conflicts,
             self.decisions,
             self.propagations,
             self.restarts,
-            self.solve_time.as_secs_f64()
+            self.cancel_polls,
+            self.cancelled,
+            self.proof_steps,
+            self.proof_literals,
+            self.proof_checked,
+            self.solve_time.as_secs_f64(),
+            self.proof_check_time.as_secs_f64()
         )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_one_line_with_all_counters() {
+        let mut stats = SolverStats::default();
+        stats.conflicts = 7;
+        stats.cancel_polls = 3;
+        stats.proof_steps = 11;
+        stats.proof_literals = 42;
+        stats.proof_checked = true;
+        let line = stats.to_string();
+        assert!(!line.contains('\n'));
+        for needle in [
+            "7 conflicts",
+            "3 cancel-polls",
+            "cancelled false",
+            "11 proof-steps",
+            "42 proof-literals",
+            "checked true",
+        ] {
+            assert!(line.contains(needle), "missing {needle:?} in {line:?}");
+        }
     }
 }

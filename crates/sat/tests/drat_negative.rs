@@ -1,0 +1,160 @@
+//! Negative certification tests: the checker must reject every corrupted
+//! or incomplete proof a hostile (or buggy) solver could present.
+//!
+//! The corruption classes mirror the ways a certification pipeline can
+//! actually fail: truncation (crash/abort mid-proof), reordering (a lemma
+//! claimed before its antecedents exist), single-literal mutation (memory
+//! corruption or an emission bug), and cancellation (a solve that never
+//! finished must not look finished).
+
+use std::time::Duration;
+
+use mm_sat::drat::{check, DratError, ProofStep};
+use mm_sat::{Budget, CancellationToken, CnfFormula, DratProof, Lit, SatResult, Solver};
+
+/// Pigeonhole `pigeons` into `holes` — UNSAT for pigeons > holes, with no
+/// unit clauses, so the empty clause is never RUP of the bare formula.
+fn pigeonhole(pigeons: usize, holes: usize) -> CnfFormula {
+    let mut cnf = CnfFormula::new();
+    let vars: Vec<Vec<Lit>> = (0..pigeons)
+        .map(|_| (0..holes).map(|_| cnf.new_lit()).collect())
+        .collect();
+    for p in &vars {
+        cnf.add_clause(p.iter().copied());
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                cnf.add_clause([!vars[p1][h], !vars[p2][h]]);
+            }
+        }
+    }
+    cnf
+}
+
+/// A deterministic certified refutation of php(5, 4).
+fn certified_php() -> (CnfFormula, DratProof) {
+    let cnf = pigeonhole(5, 4);
+    let (result, _, proof) = Solver::new(cnf.clone()).solve_certified(Budget::new());
+    assert_eq!(result, SatResult::Unsat);
+    let proof = proof.expect("certified solve returns the log");
+    check(&cnf, &proof).expect("the unmodified proof checks");
+    (cnf, proof)
+}
+
+#[test]
+fn truncated_proof_is_rejected() {
+    let (cnf, proof) = certified_php();
+    // Drop the conclusion, then progressively more of the tail: every
+    // prefix lacks the empty clause and must be rejected.
+    for keep in [proof.n_steps() - 1, proof.n_steps() / 2, 1, 0] {
+        let truncated = DratProof::from_steps(proof.steps()[..keep].to_vec());
+        assert_eq!(
+            check(&cnf, &truncated),
+            Err(DratError::NoEmptyClause),
+            "truncated to {keep} steps"
+        );
+    }
+}
+
+#[test]
+fn reordered_proof_is_rejected() {
+    let (cnf, proof) = certified_php();
+    // Move the concluding empty clause to the front: the formula has no
+    // unit clauses, so nothing propagates and the claim cannot be RUP.
+    let mut steps = proof.steps().to_vec();
+    let conclusion = steps.pop().expect("non-empty proof");
+    assert_eq!(conclusion, ProofStep::Add(Vec::new()));
+    steps.insert(0, conclusion);
+    let reordered = DratProof::from_steps(steps);
+    assert_eq!(check(&cnf, &reordered), Err(DratError::NotRup { step: 0 }));
+}
+
+#[test]
+fn single_literal_mutations_are_caught() {
+    let (cnf, proof) = certified_php();
+    // Flip the polarity of one literal at a time, in every position of
+    // every addition. Corruptions of non-core lemmas are legitimately
+    // ignored (lazy core marking, exactly like drat-trim), but the
+    // derivation's load-bearing steps must be protected: at least one flip
+    // in the spine must produce a rejection, and no flip may crash the
+    // checker or mis-report anything but a clean verdict.
+    let mut rejected = 0usize;
+    let mut tried = 0usize;
+    for (s, step) in proof.steps().iter().enumerate() {
+        let ProofStep::Add(lits) = step else {
+            continue;
+        };
+        for k in 0..lits.len() {
+            tried += 1;
+            let mut steps = proof.steps().to_vec();
+            if let ProofStep::Add(ref mut mutated) = steps[s] {
+                mutated[k] = !mutated[k];
+            }
+            if check(&cnf, &DratProof::from_steps(steps)).is_err() {
+                rejected += 1;
+            }
+        }
+    }
+    assert!(tried > 0, "php(5,4) proof has addition literals to mutate");
+    assert!(
+        rejected > 0,
+        "no single-literal mutation was rejected across {tried} flips"
+    );
+}
+
+#[test]
+fn foreign_empty_clause_claim_is_rejected() {
+    // A "proof" that only claims the empty clause for a formula that is
+    // not propagation-refutable must fail, even though the formula is
+    // genuinely UNSAT — RUP is a derivation check, not an oracle.
+    let cnf = pigeonhole(4, 3);
+    let bare_claim = DratProof::from_steps(vec![ProofStep::Add(Vec::new())]);
+    assert_eq!(check(&cnf, &bare_claim), Err(DratError::NotRup { step: 0 }));
+}
+
+#[test]
+fn cancelled_solve_yields_unknown_without_checkable_proof() {
+    // Pre-tripped token: the solver must bail out before any conclusion.
+    let cnf = pigeonhole(6, 5);
+    let token = CancellationToken::new();
+    token.cancel();
+    let (result, stats, proof) =
+        Solver::new(cnf.clone()).solve_certified(Budget::new().with_cancellation(token));
+    assert_eq!(result, SatResult::Unknown);
+    assert!(stats.cancelled);
+    let proof = proof.expect("the log itself is still returned");
+    assert!(!proof.is_concluded());
+    assert_eq!(check(&cnf, &proof), Err(DratError::NoEmptyClause));
+}
+
+#[test]
+fn mid_run_cancellation_never_concludes_a_proof() {
+    // Cancel from another thread while the solver is deep in a hard
+    // instance: whatever partial derivation exists must not check.
+    let cnf = pigeonhole(11, 10);
+    let token = CancellationToken::new();
+    let budget = Budget::new()
+        .with_max_time(Duration::from_secs(120))
+        .with_cancellation(token.clone());
+    let solver_cnf = cnf.clone();
+    let handle = std::thread::spawn(move || Solver::new(solver_cnf).solve_certified(budget));
+    std::thread::sleep(Duration::from_millis(30));
+    token.cancel();
+    let (result, stats, proof) = handle.join().expect("solver thread");
+    assert_eq!(result, SatResult::Unknown);
+    assert!(stats.cancelled);
+    let proof = proof.expect("log present");
+    assert!(!proof.is_concluded());
+    assert_eq!(check(&cnf, &proof), Err(DratError::NoEmptyClause));
+}
+
+#[test]
+fn proof_for_a_different_formula_is_rejected() {
+    // A valid php(5,4) proof replayed against php(4,3): the clause ids
+    // cannot line up — additions reference variables the smaller formula
+    // does not even have.
+    let (_, proof) = certified_php();
+    let smaller = pigeonhole(4, 3);
+    assert!(check(&smaller, &proof).is_err());
+}

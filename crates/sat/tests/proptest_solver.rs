@@ -1,6 +1,7 @@
-//! Property-based cross-validation of the CDCL solver against brute force.
+//! Property-based cross-validation of the CDCL solver against brute force,
+//! and of every certified verdict against the DRAT checker.
 
-use mm_sat::{Budget, CnfFormula, ExactlyOne, Lit, SatResult, Solver, Var};
+use mm_sat::{drat, Budget, CnfFormula, DratProof, ExactlyOne, Lit, SatResult, Solver, Var};
 use proptest::prelude::*;
 
 /// A random clause set over `n_vars` variables, as (var, polarity) pairs.
@@ -80,6 +81,54 @@ proptest! {
                 }
                 other => prop_assert!(false, "expected SAT, got {:?}", other),
             }
+        }
+    }
+
+    #[test]
+    fn certified_verdicts_are_independently_checkable(raw in clauses_strategy(10)) {
+        // Every UNSAT verdict's DRAT proof passes the checker (including
+        // after a round trip through the textual format), and every SAT
+        // model satisfies the formula clause by clause.
+        let (cnf, clauses) = build(10, &raw);
+        let (result, stats, proof) = Solver::new(cnf.clone()).solve_certified(Budget::new());
+        let proof = proof.expect("certified solve always returns the log");
+        prop_assert_eq!(stats.proof_steps as usize, proof.n_steps());
+        match result {
+            SatResult::Sat(model) => {
+                for c in &clauses {
+                    prop_assert!(c.iter().any(|&l| model.value(l)), "model violates a clause");
+                }
+                prop_assert!(!proof.is_concluded(), "SAT must not conclude a refutation");
+                prop_assert!(drat::check(&cnf, &proof).is_err());
+            }
+            SatResult::Unsat => {
+                prop_assert!(proof.is_concluded());
+                let direct = drat::check(&cnf, &proof);
+                prop_assert!(direct.is_ok(), "checker rejected a solver proof: {:?}", direct);
+                let reparsed = DratProof::parse(&proof.to_drat_string())
+                    .expect("solver proofs serialize to valid DRAT text");
+                prop_assert_eq!(&reparsed, &proof);
+                prop_assert!(drat::check(&cnf, &reparsed).is_ok());
+            }
+            SatResult::Unknown => prop_assert!(false, "no budget was set"),
+        }
+    }
+
+    #[test]
+    fn truncated_proofs_never_check(raw in clauses_strategy(9)) {
+        // Dropping the concluding empty clause — what a crash or abort
+        // leaves behind — must always be rejected.
+        let (cnf, _) = build(9, &raw);
+        let (result, _, proof) = Solver::new(cnf.clone()).solve_certified(Budget::new());
+        if result.is_unsat() {
+            let proof = proof.expect("log present");
+            let truncated =
+                DratProof::from_steps(proof.steps()[..proof.n_steps() - 1].to_vec());
+            prop_assert!(!truncated.is_concluded());
+            prop_assert_eq!(
+                drat::check(&cnf, &truncated),
+                Err(drat::DratError::NoEmptyClause)
+            );
         }
     }
 

@@ -2,14 +2,20 @@
 //!
 //! ```text
 //! mmsynth synth    --function gf22_mul --rops 4 --legs 6 --steps 3 [--budget 300]
-//!                  [--dot | --json | --dimacs | --schedule]
+//!                  [--certify] [--proof FILE] [--dot | --json | --dimacs | --schedule]
 //! mmsynth minimize --function gf22_mul [--max-rops N] [--max-steps N] [--r-only]
-//!                  [--jobs N] [--conflicts N] [--dot | --json | --schedule]
+//!                  [--jobs N] [--conflicts N] [--certify] [--proof-dir DIR]
+//!                  [--dot | --json | --schedule]
 //! mmsynth map      --function adder3 [--dot | --json]
 //! mmsynth run      --function gf22_mul --input 1011 [--trace] [--seed 42]
 //! mmsynth census   --inputs 3 [--pre K] [--post K] [--tebe K]
 //! mmsynth list
 //! ```
+//!
+//! `--certify` runs every SAT call with DRAT proof logging and checks each
+//! UNSAT answer with the in-tree backward checker before reporting it;
+//! `--proof`/`--proof-dir` additionally archive the accepted proofs as
+//! standard DRAT text for cross-checking with external tools (`drat-trim`).
 //!
 //! Functions are either named generators (see `mmsynth list`) or comma-
 //! separated truth-table bitstrings (`--function 0110,1000` = two outputs).
@@ -162,10 +168,12 @@ fn run(command: &str, args: &Args) -> Result<(), String> {
                 SynthSpec::mixed_mode(&f, rops, legs, args.get_usize("steps", 3))
             }
             .map_err(|e| e.to_string())?;
-            let synth = Synthesizer::new().with_budget(
-                Budget::new()
-                    .with_max_time(Duration::from_secs(args.get_usize("budget", 120) as u64)),
-            );
+            let synth = Synthesizer::new()
+                .with_budget(
+                    Budget::new()
+                        .with_max_time(Duration::from_secs(args.get_usize("budget", 120) as u64)),
+                )
+                .with_certification(args.has("certify"));
             if args.has("dimacs") {
                 print!("{}", synth.export_dimacs(&spec).map_err(|e| e.to_string())?);
                 return Ok(());
@@ -175,11 +183,29 @@ fn run(command: &str, args: &Args) -> Result<(), String> {
                 "{} vars, {} clauses, {}",
                 outcome.encode_stats.n_vars, outcome.encode_stats.n_clauses, outcome.solver_stats
             );
+            if let Some(cert) = &outcome.certificate {
+                eprintln!(
+                    "certificate: {} proof steps, {} core, checked in {:.3}s",
+                    cert.proof.n_steps(),
+                    cert.check.core_additions,
+                    cert.check.check_time.as_secs_f64()
+                );
+                if let Some(path) = args.get("proof") {
+                    std::fs::write(path, cert.proof.to_drat_string())
+                        .map_err(|e| format!("writing {path}: {e}"))?;
+                    eprintln!("proof written to {path}");
+                }
+            }
             match outcome.result {
                 SynthResult::Realizable(circuit) => emit_circuit(&circuit, args),
                 SynthResult::Unrealizable => {
                     println!(
-                        "UNSAT: no circuit exists within these budgets (optimality certificate)"
+                        "UNSAT: no circuit exists within these budgets (optimality certificate{})",
+                        if outcome.certificate.is_some() {
+                            ", DRAT-checked"
+                        } else {
+                            ""
+                        }
                     );
                     Ok(())
                 }
@@ -190,7 +216,7 @@ fn run(command: &str, args: &Args) -> Result<(), String> {
             let f = parse_function(args.get("function").ok_or("--function required")?)?;
             let jobs = args.get_usize("jobs", parallel::default_jobs()).max(1);
             let options = EncodeOptions::recommended();
-            let mut synth = Synthesizer::new();
+            let mut synth = Synthesizer::new().with_certification(args.has("certify"));
             // A conflict (not wall-clock) limit keeps the portfolio result
             // deterministic across --jobs settings; unlimited by default.
             if args.has("conflicts") {
@@ -213,20 +239,44 @@ fn run(command: &str, args: &Args) -> Result<(), String> {
                 )
             }
             .map_err(|e| e.to_string())?;
+            if let Some(dir) = args.get("proof-dir") {
+                std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+            }
             for c in &report.calls {
                 eprintln!(
-                    "  N_R={} N_L={} N_VS={} -> {:?} ({} vars, {} clauses, {:.3}s)",
+                    "  N_R={} N_L={} N_VS={} -> {:?} ({} vars, {} clauses, {:.3}s{})",
                     c.n_rops,
                     c.n_legs,
                     c.n_vsteps,
                     c.result,
                     c.n_vars,
                     c.n_clauses,
-                    c.time.as_secs_f64()
+                    c.time.as_secs_f64(),
+                    if c.certified {
+                        format!(
+                            ", certified: {} proof steps checked in {:.3}s",
+                            c.proof_steps,
+                            c.check_time.as_secs_f64()
+                        )
+                    } else {
+                        String::new()
+                    }
                 );
+                if let (Some(dir), Some(proof)) = (args.get("proof-dir"), &c.proof) {
+                    let path = format!(
+                        "{dir}/{}_nR{}_nL{}_nVS{}.drat",
+                        f.name(),
+                        c.n_rops,
+                        c.n_legs,
+                        c.n_vsteps
+                    );
+                    std::fs::write(&path, proof.to_drat_string())
+                        .map_err(|e| format!("writing {path}: {e}"))?;
+                }
             }
+            let certified = report.calls.iter().filter(|c| c.certified).count();
             eprintln!(
-                "{} calls, {:.3}s solver time, {jobs} jobs",
+                "{} calls ({certified} certified UNSAT), {:.3}s solver time, {jobs} jobs",
                 report.calls.len(),
                 report.total_time().as_secs_f64()
             );
@@ -235,10 +285,10 @@ fn run(command: &str, args: &Args) -> Result<(), String> {
                     emit_circuit(&circuit, args)?;
                     println!(
                         "optimality: {}",
-                        if report.proven_optimal {
-                            "proven (UNSAT below)"
-                        } else {
-                            "upper bound only"
+                        match (report.proven_optimal, args.has("certify")) {
+                            (true, true) => "proven (UNSAT below, DRAT-certified)",
+                            (true, false) => "proven (UNSAT below)",
+                            (false, _) => "upper bound only",
                         }
                     );
                     Ok(())
@@ -274,12 +324,18 @@ fn run(command: &str, args: &Args) -> Result<(), String> {
             println!(
                 "usage: mmsynth <synth|minimize|map|run|census|list> [--function NAME|BITS,...]\n\
                  \x20      synth:    --rops N [--legs N] [--steps N] [--r-only N] [--budget s]\n\
+                 \x20                [--certify] [--proof FILE]\n\
                  \x20                [--dot | --json | --dimacs | --schedule]\n\
                  \x20      minimize: [--max-rops N] [--max-steps N] [--r-only] [--adder]\n\
-                 \x20                [--jobs N] [--conflicts N] [--dot | --json | --schedule]\n\
+                 \x20                [--jobs N] [--conflicts N] [--certify] [--proof-dir DIR]\n\
+                 \x20                [--dot | --json | --schedule]\n\
                  \x20      map:      [--dot | --json | --schedule]\n\
                  \x20      run:      --input BITS [--trace] [--seed N]\n\
-                 \x20      census:   --inputs N [--pre K] [--post K] [--tebe K]"
+                 \x20      census:   --inputs N [--pre K] [--post K] [--tebe K]\n\
+                 \n\
+                 \x20      --certify checks every UNSAT answer against its DRAT proof\n\
+                 \x20      before any optimality claim; --proof/--proof-dir archive the\n\
+                 \x20      accepted proofs as DRAT text"
             );
             Ok(())
         }
