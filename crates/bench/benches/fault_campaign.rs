@@ -1,0 +1,50 @@
+//! Criterion benches for the fault-injection campaign engine: campaign
+//! throughput across fault classes, and one full repair cycle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mm_boolfn::generators;
+use mm_circuit::campaign::{run_campaign, CampaignConfig};
+use mm_circuit::{DeviceState, FaultPlan, Schedule};
+use mm_device::Variability;
+use mm_synth::repair::{synthesize_with_repair, RepairConfig};
+use mm_synth::{heuristic, SynthSpec, Synthesizer};
+
+fn bench_fault_campaign(c: &mut Criterion) {
+    let f = generators::gf22_multiplier();
+    let circuit = heuristic::map(&f).expect("GF(2^2) maps");
+    let schedule = Schedule::compile(&circuit)
+        .expect("schedulable")
+        .place_avoiding(32, &[])
+        .expect("fits on 32 cells");
+    let plans = vec![
+        FaultPlan::named("control"),
+        FaultPlan::named("stuck").with_stuck(0, DeviceState::Lrs),
+        FaultPlan::named("transient").with_transient(1, 2),
+        FaultPlan::named("noisy").with_variability(Variability::HIGH),
+    ];
+
+    let mut g = c.benchmark_group("fault_campaign");
+    g.sample_size(10);
+    g.bench_function("gf22_4plans_8trials", |b| {
+        let config = CampaignConfig::default();
+        b.iter(|| run_campaign(&schedule, &plans, &config).expect("in range"));
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("repair");
+    g.sample_size(10);
+    g.bench_function("xor2_one_stuck_cell", |b| {
+        let f = generators::xor_gate(2);
+        let spec = SynthSpec::mixed_mode(&f, 1, 2, 2).expect("valid spec");
+        let plans = vec![FaultPlan::named("stuck").with_stuck(0, DeviceState::Lrs)];
+        let synth = Synthesizer::new();
+        b.iter(|| {
+            synthesize_with_repair(&synth, &spec, &plans, &RepairConfig::new(8))
+                .expect("repairable")
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fault_campaign);
+criterion_main!(benches);

@@ -1,0 +1,465 @@
+//! Fault-injection campaigns: execute a schedule against faulty arrays and
+//! attribute every divergence to cells.
+//!
+//! A campaign crosses a compiled [`Schedule`] with a set of
+//! [`FaultPlan`]s, running every input assignment across `trials` seeded
+//! arrays per plan. Each execution is compared in lockstep against a
+//! healthy reference run (restricted to the cells the schedule actually
+//! uses), yielding:
+//!
+//! * the **first-divergence cycle** — the earliest schedule cycle at which
+//!   any used cell's state departs from the healthy run;
+//! * **per-cell attribution** — how often each cell was among the first
+//!   divergent cells, classified as [`FaultClass::Stuck`],
+//!   [`FaultClass::Transient`] or [`FaultClass::Variability`];
+//! * **error rates per fault class** over all executions.
+//!
+//! The resulting [`CampaignReport`] serializes to JSON, and its implicated
+//! cells feed the self-repairing synthesis loop in `mm-synth`: diagnose →
+//! avoid → resynthesize.
+//!
+//! # Example
+//!
+//! ```
+//! use mm_circuit::campaign::{run_campaign, CampaignConfig};
+//! use mm_circuit::{MmCircuit, ROp, Schedule, Signal, VLeg, VOp};
+//! use mm_boolfn::Literal;
+//! use mm_device::{DeviceState, FaultPlan};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let circuit = MmCircuit::builder(2)
+//!     .leg(VLeg::new(vec![VOp::new(Literal::Pos(1), Literal::Const0)]))
+//!     .leg(VLeg::new(vec![VOp::new(Literal::Pos(2), Literal::Const0)]))
+//!     .rop(ROp::nor(Signal::Leg(0), Signal::Leg(1)))
+//!     .output(Signal::ROp(0))
+//!     .build()?;
+//! let schedule = Schedule::compile(&circuit)?;
+//! let plans = vec![
+//!     FaultPlan::named("control"),
+//!     FaultPlan::named("stuck-out").with_stuck(2, DeviceState::Lrs),
+//! ];
+//! let report = run_campaign(&schedule, &plans, &CampaignConfig::default())?;
+//! assert_eq!(report.plans[0].failures, 0);
+//! assert!(report.plans[1].failures > 0);
+//! assert_eq!(report.plans[1].implicated_cells(), vec![2]);
+//! # Ok(())
+//! # }
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use mm_device::{ElectricalParams, FaultPlan, LineArray};
+
+use crate::{CircuitError, Schedule};
+
+/// Classification of a diagnosed divergence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultClass {
+    /// A permanently stuck cell from the plan was among the first divergent
+    /// cells.
+    Stuck,
+    /// The first divergence coincides with an injected transient flip
+    /// (same cell, same cycle).
+    Transient,
+    /// Neither of the above: D2D/C2C variation, or an analog misread with
+    /// no logical state divergence at all.
+    Variability,
+}
+
+/// Configuration of a fault-injection campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CampaignConfig {
+    /// Seeded trials per plan.
+    pub trials: u32,
+    /// Base RNG seed; trial `t` reseeds the array with
+    /// `seed + (t << 16)` (wrapping), the same derivation the Monte-Carlo
+    /// module uses, so campaign runs are reproducible from the report.
+    pub seed: u64,
+    /// Electrical parameters of the arrays (plans may override the
+    /// variability corner).
+    pub params: ElectricalParams,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self {
+            trials: 8,
+            seed: 0xfa11,
+            params: ElectricalParams::bfo(),
+        }
+    }
+}
+
+/// Failure attribution for one cell under one plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellAttribution {
+    /// The cell index.
+    pub cell: usize,
+    /// The fault class the cell's divergences belong to.
+    pub class: FaultClass,
+    /// Number of executions in which this cell was among the *first*
+    /// divergent cells.
+    pub divergences: u32,
+    /// The earliest cycle at which this cell was seen diverging.
+    pub first_cycle: usize,
+}
+
+/// Campaign results for one fault plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanReport {
+    /// The plan that was executed, verbatim.
+    pub plan: FaultPlan,
+    /// Total executions: `trials × 2^n` input evaluations.
+    pub executions: u32,
+    /// Executions whose outputs differed from the healthy reference.
+    pub failures: u32,
+    /// `failures / executions`.
+    pub error_rate: f64,
+    /// Executions whose internal state diverged but whose outputs were
+    /// still correct (the fault was logically masked).
+    pub masked_divergences: u32,
+    /// Earliest divergence cycle across all executions, if any diverged.
+    pub first_divergence_cycle: Option<usize>,
+    /// Failing executions whose first divergence implicated a stuck cell.
+    pub stuck_failures: u32,
+    /// Failing executions whose first divergence coincided with an
+    /// injected transient flip.
+    pub transient_failures: u32,
+    /// Remaining failures (variation or analog misreads).
+    pub variability_failures: u32,
+    /// Per-cell attribution, most-implicated cells first.
+    pub attribution: Vec<CellAttribution>,
+}
+
+impl PlanReport {
+    /// The implicated cells, most frequently divergent first — the input
+    /// to the repair loop's avoidance constraints.
+    pub fn implicated_cells(&self) -> Vec<usize> {
+        self.attribution.iter().map(|a| a.cell).collect()
+    }
+
+    /// The error rate contributed by one fault class.
+    pub fn class_error_rate(&self, class: FaultClass) -> f64 {
+        let failures = match class {
+            FaultClass::Stuck => self.stuck_failures,
+            FaultClass::Transient => self.transient_failures,
+            FaultClass::Variability => self.variability_failures,
+        };
+        f64::from(failures) / f64::from(self.executions.max(1))
+    }
+}
+
+/// The structured result of a campaign: one [`PlanReport`] per plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Cell count of the schedule under test.
+    pub n_cells: usize,
+    /// Input count of the schedule under test.
+    pub n_inputs: u8,
+    /// Trials per plan.
+    pub trials: u32,
+    /// Base seed the trial seeds were derived from.
+    pub seed: u64,
+    /// One report per plan, in input order.
+    pub plans: Vec<PlanReport>,
+}
+
+impl CampaignReport {
+    /// Whether any plan produced at least one failing execution.
+    pub fn any_failures(&self) -> bool {
+        self.plans.iter().any(|p| p.failures > 0)
+    }
+
+    /// Pretty-printed JSON export of the full report.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("campaign reports always serialize")
+    }
+}
+
+/// Runs a fault-injection campaign: every plan × every trial seed × every
+/// input assignment, compared in lockstep against a healthy reference run.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::FaultPlanOutOfRange`] when a plan references a
+/// cell the schedule's array does not have.
+pub fn run_campaign(
+    schedule: &Schedule,
+    plans: &[FaultPlan],
+    config: &CampaignConfig,
+) -> Result<CampaignReport, CircuitError> {
+    let n = schedule.n_cells();
+    for plan in plans {
+        if let Some(cell) = plan.max_cell().filter(|&c| c >= n) {
+            return Err(CircuitError::FaultPlanOutOfRange {
+                plan: plan.name.clone(),
+                cell,
+                n_cells: n,
+            });
+        }
+    }
+    let n_assignments = 1u32 << schedule.n_inputs();
+    let used = schedule.used_cells();
+
+    // Healthy reference: expected outputs and per-cycle state snapshots for
+    // every input assignment, computed once on an ideal array.
+    let mut ideal = LineArray::ideal(n);
+    let mut expected = Vec::with_capacity(n_assignments as usize);
+    let mut reference: Vec<Vec<Vec<bool>>> = Vec::with_capacity(n_assignments as usize);
+    for x in 0..n_assignments {
+        let mut states = Vec::with_capacity(schedule.cycles().len());
+        let out = schedule.execute_with(x, &mut ideal, |_, a| states.push(a.states()));
+        expected.push(out);
+        reference.push(states);
+    }
+
+    let mut plan_reports = Vec::with_capacity(plans.len());
+    for plan in plans {
+        let stuck = plan.stuck_cells();
+        // One array per plan, reseeded per trial (stuck cells survive the
+        // reseed and keep the healthy cells' draws aligned).
+        let mut array = plan.build_array(n, config.params, config.seed);
+        let mut failures = 0u32;
+        let mut masked = 0u32;
+        let mut class_failures = [0u32; 3]; // Stuck, Transient, Variability
+        let mut first_divergence: Option<usize> = None;
+        // cell -> (divergence count, earliest cycle)
+        let mut per_cell: std::collections::BTreeMap<usize, (u32, usize)> =
+            std::collections::BTreeMap::new();
+
+        for t in 0..config.trials {
+            array.reseed(config.seed.wrapping_add(u64::from(t) << 16));
+            for x in 0..n_assignments {
+                let mut divergence: Option<(usize, Vec<usize>)> = None;
+                let outputs = schedule.execute_with(x, &mut array, |i, a| {
+                    for cell in plan.flips_at(i) {
+                        a.flip_state(cell);
+                    }
+                    if divergence.is_none() {
+                        let diff: Vec<usize> = used
+                            .iter()
+                            .copied()
+                            .filter(|&c| a.state(c).to_bool() != reference[x as usize][i][c])
+                            .collect();
+                        if !diff.is_empty() {
+                            divergence = Some((i, diff));
+                        }
+                    }
+                });
+                let failed = outputs != expected[x as usize];
+                if let Some((cycle, cells)) = &divergence {
+                    if first_divergence.is_none_or(|f| *cycle < f) {
+                        first_divergence = Some(*cycle);
+                    }
+                    for &c in cells {
+                        let entry = per_cell.entry(c).or_insert((0, *cycle));
+                        entry.0 += 1;
+                        entry.1 = entry.1.min(*cycle);
+                    }
+                    if !failed {
+                        masked += 1;
+                    }
+                }
+                if failed {
+                    failures += 1;
+                    let class = classify(divergence.as_ref(), &stuck, plan);
+                    class_failures[class as usize] += 1;
+                }
+            }
+        }
+
+        let mut attribution: Vec<CellAttribution> = per_cell
+            .into_iter()
+            .map(|(cell, (divergences, first_cycle))| CellAttribution {
+                cell,
+                class: cell_class(cell, &stuck, plan),
+                divergences,
+                first_cycle,
+            })
+            .collect();
+        attribution.sort_by(|a, b| b.divergences.cmp(&a.divergences).then(a.cell.cmp(&b.cell)));
+
+        let executions = config.trials * n_assignments;
+        plan_reports.push(PlanReport {
+            plan: plan.clone(),
+            executions,
+            failures,
+            error_rate: f64::from(failures) / f64::from(executions.max(1)),
+            masked_divergences: masked,
+            first_divergence_cycle: first_divergence,
+            stuck_failures: class_failures[FaultClass::Stuck as usize],
+            transient_failures: class_failures[FaultClass::Transient as usize],
+            variability_failures: class_failures[FaultClass::Variability as usize],
+            attribution,
+        });
+    }
+
+    Ok(CampaignReport {
+        n_cells: n,
+        n_inputs: schedule.n_inputs(),
+        trials: config.trials,
+        seed: config.seed,
+        plans: plan_reports,
+    })
+}
+
+/// Classifies one failing execution from its first divergence.
+fn classify(
+    divergence: Option<&(usize, Vec<usize>)>,
+    stuck: &[usize],
+    plan: &FaultPlan,
+) -> FaultClass {
+    match divergence {
+        Some((cycle, cells)) => {
+            if cells.iter().any(|c| stuck.binary_search(c).is_ok()) {
+                FaultClass::Stuck
+            } else if cells.iter().any(|c| {
+                plan.transients
+                    .iter()
+                    .any(|t| t.cell == *c && t.cycle == *cycle)
+            }) {
+                FaultClass::Transient
+            } else {
+                FaultClass::Variability
+            }
+        }
+        // Outputs wrong with no logical divergence: an analog misread.
+        None => FaultClass::Variability,
+    }
+}
+
+/// The static class of a cell under a plan (for attribution rows).
+fn cell_class(cell: usize, stuck: &[usize], plan: &FaultPlan) -> FaultClass {
+    if stuck.binary_search(&cell).is_ok() {
+        FaultClass::Stuck
+    } else if plan.transients.iter().any(|t| t.cell == cell) {
+        FaultClass::Transient
+    } else {
+        FaultClass::Variability
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use mm_boolfn::Literal;
+    use mm_device::{DeviceState, Variability};
+
+    use super::*;
+    use crate::{MmCircuit, ROp, Signal, VLeg, VOp};
+
+    fn nor_schedule() -> Schedule {
+        let circuit = MmCircuit::builder(2)
+            .leg(VLeg::new(vec![VOp::new(Literal::Pos(1), Literal::Const0)]))
+            .leg(VLeg::new(vec![VOp::new(Literal::Pos(2), Literal::Const0)]))
+            .rop(ROp::nor(Signal::Leg(0), Signal::Leg(1)))
+            .output(Signal::ROp(0))
+            .build()
+            .unwrap();
+        Schedule::compile(&circuit).unwrap()
+    }
+
+    #[test]
+    fn healthy_control_has_no_failures() {
+        let schedule = nor_schedule();
+        let report = run_campaign(
+            &schedule,
+            &[FaultPlan::named("control")],
+            &CampaignConfig::default(),
+        )
+        .unwrap();
+        let p = &report.plans[0];
+        assert_eq!(p.failures, 0);
+        assert_eq!(p.masked_divergences, 0);
+        assert_eq!(p.first_divergence_cycle, None);
+        assert!(p.attribution.is_empty());
+        assert!(!report.any_failures());
+        assert_eq!(p.executions, CampaignConfig::default().trials * 4);
+    }
+
+    #[test]
+    fn stuck_output_is_detected_and_attributed() {
+        let schedule = nor_schedule();
+        let plan = FaultPlan::named("stuck-out").with_stuck(2, DeviceState::Lrs);
+        let report = run_campaign(&schedule, &[plan], &CampaignConfig::default()).unwrap();
+        let p = &report.plans[0];
+        // NOR is 0 for 3 of 4 assignments; the stuck-LRS output reads 1.
+        assert_eq!(p.failures, 3 * report.trials);
+        assert_eq!(p.stuck_failures, p.failures);
+        assert_eq!(p.transient_failures, 0);
+        assert_eq!(p.implicated_cells(), vec![2]);
+        assert_eq!(p.attribution[0].class, FaultClass::Stuck);
+        // The output cell is pre-set to 1 but stuck cells match that until
+        // the R-op tries to RESET it — or diverge at cycle 0 if their init
+        // differs. Either way a first cycle exists.
+        assert!(p.first_divergence_cycle.is_some());
+        assert!((p.error_rate - 0.75).abs() < 1e-9);
+        assert!((p.class_error_rate(FaultClass::Stuck) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transient_flip_is_classified_as_transient() {
+        let schedule = nor_schedule();
+        // Cycles: 0 = V-op, 1 = R-op, 2 = read. Flip the output right after
+        // the R-op computes it: every assignment reads the wrong value.
+        let plan = FaultPlan::named("upset").with_transient(2, 1);
+        let report = run_campaign(&schedule, &[plan], &CampaignConfig::default()).unwrap();
+        let p = &report.plans[0];
+        assert_eq!(p.failures, 4 * report.trials);
+        assert_eq!(p.transient_failures, p.failures);
+        assert_eq!(p.first_divergence_cycle, Some(1));
+        assert_eq!(p.attribution[0].cell, 2);
+        assert_eq!(p.attribution[0].class, FaultClass::Transient);
+    }
+
+    #[test]
+    fn variability_failures_fall_in_the_variability_class() {
+        let schedule = nor_schedule();
+        let plan = FaultPlan::named("harsh").with_variability(Variability {
+            d2d_sigma: 0.6,
+            c2c_sigma: 0.2,
+        });
+        let config = CampaignConfig {
+            trials: 64,
+            ..CampaignConfig::default()
+        };
+        let report = run_campaign(&schedule, &[plan], &config).unwrap();
+        let p = &report.plans[0];
+        assert!(p.failures > 0, "harsh corner must break some executions");
+        assert_eq!(p.stuck_failures, 0);
+        assert_eq!(p.transient_failures, 0);
+        assert_eq!(p.variability_failures, p.failures);
+    }
+
+    #[test]
+    fn out_of_range_plan_is_rejected() {
+        let schedule = nor_schedule();
+        let plan = FaultPlan::named("oob").with_stuck(9, DeviceState::Hrs);
+        let err = run_campaign(&schedule, &[plan], &CampaignConfig::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            CircuitError::FaultPlanOutOfRange {
+                cell: 9,
+                n_cells: 3,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn reports_are_deterministic_and_round_trip_json() {
+        let schedule = nor_schedule();
+        let plans = vec![
+            FaultPlan::named("control"),
+            FaultPlan::named("stuck").with_stuck(0, DeviceState::Lrs),
+            FaultPlan::named("corner").with_variability(Variability::HIGH),
+        ];
+        let config = CampaignConfig::default();
+        let a = run_campaign(&schedule, &plans, &config).unwrap();
+        let b = run_campaign(&schedule, &plans, &config).unwrap();
+        assert_eq!(a, b, "same config must reproduce the same report");
+
+        let json = a.to_json();
+        let back: CampaignReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+}

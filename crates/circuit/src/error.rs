@@ -66,6 +66,15 @@ pub enum CircuitError {
         /// Total array size.
         array_size: usize,
     },
+    /// A fault plan references a cell outside the schedule's array.
+    FaultPlanOutOfRange {
+        /// Name of the offending plan.
+        plan: String,
+        /// The out-of-range cell index.
+        cell: usize,
+        /// The schedule's cell count.
+        n_cells: usize,
+    },
     /// The schedule backend does not implement this R-op family.
     UnsupportedROpKind {
         /// Index of the offending R-op.
@@ -127,6 +136,14 @@ impl fmt::Display for CircuitError {
             } => write!(
                 f,
                 "schedule needs {needed} cells but only {available} of {array_size} work"
+            ),
+            Self::FaultPlanOutOfRange {
+                plan,
+                cell,
+                n_cells,
+            } => write!(
+                f,
+                "fault plan {plan:?} references cell {cell}, but the schedule has {n_cells} cells"
             ),
             Self::UnsupportedROpKind { rop, kind } => {
                 write!(

@@ -18,6 +18,9 @@
 //!   (dummy-cycle padding, shared-BE legality, literal preloading, output
 //!   initialization, readout), executable on an
 //!   [`mm_device::LineArray`] both ideally and electrically;
+//! * [`campaign`] — fault-injection campaigns executing a schedule against
+//!   faulty arrays ([`mm_device::FaultPlan`]) with per-cell failure
+//!   attribution, feeding the self-repairing synthesis loop;
 //! * text/DOT export for inspecting circuits like the paper's Fig. 1.
 //!
 //! # Example
@@ -46,6 +49,7 @@
 #![warn(missing_docs)]
 
 mod activity;
+pub mod campaign;
 mod error;
 mod eval;
 mod export;
@@ -55,11 +59,12 @@ pub mod parallel;
 mod schedule;
 
 pub use activity::{ActivityReport, CellActivity};
+pub use campaign::{run_campaign, CampaignConfig, CampaignReport, FaultClass, PlanReport};
 pub use error::CircuitError;
 pub use ir::{MmCircuit, MmCircuitBuilder, ROp, Signal, VLeg, VOp};
 pub use metrics::Metrics;
 pub use schedule::{CellRole, Schedule, ScheduleCycle};
 
-// Re-exported so downstream crates name the R-op family without also
-// depending on `mm-device`.
-pub use mm_device::ROpKind;
+// Re-exported so downstream crates name the R-op family and assemble
+// fault-injection campaigns without also depending on `mm-device`.
+pub use mm_device::{DeviceState, ElectricalParams, FaultPlan, ROpKind};

@@ -346,6 +346,26 @@ impl Schedule {
     ///
     /// Panics if the array has a different cell count or `x ≥ 2^n`.
     pub fn execute(&self, x: u32, array: &mut LineArray) -> Vec<bool> {
+        self.execute_with(x, array, |_, _| {})
+    }
+
+    /// Executes the schedule like [`execute`](Self::execute), invoking
+    /// `after_cycle(index, array)` after every cycle completes.
+    ///
+    /// This is the instrumentation hook of the fault-campaign engine: the
+    /// callback can snapshot cell states for lockstep comparison against a
+    /// healthy run, or inject transient upsets between driven cycles via
+    /// [`LineArray::flip_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array has a different cell count or `x ≥ 2^n`.
+    pub fn execute_with(
+        &self,
+        x: u32,
+        array: &mut LineArray,
+        mut after_cycle: impl FnMut(usize, &mut LineArray),
+    ) -> Vec<bool> {
         assert_eq!(
             array.n_cells(),
             self.n_cells(),
@@ -357,7 +377,7 @@ impl Schedule {
         );
         array.reset(&self.init_states);
         let mut outputs = vec![false; self.output_cells.len()];
-        for cycle in &self.cycles {
+        for (i, cycle) in self.cycles.iter().enumerate() {
             match cycle {
                 ScheduleCycle::VOp { te, be } => {
                     let te_levels: Vec<Option<bool>> = te
@@ -373,8 +393,46 @@ impl Schedule {
                     outputs[*output_index] = array.read(*cell) == DeviceState::Lrs;
                 }
             }
+            after_cycle(i, array);
         }
         outputs
+    }
+
+    /// The cells the schedule actually drives, senses or reads, sorted.
+    ///
+    /// Campaign diagnosis compares healthy and faulty runs on this set
+    /// only: spare cells outside the schedule's footprint (e.g. stuck cells
+    /// a repair placement routed around) would otherwise implicate
+    /// themselves despite never influencing an output.
+    pub fn used_cells(&self) -> Vec<usize> {
+        let mut used: Vec<usize> = self
+            .init_states
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s)
+            .map(|(i, _)| i)
+            .collect();
+        for cycle in &self.cycles {
+            match cycle {
+                ScheduleCycle::VOp { te, .. } => {
+                    used.extend(
+                        te.iter()
+                            .enumerate()
+                            .filter(|(_, l)| l.is_some())
+                            .map(|(i, _)| i),
+                    );
+                }
+                ScheduleCycle::ROp { inputs, output, .. } => {
+                    used.extend(inputs.iter().copied());
+                    used.push(*output);
+                }
+                ScheduleCycle::Read { cell, .. } => used.push(*cell),
+            }
+        }
+        used.extend(self.output_cells.iter().copied());
+        used.sort_unstable();
+        used.dedup();
+        used
     }
 
     /// Executes the schedule on a fresh ideal array and returns the outputs.

@@ -391,6 +391,59 @@ pub(crate) fn encode(spec: &SynthSpec) -> Result<Encoded, SynthError> {
         cnf.exactly_one(row, options.mutex);
     }
 
+    // Cell-avoidance constraint: the compiled schedule occupies
+    // N_L + N_R + (#distinct literal feeds) cells — one per leg, one per
+    // R-op output, and one preloaded device per distinct literal consumed
+    // by an R-op input or tapped by an output. Bounding the number of
+    // distinct feed literals therefore guarantees the schedule fits into
+    // the array's working cells, and `place_avoiding` can always route
+    // around the dead ones.
+    if let Some(avoidance) = spec.cell_avoidance() {
+        let dead = avoidance.dead_cells();
+        if let Some(&cell) = dead.iter().find(|&&c| c >= avoidance.array_size) {
+            return Err(SynthError::InvalidConstraint {
+                reason: format!(
+                    "avoided cell {cell} is outside the {}-cell array",
+                    avoidance.array_size
+                ),
+            });
+        }
+        let working = avoidance.array_size - dead.len();
+        let fixed = spec.n_legs() + spec.n_rops();
+        if working < fixed {
+            return Err(SynthError::InvalidConstraint {
+                reason: format!(
+                    "schedule needs at least {fixed} cells ({} legs + {} R-ops) \
+                     but only {working} of {} work",
+                    spec.n_legs(),
+                    spec.n_rops(),
+                    avoidance.array_size
+                ),
+            });
+        }
+        let feed_budget = working - fixed;
+        if feed_budget < n_lit {
+            // feed_used[j] is implied true whenever any R-op input or
+            // output selector picks literal j; at-most-k over them caps the
+            // distinct feeds. (One-sided implications suffice: the solver
+            // can only relax feed_used[j] when literal j is unused.)
+            let feed_used: Vec<Lit> = (0..n_lit).map(|_| cnf.new_lit()).collect();
+            for side in &g_in {
+                for row in side {
+                    for j in 0..n_lit {
+                        cnf.add_implies(row[j], feed_used[j]);
+                    }
+                }
+            }
+            for row in &g_o {
+                for j in 0..n_lit {
+                    cnf.add_implies(row[j], feed_used[j]);
+                }
+            }
+            cnf.at_most_k(&feed_used, feed_budget);
+        }
+    }
+
     // Designer constraints: forced TE literals.
     for &(leg, step, literal) in &options.forced_te {
         if leg >= spec.n_legs() || step >= n_vsteps {

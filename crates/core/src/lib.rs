@@ -26,6 +26,9 @@
 //! * [`heuristic`] — the paper's stated future work: a scalable
 //!   (non-optimal) mapper from a Quine–McCluskey cover to a mixed-mode
 //!   circuit, for functions beyond the reach of exact synthesis.
+//! * [`repair`] — self-repairing synthesis: run a fault-injection
+//!   campaign against the placed schedule, diagnose implicated cells,
+//!   and resynthesize with those cells avoided *in the CNF formula*.
 //!
 //! # Example
 //!
@@ -56,9 +59,10 @@ mod synthesizer;
 
 pub mod heuristic;
 pub mod optimize;
+pub mod repair;
 pub mod universality;
 
 pub use encoder::EncodeStats;
 pub use error::SynthError;
-pub use spec::{EncodeMode, EncodeOptions, SharedBe, SynthSpec};
+pub use spec::{CellAvoidance, EncodeMode, EncodeOptions, SharedBe, SynthSpec};
 pub use synthesizer::{SynthOutcome, SynthResult, Synthesizer, UnsatCertificate};

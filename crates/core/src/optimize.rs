@@ -37,6 +37,10 @@ pub struct CallRecord {
     pub time: Duration,
     /// DRAT steps emitted by the call (0 when proof logging was off).
     pub proof_steps: u64,
+    /// Whether the call aborted because the run's wall-clock
+    /// [`Deadline`](mm_sat::Deadline) expired (a subset of `Unknown`
+    /// results).
+    pub deadline_expired: bool,
     /// Time spent checking the call's proof (zero when not certified).
     pub check_time: Duration,
     /// Whether an `Unrealizable` answer is backed by a checker-accepted
@@ -59,13 +63,66 @@ pub enum SynthResultKind {
     Unknown,
 }
 
+/// Why a minimization run degraded instead of concluding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// The run's wall-clock [`Deadline`](mm_sat::Deadline) expired with
+    /// budget points still undecided.
+    DeadlineExpired,
+    /// A per-call resource budget (conflicts, time, proof steps) was
+    /// exhausted on a point that mattered for the optimality claim.
+    BudgetExhausted,
+    /// A worker thread panicked; its point is treated as undecided and the
+    /// rest of the run continued.
+    WorkerPanicked {
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for DegradeReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::DeadlineExpired => write!(f, "deadline expired"),
+            Self::BudgetExhausted => write!(f, "budget exhausted"),
+            Self::WorkerPanicked { message } => write!(f, "worker panicked: {message}"),
+        }
+    }
+}
+
+/// Whether a minimization run ran to a conclusive end or degraded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OptimizeStatus {
+    /// Every budget point that mattered was decided (SAT or UNSAT).
+    Complete,
+    /// The run returned its best-known answer without deciding every
+    /// relevant point. `best` is then an *unproven upper bound* (possibly a
+    /// heuristic seed), and `proven_optimal` is guaranteed `false`.
+    Degraded {
+        /// What cut the run short.
+        reason: DegradeReason,
+    },
+}
+
+impl OptimizeStatus {
+    /// Whether the run degraded.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, Self::Degraded { .. })
+    }
+}
+
 /// Result of a minimization run.
 #[derive(Debug, Clone)]
 pub struct OptimizeReport {
-    /// The best circuit found, if any.
+    /// The best circuit found, if any. On a
+    /// [`Degraded`](OptimizeStatus::Degraded) run this is the best *known*
+    /// circuit — possibly the heuristic seed — and only an upper bound.
     pub best: Option<MmCircuit>,
-    /// Whether the next-smaller budget was *proved* infeasible.
+    /// Whether the next-smaller budget was *proved* infeasible. Never
+    /// `true` on a degraded run.
     pub proven_optimal: bool,
+    /// Whether the run concluded or degraded (deadline, budget, panic).
+    pub status: OptimizeStatus,
     /// Every synthesis call, in execution order.
     pub calls: Vec<CallRecord>,
 }
@@ -75,6 +132,28 @@ impl OptimizeReport {
     pub fn total_time(&self) -> Duration {
         self.calls.iter().map(|c| c.time).sum()
     }
+}
+
+/// The degradation reason implied by a set of undecided calls: a deadline
+/// expiry anywhere wins over plain budget exhaustion.
+fn degrade_reason_from<'a>(
+    mut unknowns: impl Iterator<Item = &'a CallRecord>,
+) -> Option<DegradeReason> {
+    let mut any = false;
+    if unknowns.any(|c| {
+        any = true;
+        c.deadline_expired
+    }) {
+        return Some(DegradeReason::DeadlineExpired);
+    }
+    any.then_some(DegradeReason::BudgetExhausted)
+}
+
+/// Falls back to the heuristic mapper as a best-known upper bound when a
+/// degraded run found no circuit at all. The seed is functionally verified
+/// by the mapper; failure to map (never expected) just leaves `best` empty.
+fn seed_upper_bound(f: &MultiOutputFn) -> Option<MmCircuit> {
+    crate::heuristic::map(f).ok()
 }
 
 fn record(outcome: &crate::SynthOutcome, spec: &SynthSpec) -> CallRecord {
@@ -91,6 +170,7 @@ fn record(outcome: &crate::SynthOutcome, spec: &SynthSpec) -> CallRecord {
         n_clauses: outcome.encode_stats.n_clauses,
         time: outcome.total_time(),
         proof_steps: outcome.solver_stats.proof_steps,
+        deadline_expired: outcome.solver_stats.deadline_expired,
         check_time: outcome.solver_stats.proof_check_time,
         certified: outcome.certificate.is_some(),
         proof: outcome.certificate.as_ref().map(|c| c.proof.clone()),
@@ -118,6 +198,7 @@ pub fn minimize_vsteps(
     let mut calls = Vec::new();
     let mut best: Option<MmCircuit> = None;
     let mut proven = false;
+    let mut degraded = false;
     let mut vsteps = max_vsteps;
     while vsteps >= 1 {
         let spec = SynthSpec::mixed_mode(f, n_rops, n_legs, vsteps)?.with_options(options.clone());
@@ -132,16 +213,32 @@ pub fn minimize_vsteps(
                 proven = best.is_some();
                 break;
             }
-            SynthResult::Unknown => break,
+            SynthResult::Unknown => {
+                degraded = true;
+                break;
+            }
         }
     }
     // Ran all the way down to 1 step satisfiable: optimal by construction.
     if best.as_ref().is_some_and(|c| c.metrics().n_vsteps == 1) {
         proven = true;
     }
+    let status = if degraded {
+        OptimizeStatus::Degraded {
+            reason: degrade_reason_from(
+                calls
+                    .iter()
+                    .filter(|c| c.result == SynthResultKind::Unknown),
+            )
+            .unwrap_or(DegradeReason::BudgetExhausted),
+        }
+    } else {
+        OptimizeStatus::Complete
+    };
     Ok(OptimizeReport {
         best,
-        proven_optimal: proven,
+        proven_optimal: proven && !status.is_degraded(),
+        status,
         calls,
     })
 }
@@ -172,26 +269,57 @@ pub fn minimize_mixed_mode(
             SynthSpec::mixed_mode(f, n_rops, n_legs, max_vsteps)?.with_options(options.clone());
         let outcome = synth.run(&spec)?;
         calls.push(record(&outcome, &spec));
-        if let SynthResult::Realizable(_) = outcome.result {
+        if let SynthResult::Realizable(c) = outcome.result {
             // Feasible at this N_R: shrink the V-step budget.
             let mut inner = minimize_vsteps(synth, f, n_rops, n_legs, max_vsteps, options)?;
             calls.append(&mut inner.calls);
+            // Outer-loop Unknowns below the found N_R also degrade the run.
+            let status = match (
+                inner.status,
+                degrade_reason_from(
+                    calls
+                        .iter()
+                        .filter(|r| r.n_vsteps == max_vsteps && r.n_rops < n_rops)
+                        .filter(|r| r.result == SynthResultKind::Unknown),
+                ),
+            ) {
+                (s @ OptimizeStatus::Degraded { .. }, _) => s,
+                (OptimizeStatus::Complete, Some(reason)) => OptimizeStatus::Degraded { reason },
+                (OptimizeStatus::Complete, None) => OptimizeStatus::Complete,
+            };
             return Ok(OptimizeReport {
-                best: inner.best,
+                // The inner loop re-solves the SAT point, but under a
+                // deadline it may come back empty — the outer witness is
+                // then still a valid upper bound.
+                best: inner.best.or(Some(c)),
                 // N_R minimality is proven iff every smaller N_R was a real
                 // UNSAT; N_VS minimality comes from the inner loop.
                 proven_optimal: inner.proven_optimal
+                    && !status.is_degraded()
                     && calls
                         .iter()
                         .filter(|c| c.n_rops < n_rops && c.n_vsteps == max_vsteps)
                         .all(|c| c.result == SynthResultKind::Unrealizable),
+                status,
                 calls,
             });
         }
     }
+    // No feasible N_R found. If every point was conclusively UNSAT the
+    // absence is a theorem; otherwise degrade with the heuristic mapper's
+    // circuit as the best-known upper bound.
+    let status = match degrade_reason_from(
+        calls
+            .iter()
+            .filter(|c| c.result == SynthResultKind::Unknown),
+    ) {
+        Some(reason) => OptimizeStatus::Degraded { reason },
+        None => OptimizeStatus::Complete,
+    };
     Ok(OptimizeReport {
-        best: None,
+        best: status.is_degraded().then(|| seed_upper_bound(f)).flatten(),
         proven_optimal: false,
+        status,
         calls,
     })
 }
@@ -217,9 +345,18 @@ pub fn minimize_r_only(
         calls.push(record(&outcome, &spec));
         match outcome.result {
             SynthResult::Realizable(c) => {
+                let status = match degrade_reason_from(
+                    calls
+                        .iter()
+                        .filter(|c| c.result == SynthResultKind::Unknown),
+                ) {
+                    Some(reason) => OptimizeStatus::Degraded { reason },
+                    None => OptimizeStatus::Complete,
+                };
                 return Ok(OptimizeReport {
                     best: Some(c),
-                    proven_optimal: !unknown_below,
+                    proven_optimal: !unknown_below && !status.is_degraded(),
+                    status,
                     calls,
                 });
             }
@@ -227,9 +364,20 @@ pub fn minimize_r_only(
             SynthResult::Unknown => unknown_below = true,
         }
     }
+    // Degraded R-only runs have no heuristic fallback: the mapper emits
+    // mixed-mode circuits, which are not valid R-only upper bounds.
+    let status = match degrade_reason_from(
+        calls
+            .iter()
+            .filter(|c| c.result == SynthResultKind::Unknown),
+    ) {
+        Some(reason) => OptimizeStatus::Degraded { reason },
+        None => OptimizeStatus::Complete,
+    };
     Ok(OptimizeReport {
         best: None,
         proven_optimal: false,
+        status,
         calls,
     })
 }

@@ -52,6 +52,7 @@
 //! aborted rung can never present a proof that checks, let alone assert an
 //! UNSAT it did not finish.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -59,7 +60,7 @@ use mm_boolfn::MultiOutputFn;
 use mm_circuit::MmCircuit;
 use mm_sat::CancellationToken;
 
-use super::{record, CallRecord, OptimizeReport};
+use super::{record, seed_upper_bound, CallRecord, DegradeReason, OptimizeReport, OptimizeStatus};
 use crate::{EncodeOptions, SynthError, SynthResult, SynthSpec, Synthesizer};
 
 /// A sensible default worker count: the machine's available parallelism.
@@ -76,10 +77,18 @@ enum PointOutcome {
     Sat(Box<MmCircuit>),
     /// The solver proved the point infeasible.
     Unsat,
-    /// The solver gave up (budget exhausted or cancelled mid-run).
-    Unknown,
-    /// The point's token was already tripped before the call started, so no
-    /// solver was ever launched (no [`CallRecord`] exists for it).
+    /// The solver gave up (budget exhausted, deadline expired — possibly
+    /// before launch — or cancelled mid-run).
+    Unknown {
+        /// Whether the run's wall-clock deadline caused it.
+        deadline: bool,
+    },
+    /// The worker solving this point panicked. The point counts as
+    /// undecided; the rest of the run continued normally.
+    Panicked(String),
+    /// The point's token was already tripped before the call started
+    /// (its answer is implied by the lattice), so no solver was ever
+    /// launched and no [`CallRecord`] exists for it.
     Skipped,
 }
 
@@ -90,6 +99,9 @@ struct LadderOutcome {
     /// Whether every point below the best is conclusively UNSAT (directly
     /// or via the lattice closure under the largest completed UNSAT).
     proven: bool,
+    /// Why the ladder degraded, when any point that mattered for the
+    /// optimality claim was left undecided (or any worker panicked).
+    degrade: Option<DegradeReason>,
     /// Call records in completion order.
     calls: Vec<CallRecord>,
 }
@@ -133,6 +145,8 @@ fn run_ladder(
 
     let mut best: Option<(usize, MmCircuit)> = None;
     let mut u_max: Option<usize> = None;
+    let mut unknowns: Vec<(usize, bool)> = Vec::new();
+    let mut panic_message: Option<(usize, String)> = None;
     for (idx, outcome) in outcomes.into_iter().enumerate() {
         match outcome.expect("every ladder point is visited") {
             PointOutcome::Sat(c) => {
@@ -141,7 +155,14 @@ fn run_ladder(
                 }
             }
             PointOutcome::Unsat => u_max = Some(idx),
-            PointOutcome::Unknown | PointOutcome::Skipped => {}
+            PointOutcome::Unknown { deadline } => unknowns.push((idx, deadline)),
+            PointOutcome::Panicked(message) => {
+                if panic_message.is_none() {
+                    panic_message = Some((idx, message));
+                }
+                unknowns.push((idx, false));
+            }
+            PointOutcome::Skipped => {}
         }
     }
     let proven = match &best {
@@ -149,9 +170,29 @@ fn run_ladder(
         Some((0, _)) => true,
         Some((k, _)) => u_max.is_some_and(|u| u >= k - 1),
     };
+    // A point degrades the run when its answer could still change the
+    // outcome: anything below the best witness (or anywhere, if no witness
+    // exists) that neither completed nor was closed by the lattice. A panic
+    // is always surfaced, wherever it happened.
+    let best_idx = best.as_ref().map(|(k, _)| *k);
+    let closed = |idx: usize| u_max.is_some_and(|u| idx <= u);
+    let relevant = |idx: usize| best_idx.is_none_or(|k| idx < k) && !closed(idx);
+    let degrade = if let Some((_, message)) = panic_message {
+        Some(DegradeReason::WorkerPanicked { message })
+    } else if unknowns
+        .iter()
+        .any(|&(idx, deadline)| deadline && relevant(idx))
+    {
+        Some(DegradeReason::DeadlineExpired)
+    } else if unknowns.iter().any(|&(idx, _)| relevant(idx)) {
+        Some(DegradeReason::BudgetExhausted)
+    } else {
+        None
+    };
     Ok(LadderOutcome {
         best,
-        proven,
+        proven: proven && degrade.is_none(),
+        degrade,
         calls,
     })
 }
@@ -178,14 +219,29 @@ fn worker(
             set_outcome(outcomes, idx, PointOutcome::Skipped);
             continue;
         }
+        // An already-expired deadline means the solver could only return
+        // Unknown; skip the launch (and the encode) but record the point as
+        // undecided, not as lattice-closed.
+        if synth.budget().deadline().is_some_and(|d| d.expired()) {
+            set_outcome(outcomes, idx, PointOutcome::Unknown { deadline: true });
+            continue;
+        }
         let budget = synth.budget().with_cancellation(tokens[idx].clone());
         let point_synth = synth.clone().with_budget(budget);
-        match point_synth.run(&specs[idx]) {
-            Ok(outcome) => {
-                calls
-                    .lock()
-                    .expect("no poisoned lock")
-                    .push(record(&outcome, &specs[idx]));
+        let run = catch_unwind(AssertUnwindSafe(|| point_synth.run(&specs[idx])));
+        match run {
+            Err(payload) => {
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                set_outcome(outcomes, idx, PointOutcome::Panicked(message));
+            }
+            Ok(Ok(outcome)) => {
+                let record = record(&outcome, &specs[idx]);
+                let deadline = record.deadline_expired;
+                calls.lock().expect("no poisoned lock").push(record);
                 let point = match outcome.result {
                     SynthResult::Realizable(c) => {
                         // A witness at `idx` settles every larger budget.
@@ -202,11 +258,11 @@ fn worker(
                         }
                         PointOutcome::Unsat
                     }
-                    SynthResult::Unknown => PointOutcome::Unknown,
+                    SynthResult::Unknown => PointOutcome::Unknown { deadline },
                 };
                 set_outcome(outcomes, idx, point);
             }
-            Err(e) => {
+            Ok(Err(e)) => {
                 let mut slot = first_error.lock().expect("no poisoned lock");
                 if slot.is_none() {
                     *slot = Some(e);
@@ -248,8 +304,17 @@ pub fn minimize_r_only(
     Ok(OptimizeReport {
         best: ladder.best.map(|(_, c)| c),
         proven_optimal: ladder.proven,
+        status: status_of(ladder.degrade),
         calls: ladder.calls,
     })
+}
+
+/// Lifts a ladder's degrade verdict into an [`OptimizeStatus`].
+fn status_of(degrade: Option<DegradeReason>) -> OptimizeStatus {
+    match degrade {
+        Some(reason) => OptimizeStatus::Degraded { reason },
+        None => OptimizeStatus::Complete,
+    }
 }
 
 /// Parallel version of [`minimize_vsteps`](super::minimize_vsteps): probes
@@ -274,6 +339,7 @@ pub fn minimize_vsteps(
     Ok(OptimizeReport {
         best: ladder.best.map(|(_, c)| c),
         proven_optimal: ladder.proven,
+        status: status_of(ladder.degrade),
         calls: ladder.calls,
     })
 }
@@ -306,10 +372,16 @@ pub fn minimize_mixed_mode(
         .collect::<Result<Vec<_>, SynthError>>()?;
     let outer = run_ladder(synth, &rop_specs, jobs)?;
     let mut calls = outer.calls;
-    let Some((rop_idx, _)) = outer.best else {
+    let Some((rop_idx, outer_circuit)) = outer.best else {
+        // No witness at any N_R. If the ladder degraded (deadline, budget,
+        // panic) the search is inconclusive: fall back to the heuristic
+        // mapper's circuit as the best-known upper bound rather than
+        // returning nothing.
+        let status = status_of(outer.degrade);
         return Ok(OptimizeReport {
-            best: None,
+            best: status.is_degraded().then(|| seed_upper_bound(f)).flatten(),
             proven_optimal: false,
+            status,
             calls,
         });
     };
@@ -319,11 +391,19 @@ pub fn minimize_mixed_mode(
     let n_legs = SynthSpec::paper_legs(f, n_rops, is_adder);
     let mut inner = minimize_vsteps(synth, f, n_rops, n_legs, max_vsteps, options, jobs)?;
     calls.append(&mut inner.calls);
+    let status = match (status_of(outer.degrade), inner.status) {
+        (s @ OptimizeStatus::Degraded { .. }, _) => s,
+        (OptimizeStatus::Complete, s) => s,
+    };
     Ok(OptimizeReport {
-        best: inner.best,
+        // The inner ladder re-solves the outer witness's point; under a
+        // deadline it may come back empty, in which case the outer witness
+        // is still a valid upper bound.
+        best: inner.best.or(Some(outer_circuit)),
         // N_R minimality comes from the outer ladder's closure, N_VS
         // minimality from the inner one — mirroring the sequential loop.
-        proven_optimal: outer.proven && inner.proven_optimal,
+        proven_optimal: outer.proven && inner.proven_optimal && !status.is_degraded(),
+        status,
         calls,
     })
 }

@@ -70,6 +70,40 @@ impl EncodeOptions {
     }
 }
 
+/// A physical-array constraint attached to a spec: the schedule must fit
+/// on an `array_size`-cell line array while never placing anything on the
+/// `avoid_cells` (known-defective positions).
+///
+/// The constraint is enforced *inside the CNF formula*: the encoder bounds
+/// the number of distinct literal feeds so that legs + feeds + R-op outputs
+/// fit into the working cells, making avoidance part of the optimality
+/// claim rather than a post-hoc placement check. The synthesizer then
+/// returns the concrete placed schedule
+/// ([`SynthOutcome::placement`](crate::SynthOutcome)) routing around the
+/// avoided cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellAvoidance {
+    /// Total cells of the physical array.
+    pub array_size: usize,
+    /// Defective cell indices the schedule must never touch.
+    pub avoid_cells: Vec<usize>,
+}
+
+impl CellAvoidance {
+    /// The avoided cells, sorted and deduplicated.
+    pub fn dead_cells(&self) -> Vec<usize> {
+        let mut cells = self.avoid_cells.clone();
+        cells.sort_unstable();
+        cells.dedup();
+        cells
+    }
+
+    /// Working cells remaining on the array.
+    pub fn working_cells(&self) -> usize {
+        self.array_size - self.dead_cells().len()
+    }
+}
+
 /// A synthesis problem instance: the `Φ(f, N_V, N_R)` parameters.
 ///
 /// Construct via [`SynthSpec::mixed_mode`] or [`SynthSpec::r_only`]; the
@@ -83,6 +117,7 @@ pub struct SynthSpec {
     n_vsteps: usize,
     rop_kind: ROpKind,
     options: EncodeOptions,
+    avoidance: Option<CellAvoidance>,
 }
 
 impl SynthSpec {
@@ -122,6 +157,7 @@ impl SynthSpec {
             n_vsteps,
             rop_kind: ROpKind::MagicNor,
             options: EncodeOptions::recommended(),
+            avoidance: None,
         })
     }
 
@@ -156,6 +192,29 @@ impl SynthSpec {
     pub fn with_options(mut self, options: EncodeOptions) -> Self {
         self.options = options;
         self
+    }
+
+    /// Constrains the synthesized schedule to an `array_size`-cell array
+    /// with the given defective cells, provably avoided (see
+    /// [`CellAvoidance`]). Cells may be listed in any order and repeats are
+    /// ignored; validation happens at encode time.
+    pub fn with_cell_avoidance(mut self, array_size: usize, avoid_cells: Vec<usize>) -> Self {
+        self.avoidance = Some(CellAvoidance {
+            array_size,
+            avoid_cells,
+        });
+        self
+    }
+
+    /// Removes any attached cell-avoidance constraint.
+    pub fn without_cell_avoidance(mut self) -> Self {
+        self.avoidance = None;
+        self
+    }
+
+    /// The attached array constraint, if any.
+    pub fn cell_avoidance(&self) -> Option<&CellAvoidance> {
+        self.avoidance.as_ref()
     }
 
     /// The specified function.

@@ -1,6 +1,6 @@
 use std::time::Duration;
 
-use mm_circuit::MmCircuit;
+use mm_circuit::{MmCircuit, Schedule};
 use mm_sat::drat::{self, CheckStats};
 use mm_sat::{Budget, DratProof, SatResult, Solver, SolverStats};
 
@@ -43,6 +43,12 @@ pub struct SynthOutcome {
     /// [certification](Synthesizer::with_certification) and the answer was
     /// [`SynthResult::Unrealizable`]; `None` otherwise.
     pub certificate: Option<UnsatCertificate>,
+    /// The circuit's schedule placed onto the constrained physical array,
+    /// when the spec carried a [cell-avoidance
+    /// constraint](crate::SynthSpec::with_cell_avoidance) and the answer was
+    /// [`SynthResult::Realizable`] with a MAGIC-NOR schedule; `None`
+    /// otherwise. The placement provably touches no avoided cell.
+    pub placement: Option<Schedule>,
 }
 
 impl SynthOutcome {
@@ -154,10 +160,12 @@ impl Synthesizer {
         }
         let (result, solver_stats) =
             Solver::new(encoded.cnf).solve_with_budget(self.budget.clone());
+        let mut placement = None;
         let result = match result {
             SatResult::Sat(model) => {
                 let circuit = decoder::decode(spec, &encoded.map, &model)?;
                 verify(&circuit, spec)?;
+                placement = place(&circuit, spec)?;
                 SynthResult::Realizable(circuit)
             }
             SatResult::Unsat => SynthResult::Unrealizable,
@@ -168,6 +176,7 @@ impl Synthesizer {
             encode_stats: encoded.stats,
             solver_stats,
             certificate: None,
+            placement,
         })
     }
 
@@ -183,11 +192,13 @@ impl Synthesizer {
         let (result, mut solver_stats, proof) =
             Solver::new(encoded.cnf).solve_certified(self.budget.clone());
         let mut certificate = None;
+        let mut placement = None;
         let result = match result {
             SatResult::Sat(model) => {
                 let circuit = decoder::decode(spec, &encoded.map, &model)?;
                 verify(&circuit, spec)?;
                 verify_on_device(&circuit, spec)?;
+                placement = place(&circuit, spec)?;
                 SynthResult::Realizable(circuit)
             }
             SatResult::Unsat => {
@@ -213,8 +224,29 @@ impl Synthesizer {
             encode_stats: encoded.stats,
             solver_stats,
             certificate,
+            placement,
         })
     }
+}
+
+/// Places the circuit's schedule onto the spec's constrained array, routing
+/// around the avoided cells.
+///
+/// Returns `Ok(None)` when the spec has no avoidance constraint or the R-op
+/// family has no line-array schedule (NIMP). A placement failure is an
+/// internal bug: the encoder's feed-cardinality constraint guarantees the
+/// schedule fits into the working cells.
+fn place(circuit: &MmCircuit, spec: &SynthSpec) -> Result<Option<Schedule>, SynthError> {
+    let Some(avoidance) = spec.cell_avoidance() else {
+        return Ok(None);
+    };
+    let schedule = match Schedule::compile(circuit) {
+        Ok(s) => s,
+        Err(mm_circuit::CircuitError::UnsupportedROpKind { .. }) => return Ok(None),
+        Err(e) => return Err(SynthError::from(e)),
+    };
+    let placed = schedule.place_avoiding(avoidance.array_size, &avoidance.dead_cells())?;
+    Ok(Some(placed))
 }
 
 /// Compiles the circuit to a line-array schedule and replays all `2^n`
@@ -553,5 +585,63 @@ mod tests {
             .run(&spec)
             .unwrap();
         assert_eq!(outcome.result, SynthResult::Unknown);
+    }
+
+    #[test]
+    fn avoidance_placement_routes_around_dead_cells() {
+        let f = generators::xor_gate(2);
+        let spec = SynthSpec::mixed_mode(&f, 1, 2, 2)
+            .unwrap()
+            .with_cell_avoidance(8, vec![0, 2]);
+        let outcome = Synthesizer::new().run(&spec).unwrap();
+        let circuit = outcome.circuit().expect("XOR2 fits on 6 working cells");
+        assert!(circuit.implements(&f));
+        let placement = outcome
+            .placement
+            .expect("avoidance spec yields a placement");
+        let used = placement.used_cells();
+        assert!(!used.contains(&0) && !used.contains(&2));
+        assert!(placement.verify(&f));
+    }
+
+    #[test]
+    fn avoidance_without_room_for_the_schedule_is_rejected() {
+        // 2 legs + 1 R-op need 3 cells; a 4-cell array with 2 dead has 2.
+        let f = generators::xor_gate(2);
+        let spec = SynthSpec::mixed_mode(&f, 1, 2, 2)
+            .unwrap()
+            .with_cell_avoidance(4, vec![1, 3]);
+        let err = Synthesizer::new().run(&spec).unwrap_err();
+        assert!(matches!(err, SynthError::InvalidConstraint { .. }));
+    }
+
+    #[test]
+    fn tight_feed_budget_still_synthesizes_when_feasible() {
+        // 4 working cells leave exactly one literal-feed cell beyond the
+        // 2 legs + 1 R-op footprint; the encoder must cap distinct feeds
+        // at 1 and the solver must still find a schedule (or prove none).
+        let f = generators::xor_gate(2);
+        let spec = SynthSpec::mixed_mode(&f, 1, 2, 2)
+            .unwrap()
+            .with_cell_avoidance(4, vec![]);
+        let outcome = Synthesizer::new().run(&spec).unwrap();
+        match outcome.result {
+            SynthResult::Realizable(_) => {
+                let placement = outcome.placement.expect("placement accompanies SAT");
+                assert!(placement.n_cells() <= 4);
+                assert!(placement.verify(&f));
+            }
+            SynthResult::Unrealizable => {} // a proof is an acceptable answer
+            SynthResult::Unknown => panic!("unlimited budget cannot be Unknown"),
+        }
+    }
+
+    #[test]
+    fn specs_without_avoidance_carry_no_placement() {
+        let f = generators::and_gate(2);
+        let spec = SynthSpec::mixed_mode(&f, 0, 1, 2).unwrap();
+        let outcome = Synthesizer::new().run(&spec).unwrap();
+        assert!(outcome.circuit().is_some());
+        assert!(outcome.placement.is_none());
     }
 }

@@ -95,6 +95,21 @@ pub trait Memristor {
     /// Applies a TE−BE voltage for one write cycle, possibly switching the
     /// device. `rng` drives cycle-to-cycle variation.
     fn apply_voltage(&mut self, v: f64, rng: &mut SmallRng);
+
+    /// Re-draws fabrication-time (D2D) randomness from `rng` as if the
+    /// device were fabricated anew with `params`, resetting it to HRS.
+    ///
+    /// Implementations must consume exactly as many draws as their
+    /// fabrication path, so an array of mixed device models stays
+    /// draw-for-draw aligned with an all-healthy array at the same seed —
+    /// the property [`LineArray::reseed`](crate::LineArray::reseed) relies
+    /// on for reproducible fault campaigns. The default consumes nothing
+    /// and only resets the state (ideal devices have no fabrication
+    /// randomness).
+    fn refabricate(&mut self, params: &ElectricalParams, rng: &mut SmallRng) {
+        let _ = (params, rng);
+        self.force_state(DeviceState::Hrs);
+    }
 }
 
 /// An ideal device: exact thresholds, nominal resistances, no variation.
@@ -206,6 +221,10 @@ impl Memristor for BfoMemristor {
             self.state = DeviceState::Hrs;
         }
     }
+
+    fn refabricate(&mut self, params: &ElectricalParams, rng: &mut SmallRng) {
+        *self = Self::fabricate(*params, rng);
+    }
 }
 
 /// A defective device permanently stuck in one state — the yield failure
@@ -224,10 +243,12 @@ pub struct StuckMemristor {
 impl StuckMemristor {
     /// A device stuck at the given state.
     pub fn new(stuck: DeviceState) -> Self {
-        Self {
-            stuck,
-            params: ElectricalParams::bfo(),
-        }
+        Self::with_params(stuck, ElectricalParams::bfo())
+    }
+
+    /// A stuck device whose (fixed) resistance follows `params`.
+    pub fn with_params(stuck: DeviceState, params: ElectricalParams) -> Self {
+        Self { stuck, params }
     }
 }
 
@@ -246,6 +267,15 @@ impl Memristor for StuckMemristor {
     }
 
     fn apply_voltage(&mut self, _v: f64, _rng: &mut SmallRng) {}
+
+    fn refabricate(&mut self, params: &ElectricalParams, rng: &mut SmallRng) {
+        // Consume the two D2D draws the healthy device in this position
+        // would have made, so the rest of the array sees the same stream.
+        let v = params.variability;
+        let _ = v.d2d_factor(rng);
+        let _ = v.d2d_factor(rng);
+        self.params = *params;
+    }
 }
 
 #[cfg(test)]

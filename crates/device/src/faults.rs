@@ -1,0 +1,221 @@
+//! Declarative fault-injection plans for line arrays.
+//!
+//! The paper motivates mixed-mode synthesis with device non-idealities:
+//! stuck devices ("yield … can make reliable operation unattainable", §I),
+//! D2D/C2C variation (§II-B), and transient upsets. A [`FaultPlan`] is a
+//! serializable description of one such fault scenario; applied to a seed it
+//! deterministically builds a faulty [`LineArray`], so campaigns over many
+//! plans × seeds are reproducible from their JSON alone.
+//!
+//! The campaign *runner* — which executes a compiled schedule against these
+//! arrays and attributes divergence to cells — lives in `mm-circuit`
+//! (`campaign` module), because schedules are defined there; this module is
+//! only about building the faulty hardware.
+//!
+//! # Example
+//!
+//! ```
+//! use mm_device::{DeviceState, ElectricalParams, FaultPlan};
+//!
+//! let plan = FaultPlan::named("stuck-cell-2")
+//!     .with_stuck(2, DeviceState::Hrs)
+//!     .with_transient(0, 3); // cell 0 flips after schedule cycle 3
+//! let array = plan.build_array(4, ElectricalParams::bfo(), 7);
+//! assert_eq!(array.state(2), DeviceState::Hrs);
+//! assert_eq!(plan.flips_at(3), vec![0]);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::{DeviceState, ElectricalParams, LineArray, Variability};
+
+/// A permanent stuck-at fault on one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StuckFault {
+    /// Index of the defective cell.
+    pub cell: usize,
+    /// The state the cell is stuck in (HRS = stuck-open, LRS = stuck-short).
+    pub state: DeviceState,
+}
+
+/// A transient upset: a cell's state flips at a chosen point of the
+/// schedule.
+///
+/// The flip is injected immediately *after* the schedule cycle with index
+/// [`cycle`](Self::cycle) executes (0-based over the compiled cycle list),
+/// modeling a C2C glitch or external disturbance between two driven cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TransientFault {
+    /// Index of the upset cell.
+    pub cell: usize,
+    /// 0-based schedule cycle after which the flip occurs.
+    pub cycle: usize,
+}
+
+/// A declarative fault-injection scenario for one campaign leg.
+///
+/// Combines any number of stuck-at faults, transient bit-flips, and an
+/// optional variability corner override. Serializable to JSON so campaign
+/// reports can embed the exact plan they ran.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Human-readable plan name, echoed in campaign reports.
+    pub name: String,
+    /// Permanent stuck-at faults.
+    pub stuck: Vec<StuckFault>,
+    /// Transient upsets at chosen cycles.
+    pub transients: Vec<TransientFault>,
+    /// Variation corner override; `None` keeps the array parameters' own
+    /// corner.
+    pub variability: Option<Variability>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) with the given name — the healthy-control
+    /// leg of a campaign.
+    pub fn named(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Adds a stuck-at fault.
+    pub fn with_stuck(mut self, cell: usize, state: DeviceState) -> Self {
+        self.stuck.push(StuckFault { cell, state });
+        self
+    }
+
+    /// Adds a transient flip of `cell` after schedule cycle `cycle`.
+    pub fn with_transient(mut self, cell: usize, cycle: usize) -> Self {
+        self.transients.push(TransientFault { cell, cycle });
+        self
+    }
+
+    /// Overrides the variation corner for arrays built from this plan.
+    pub fn with_variability(mut self, variability: Variability) -> Self {
+        self.variability = Some(variability);
+        self
+    }
+
+    /// Whether the plan injects no faults at all (a healthy control).
+    pub fn is_healthy(&self) -> bool {
+        self.stuck.is_empty()
+            && self.transients.is_empty()
+            && self.variability.is_none_or(|v| v == Variability::NONE)
+    }
+
+    /// The cells with permanent stuck-at faults, sorted and deduplicated.
+    pub fn stuck_cells(&self) -> Vec<usize> {
+        let mut cells: Vec<usize> = self.stuck.iter().map(|f| f.cell).collect();
+        cells.sort_unstable();
+        cells.dedup();
+        cells
+    }
+
+    /// The cells that flip immediately after schedule cycle `cycle`.
+    pub fn flips_at(&self, cycle: usize) -> Vec<usize> {
+        self.transients
+            .iter()
+            .filter(|t| t.cycle == cycle)
+            .map(|t| t.cell)
+            .collect()
+    }
+
+    /// The largest cell index the plan references, if it references any.
+    pub fn max_cell(&self) -> Option<usize> {
+        self.stuck
+            .iter()
+            .map(|f| f.cell)
+            .chain(self.transients.iter().map(|t| t.cell))
+            .max()
+    }
+
+    /// Builds an `n`-cell BFO array realizing this plan under `seed`.
+    ///
+    /// The array is fabricated exactly like `LineArray::bfo(n, params, seed)`
+    /// (with the plan's variability override applied), then the stuck cells
+    /// are swapped in — so the healthy cells carry the *same* D2D draws as a
+    /// fault-free array at the same seed, and any behavioural divergence is
+    /// attributable to the injected faults alone. Transient faults are not
+    /// applied here; the campaign runner injects them mid-schedule via
+    /// [`LineArray::flip_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan references a cell index `≥ n`.
+    pub fn build_array(&self, n: usize, params: ElectricalParams, seed: u64) -> LineArray {
+        if let Some(max) = self.max_cell() {
+            assert!(
+                max < n,
+                "fault plan {:?} references cell {max}, array has {n}",
+                self.name
+            );
+        }
+        let params = match self.variability {
+            Some(v) => params.with_variability(v),
+            None => params,
+        };
+        let mut array = LineArray::bfo(n, params, seed);
+        for f in &self.stuck {
+            array.set_stuck(f.cell, f.state);
+        }
+        array
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_and_queries() {
+        let plan = FaultPlan::named("p")
+            .with_stuck(4, DeviceState::Hrs)
+            .with_stuck(1, DeviceState::Lrs)
+            .with_stuck(4, DeviceState::Hrs)
+            .with_transient(2, 5)
+            .with_transient(3, 5)
+            .with_transient(2, 7);
+        assert_eq!(plan.stuck_cells(), vec![1, 4]);
+        assert_eq!(plan.flips_at(5), vec![2, 3]);
+        assert_eq!(plan.flips_at(6), Vec::<usize>::new());
+        assert_eq!(plan.max_cell(), Some(4));
+        assert!(!plan.is_healthy());
+        assert!(FaultPlan::named("control").is_healthy());
+        assert!(FaultPlan::named("c")
+            .with_variability(Variability::NONE)
+            .is_healthy());
+        assert!(!FaultPlan::named("c")
+            .with_variability(Variability::HIGH)
+            .is_healthy());
+    }
+
+    #[test]
+    fn build_array_applies_stuck_cells() {
+        let plan = FaultPlan::named("stuck").with_stuck(1, DeviceState::Lrs);
+        let mut array = plan.build_array(3, ElectricalParams::bfo(), 9);
+        assert_eq!(array.state(1), DeviceState::Lrs);
+        array.reset(&[false, false, false]);
+        assert_eq!(array.state(1), DeviceState::Lrs, "stuck ignores reset");
+        assert_eq!(array.state(0), DeviceState::Hrs);
+    }
+
+    #[test]
+    #[should_panic(expected = "references cell")]
+    fn build_array_rejects_out_of_range_plans() {
+        let plan = FaultPlan::named("oob").with_stuck(5, DeviceState::Hrs);
+        plan.build_array(3, ElectricalParams::bfo(), 0);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let plan = FaultPlan::named("corner")
+            .with_stuck(0, DeviceState::Hrs)
+            .with_transient(1, 2)
+            .with_variability(Variability::HIGH);
+        let json = serde_json::to_string(&plan).expect("serialize");
+        let back: FaultPlan = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(plan, back);
+    }
+}

@@ -21,6 +21,9 @@
 //! * [`monte_carlo`] — reliability experiments quantifying the paper's
 //!   motivating claim that R-ops (especially cascaded ones) are less
 //!   reliable than V-ops under variation.
+//! * [`FaultPlan`] — declarative fault scenarios (stuck-at cells, transient
+//!   upsets, variability overrides) that deterministically build faulty
+//!   arrays for the fault-injection campaigns in `mm-circuit`.
 //!
 //! # Example
 //!
@@ -42,6 +45,7 @@
 
 mod crossbar;
 mod electrical;
+mod faults;
 mod line_array;
 mod rop;
 mod state;
@@ -53,6 +57,7 @@ pub mod vop;
 
 pub use crossbar::Crossbar;
 pub use electrical::{BfoMemristor, ElectricalParams, IdealMemristor, Memristor, StuckMemristor};
+pub use faults::{FaultPlan, StuckFault, TransientFault};
 pub use line_array::LineArray;
 pub use rop::ROpKind;
 pub use state::DeviceState;

@@ -92,6 +92,52 @@ impl LineArray {
         }
     }
 
+    /// Re-fabricates the array in place under a new seed: every device
+    /// re-draws its D2D randomness from a fresh RNG, all states return to
+    /// HRS and the trace is cleared.
+    ///
+    /// After `array.reseed(s)` the array is draw-for-draw equivalent to
+    /// `LineArray::bfo(n, params, s)` (stuck cells excepted — they stay
+    /// stuck but consume the same number of draws), which lets Monte-Carlo
+    /// loops and fault campaigns reuse one allocation across thousands of
+    /// seeded trials instead of re-boxing every device model.
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = SmallRng::seed_from_u64(seed);
+        let params = self.params;
+        for cell in &mut self.cells {
+            cell.refabricate(&params, &mut self.rng);
+        }
+        self.trace = MeasurementTrace::new();
+    }
+
+    /// Replaces cell `i` with a device stuck at `state`, keeping the
+    /// array's electrical parameters. Models an in-operation device failure
+    /// (the paper's yield scenario) at a chosen position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set_stuck(&mut self, i: usize, state: DeviceState) {
+        assert!(i < self.cells.len(), "stuck index {i} out of range");
+        self.cells[i] = Box::new(crate::StuckMemristor::with_params(state, self.params));
+    }
+
+    /// Flips cell `i`'s logic state in place — a transient upset injected
+    /// by the fault-campaign engine. Stuck cells ignore the flip.
+    ///
+    /// Unlike [`force_state`](Self::force_state) nothing is recorded: an
+    /// upset is not a driven cycle, and keeping the trace aligned with the
+    /// schedule's cycle count is what lets campaign diagnosis attribute
+    /// divergence to exact cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn flip_state(&mut self, i: usize) {
+        let flipped = !self.cells[i].state();
+        self.cells[i].force_state(flipped);
+    }
+
     /// Number of cells in the array.
     pub fn n_cells(&self) -> usize {
         self.cells.len()
@@ -407,6 +453,140 @@ mod tests {
             }
         }
         assert!(failures > 0, "harsh variation should break some R-ops");
+    }
+
+    #[test]
+    fn stuck_input_cell_biases_nor_to_its_stuck_value() {
+        // A stuck-LRS input dominates the divider: the NOR output is 0 no
+        // matter what the schedule intended to store in that cell.
+        for intended in [false, true] {
+            let mut a = LineArray::ideal_with_faults(3, &[(0, DeviceState::Lrs)]);
+            a.reset(&[intended, false, true]);
+            a.magic_nor(&[0, 1], 2);
+            assert_eq!(a.state(2), DeviceState::Hrs, "intended {intended}");
+        }
+        // A stuck-HRS input degenerates the NOR to NOT(other input): the
+        // schedule still computes correctly whenever the intended value for
+        // the stuck cell was 0 anyway.
+        for other in [false, true] {
+            let mut a = LineArray::ideal_with_faults(3, &[(0, DeviceState::Hrs)]);
+            a.reset(&[true, other, true]);
+            a.magic_nor(&[0, 1], 2);
+            assert_eq!(a.state(2).to_bool(), !other, "other {other}");
+        }
+    }
+
+    #[test]
+    fn stuck_output_cell_always_reads_its_stuck_state() {
+        // The output cannot be pre-set to LRS nor RESET by the divider: the
+        // result is the stuck state, which is only accidentally correct when
+        // it coincides with the true NOR value (e.g. stuck-HRS with an LRS
+        // input). Repair must therefore avoid the cell rather than trust
+        // any single passing input pattern.
+        for (sa, sb) in [(false, false), (true, false), (true, true)] {
+            for stuck in [DeviceState::Hrs, DeviceState::Lrs] {
+                let mut a = LineArray::ideal_with_faults(3, &[(2, stuck)]);
+                a.reset(&[sa, sb, true]);
+                a.magic_nor(&[0, 1], 2);
+                assert_eq!(a.state(2), stuck, "inputs ({sa},{sb}) stuck {stuck}");
+                // Inputs themselves must survive the faulty divider.
+                assert_eq!(a.state(0).to_bool(), sa);
+                assert_eq!(a.state(1).to_bool(), sb);
+            }
+        }
+    }
+
+    #[test]
+    fn stuck_cascade_intermediate_only_breaks_dependent_stages() {
+        // Two-stage chain: NOR(c0, c1) → c3, then NOR(c3, c2) → c4, with the
+        // intermediate c3 stuck at LRS. Stage 2 always sees a 1 and yields 0;
+        // input patterns whose intended chain value is 0 still pass — the
+        // campaign's attribution has to catch the cell from the patterns
+        // that don't.
+        for (a_in, b_in, c_in, breaks) in [
+            (true, false, false, true),   // intended NOR(NOR(1,0),0) = 1 ≠ 0
+            (true, true, false, true),    // intended 1 ≠ 0
+            (false, false, false, false), // intended 0: accidentally correct
+            (true, true, true, false),    // intended 0: accidentally correct
+        ] {
+            let mut arr = LineArray::ideal_with_faults(5, &[(3, DeviceState::Lrs)]);
+            arr.reset(&[a_in, b_in, c_in, true, true]);
+            arr.magic_nor(&[0, 1], 3);
+            arr.magic_nor(&[3, 2], 4);
+            assert_eq!(
+                arr.state(4),
+                DeviceState::Hrs,
+                "stuck-LRS intermediate forces stage 2 to 0"
+            );
+            let intended = !(!(a_in | b_in) | c_in);
+            assert_eq!(
+                intended,
+                breaks,
+                "pattern ({a_in},{b_in},{c_in}) expected to {}",
+                if breaks { "break" } else { "pass" }
+            );
+        }
+    }
+
+    #[test]
+    fn reseed_replays_fresh_construction_exactly() {
+        let params = ElectricalParams::bfo().with_variability(Variability::HIGH);
+        let mut reused = LineArray::bfo(3, params, 1);
+        // Consume some C2C stream so reseed must genuinely restart the RNG.
+        reused.reset(&[true, false, true]);
+        reused.magic_nor(&[0, 1], 2);
+
+        for seed in [7u64, 8, 9] {
+            let mut fresh = LineArray::bfo(3, params, seed);
+            reused.reseed(seed);
+            assert_eq!(reused.states(), fresh.states(), "post-reseed states");
+            for init in [[true, false, true], [false, false, true]] {
+                fresh.reset(&init);
+                reused.reset(&init);
+                fresh.magic_nor(&[0, 1], 2);
+                reused.magic_nor(&[0, 1], 2);
+                assert_eq!(reused.states(), fresh.states(), "seed {seed}");
+                let fr = &fresh.trace().cycles()[0];
+                let rr = &reused.trace().cycles()[0];
+                assert_eq!(fr.resistances, rr.resistances, "D2D draws must match");
+            }
+        }
+    }
+
+    #[test]
+    fn reseed_keeps_stuck_cells_and_draw_alignment() {
+        let params = ElectricalParams::bfo().with_variability(Variability::HIGH);
+        let mut faulty = LineArray::bfo(3, params, 1);
+        faulty.set_stuck(1, DeviceState::Lrs);
+        faulty.reseed(42);
+        assert_eq!(faulty.state(1), DeviceState::Lrs, "stuck survives reseed");
+
+        // Cells other than the stuck one must match a healthy array at the
+        // same seed — the stuck cell consumed its position's draws. A read
+        // cycle records every cell's resistance without touching the RNG.
+        let mut healthy = LineArray::bfo(3, params, 42);
+        healthy.read(0);
+        faulty.read(0);
+        let hr = &healthy.trace().cycles()[0].resistances;
+        let fr = &faulty.trace().cycles()[0].resistances;
+        assert_eq!(hr[0], fr[0], "cell 0 fabrication must match");
+        assert_eq!(hr[2], fr[2], "cell 2 fabrication must match");
+        assert_ne!(hr[1], fr[1], "stuck cell reads its nominal resistance");
+    }
+
+    #[test]
+    fn flip_state_toggles_without_recording() {
+        let mut a = LineArray::ideal(2);
+        a.reset(&[true, false]);
+        a.flip_state(0);
+        a.flip_state(1);
+        assert_eq!(a.state(0), DeviceState::Hrs);
+        assert_eq!(a.state(1), DeviceState::Lrs);
+        assert_eq!(a.trace().len(), 0, "upsets must not appear in the trace");
+
+        let mut s = LineArray::ideal_with_faults(1, &[(0, DeviceState::Hrs)]);
+        s.flip_state(0);
+        assert_eq!(s.state(0), DeviceState::Hrs, "stuck cells ignore flips");
     }
 
     #[test]

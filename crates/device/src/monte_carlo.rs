@@ -33,11 +33,14 @@ use crate::{DeviceState, ElectricalParams, LineArray};
 pub fn v_op_error_rate(params: ElectricalParams, trials: u32, seed: u64) -> f64 {
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed_0001);
     let mut failures = 0u32;
+    // One array for the whole run; reseeding re-draws D2D per trial without
+    // re-boxing the device models (this loop used to allocate per trial).
+    let mut array = LineArray::bfo(1, params, seed);
     for t in 0..trials {
         let s0 = rng.gen::<bool>();
         let te = rng.gen::<bool>();
         let be = rng.gen::<bool>();
-        let mut array = LineArray::bfo(1, params, seed.wrapping_add(u64::from(t) << 16));
+        array.reseed(seed.wrapping_add(u64::from(t) << 16));
         array.reset(&[s0]);
         array.v_op_cycle(&[Some(te)], be);
         let expected = crate::vop::apply(DeviceState::from_bool(s0), te, be);
@@ -53,10 +56,11 @@ pub fn v_op_error_rate(params: ElectricalParams, trials: u32, seed: u64) -> f64 
 pub fn r_op_error_rate(params: ElectricalParams, trials: u32, seed: u64) -> f64 {
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed_0002);
     let mut failures = 0u32;
+    let mut array = LineArray::bfo(3, params, seed);
     for t in 0..trials {
         let a = rng.gen::<bool>();
         let b = rng.gen::<bool>();
-        let mut array = LineArray::bfo(3, params, seed.wrapping_add(u64::from(t) << 16));
+        array.reseed(seed.wrapping_add(u64::from(t) << 16));
         array.reset(&[a, b, true]);
         array.magic_nor(&[0, 1], 2);
         if array.state(2).to_bool() == (a | b) {
@@ -80,10 +84,11 @@ pub fn cascade_error_rates(
 ) -> Vec<f64> {
     let mut failures = vec![0u32; max_depth];
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed_0003);
+    // Cells: 0 = initial input, 1..=max_depth auxiliary inputs,
+    // max_depth+1.. outputs of each stage.
+    let n_cells = 1 + max_depth + max_depth;
+    let mut array = LineArray::bfo(n_cells, params, seed);
     for t in 0..trials {
-        // Cells: 0 = initial input, 1..=max_depth auxiliary inputs,
-        // max_depth+1.. outputs of each stage.
-        let n_cells = 1 + max_depth + max_depth;
         let mut init = vec![false; n_cells];
         let x0 = rng.gen::<bool>();
         init[0] = x0;
@@ -95,7 +100,7 @@ pub fn cascade_error_rates(
             aux_values.push(aux);
             init[1 + max_depth + k] = true; // outputs pre-set to 1
         }
-        let mut array = LineArray::bfo(n_cells, params, seed.wrapping_add(u64::from(t) << 16));
+        array.reseed(seed.wrapping_add(u64::from(t) << 16));
         array.reset(&init);
         let mut prev = 0usize;
         for k in 0..max_depth {
@@ -130,8 +135,9 @@ pub fn cascade_cumulative_error_rates(
 ) -> Vec<f64> {
     let mut failures = vec![0u32; max_depth];
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed_0004);
+    let n_cells = 1 + max_depth + max_depth;
+    let mut array = LineArray::bfo(n_cells, params, seed);
     for t in 0..trials {
-        let n_cells = 1 + max_depth + max_depth;
         let mut init = vec![false; n_cells];
         let x0 = rng.gen::<bool>();
         init[0] = x0;
@@ -142,7 +148,7 @@ pub fn cascade_cumulative_error_rates(
             aux_values.push(aux);
             init[1 + max_depth + k] = true;
         }
-        let mut array = LineArray::bfo(n_cells, params, seed.wrapping_add(u64::from(t) << 16));
+        array.reseed(seed.wrapping_add(u64::from(t) << 16));
         array.reset(&init);
         let mut ideal = x0;
         let mut prev = 0usize;

@@ -1,6 +1,6 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A cooperative cancellation handle shared between a solver call and the
 /// code that launched it.
@@ -52,6 +52,68 @@ impl CancellationToken {
     }
 }
 
+/// A wall-clock deadline shared by every call of one run.
+///
+/// Unlike [`Budget::with_max_time`], which is a *per-call* duration measured
+/// from the start of each solve, a deadline is an *absolute* instant: one
+/// `Deadline` threaded through many sequential or parallel solver calls
+/// bounds the whole minimization run. The solver polls it in the same hot
+/// loop as the [`CancellationToken`], so an expired deadline aborts
+/// in-flight calls promptly with
+/// [`SatResult::Unknown`](crate::SatResult::Unknown), and callers can check
+/// [`expired`](Self::expired) to skip launching work that could never
+/// finish.
+///
+/// # Example
+///
+/// ```
+/// use std::time::Duration;
+/// use mm_sat::Deadline;
+///
+/// let d = Deadline::after(Duration::from_secs(3600));
+/// assert!(!d.expired());
+/// assert!(Deadline::after(Duration::ZERO).expired());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `d` from now.
+    pub fn after(d: Duration) -> Self {
+        Self {
+            at: Instant::now().checked_add(d).unwrap_or_else(far_future),
+        }
+    }
+
+    /// A deadline at an absolute instant.
+    pub fn at(at: Instant) -> Self {
+        Self { at }
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.at
+    }
+
+    /// Time left before expiry (zero once expired).
+    pub fn remaining(&self) -> Duration {
+        self.at.saturating_duration_since(Instant::now())
+    }
+
+    /// The absolute expiry instant.
+    pub fn instant(&self) -> Instant {
+        self.at
+    }
+}
+
+/// An instant far enough out to never expire in practice (used when
+/// `now + d` overflows the platform's `Instant` range).
+fn far_future() -> Instant {
+    Instant::now() + Duration::from_secs(60 * 60 * 24 * 365 * 30)
+}
+
 /// Resource limits for a single [`Solver::solve`](crate::Solver::solve) call.
 ///
 /// When a limit is exceeded the solver returns
@@ -78,6 +140,7 @@ pub struct Budget {
     max_conflicts: Option<u64>,
     max_time: Option<Duration>,
     max_proof_steps: Option<u64>,
+    deadline: Option<Deadline>,
     cancel: Option<CancellationToken>,
 }
 
@@ -91,6 +154,7 @@ impl PartialEq for Budget {
         self.max_conflicts == other.max_conflicts
             && self.max_time == other.max_time
             && self.max_proof_steps == other.max_proof_steps
+            && self.deadline == other.deadline
             && tokens_match
     }
 }
@@ -128,6 +192,18 @@ impl Budget {
         self
     }
 
+    /// Attaches an absolute wall-clock [`Deadline`].
+    ///
+    /// Unlike [`with_max_time`](Self::with_max_time) the deadline does not
+    /// reset between calls, so one deadline shared by many calls bounds the
+    /// whole run. It is polled in the solver's hot loop (like a
+    /// [`CancellationToken`]), so expiry aborts promptly rather than waiting
+    /// for a restart boundary.
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
     /// Attaches a cancellation token; tripping it aborts the call.
     pub fn with_cancellation(mut self, token: CancellationToken) -> Self {
         self.cancel = Some(token);
@@ -149,6 +225,11 @@ impl Budget {
         self.max_proof_steps
     }
 
+    /// The attached deadline, if any.
+    pub fn deadline(&self) -> Option<Deadline> {
+        self.deadline
+    }
+
     /// The attached cancellation token, if any.
     pub fn cancellation(&self) -> Option<&CancellationToken> {
         self.cancel.as_ref()
@@ -159,6 +240,7 @@ impl Budget {
         self.max_conflicts.is_none()
             && self.max_time.is_none()
             && self.max_proof_steps.is_none()
+            && self.deadline.is_none()
             && self.cancel.is_none()
     }
 }
@@ -189,5 +271,33 @@ mod tests {
         assert_eq!(Budget::new(), Budget::new());
         assert!(!a.is_unlimited());
         assert!(Budget::new().is_unlimited());
+    }
+
+    #[test]
+    fn deadline_expiry_and_remaining() {
+        let d = Deadline::after(Duration::from_secs(3600));
+        assert!(!d.expired());
+        assert!(d.remaining() > Duration::from_secs(3000));
+
+        let past = Deadline::after(Duration::ZERO);
+        assert!(past.expired());
+        assert_eq!(past.remaining(), Duration::ZERO);
+
+        let at = Instant::now();
+        assert_eq!(Deadline::at(at).instant(), at);
+
+        // Absurd durations saturate instead of panicking.
+        let far = Deadline::after(Duration::from_secs(u64::MAX));
+        assert!(!far.expired());
+    }
+
+    #[test]
+    fn budget_deadline_round_trips() {
+        let d = Deadline::after(Duration::from_secs(10));
+        let b = Budget::new().with_deadline(d);
+        assert_eq!(b.deadline(), Some(d));
+        assert!(!b.is_unlimited());
+        assert_eq!(b.clone(), b);
+        assert_ne!(b, Budget::new());
     }
 }

@@ -201,6 +201,49 @@ impl CnfFormula {
         self.at_most_one(ys, encoding);
     }
 
+    /// Adds an *at-most-k* cardinality constraint over `ys` (Sinz's
+    /// sequential counter, `O(k·n)` clauses and auxiliaries).
+    ///
+    /// With `k ≥ ys.len()` the constraint is vacuous and nothing is added;
+    /// with `k = 0` every literal is forced false by a unit clause. The
+    /// synthesis encoder uses this to cap the number of distinct literal
+    /// feeds a schedule may claim, so cell-avoidance placement provably
+    /// succeeds on the remaining working cells.
+    pub fn at_most_k(&mut self, ys: &[Lit], k: usize) {
+        let n = ys.len();
+        if n <= k {
+            return;
+        }
+        if k == 0 {
+            for &y in ys {
+                self.add_unit(!y);
+            }
+            return;
+        }
+        if k == 1 {
+            return self.at_most_one(ys, ExactlyOne::Sequential);
+        }
+        // prev[j] accumulates "at least j+1 of y₀..y_i are true".
+        let mut prev: Vec<Lit> = (0..k).map(|_| self.new_lit()).collect();
+        self.add_implies(ys[0], prev[0]);
+        for &s in &prev[1..] {
+            self.add_unit(!s);
+        }
+        for &y in &ys[1..n - 1] {
+            let cur: Vec<Lit> = (0..k).map(|_| self.new_lit()).collect();
+            self.add_implies(y, cur[0]);
+            self.add_implies(prev[0], cur[0]);
+            for j in 1..k {
+                self.add_clause([!y, !prev[j - 1], cur[j]]);
+                self.add_implies(prev[j], cur[j]);
+            }
+            // y_i on top of an already-full prefix overflows.
+            self.add_clause([!y, !prev[k - 1]]);
+            prev = cur;
+        }
+        self.add_clause([!ys[n - 1], !prev[k - 1]]);
+    }
+
     fn at_most_one_sequential(&mut self, ys: &[Lit]) {
         if ys.len() <= 4 {
             return self.at_most_one(ys, ExactlyOne::Pairwise);
@@ -322,6 +365,45 @@ mod tests {
                 vec![k, k, k],
                 "k = {k}: each encoding must admit exactly k models"
             );
+        }
+    }
+
+    #[test]
+    fn at_most_k_admits_exactly_the_bounded_models() {
+        fn binomial(n: usize, r: usize) -> usize {
+            (0..r).fold(1, |acc, i| acc * (n - i) / (i + 1))
+        }
+        for n in 1..=6usize {
+            for k in 0..=n {
+                let mut cnf = CnfFormula::new();
+                let ys: Vec<Lit> = (0..n).map(|_| cnf.new_lit()).collect();
+                cnf.at_most_k(&ys, k);
+                let expect: usize = (0..=k).map(|r| binomial(n, r)).sum();
+                // A vacuous constraint adds no clauses at all.
+                if k >= n {
+                    assert_eq!(cnf.n_clauses(), 0, "n = {n}, k = {k}");
+                }
+                assert_eq!(
+                    count_models(&cnf, &ys),
+                    expect,
+                    "n = {n}, k = {k}: wrong model count"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn at_most_k_zero_forces_all_false() {
+        let mut cnf = CnfFormula::new();
+        let ys: Vec<Lit> = (0..3).map(|_| cnf.new_lit()).collect();
+        cnf.at_most_k(&ys, 0);
+        match Solver::new(cnf).solve() {
+            SatResult::Sat(m) => {
+                for &y in &ys {
+                    assert!(!m.value(y));
+                }
+            }
+            other => panic!("expected SAT, got {other:?}"),
         }
     }
 

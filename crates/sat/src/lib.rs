@@ -58,7 +58,7 @@ mod stats;
 pub mod dimacs;
 pub mod drat;
 
-pub use budget::{Budget, CancellationToken};
+pub use budget::{Budget, CancellationToken, Deadline};
 pub use cnf::{CnfFormula, ExactlyOne};
 pub use drat::DratProof;
 pub use error::SatError;

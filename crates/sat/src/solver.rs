@@ -706,17 +706,27 @@ impl Solver {
         // between restarts. The poll itself is one relaxed atomic load.
         const CANCEL_POLL_INTERVAL: u32 = 1024;
         let cancel = budget.cancellation().cloned();
+        let deadline = budget.deadline();
+        let poll_abort = cancel.is_some() || deadline.is_some();
         let mut cancel_countdown = 1u32; // poll on the first iteration
 
         loop {
-            if let Some(token) = &cancel {
+            if poll_abort {
                 cancel_countdown -= 1;
                 if cancel_countdown == 0 {
                     cancel_countdown = CANCEL_POLL_INTERVAL;
                     self.stats.cancel_polls += 1;
-                    if token.is_cancelled() {
-                        self.stats.cancelled = true;
-                        return SatResult::Unknown;
+                    if let Some(token) = &cancel {
+                        if token.is_cancelled() {
+                            self.stats.cancelled = true;
+                            return SatResult::Unknown;
+                        }
+                    }
+                    if let Some(d) = deadline {
+                        if d.expired() {
+                            self.stats.deadline_expired = true;
+                            return SatResult::Unknown;
+                        }
                     }
                 }
             }
@@ -877,6 +887,8 @@ impl VarHeap {
 
 #[cfg(test)]
 mod tests {
+    use std::time::Duration;
+
     use super::*;
     use crate::CnfFormula;
 
@@ -1060,6 +1072,43 @@ mod tests {
         assert_eq!(result, SatResult::Unknown);
         assert!(stats.cancelled);
         assert_eq!(stats.conflicts, 0, "no search work after a pre-trip");
+    }
+
+    #[test]
+    fn expired_deadline_returns_unknown_immediately() {
+        use crate::Deadline;
+
+        let cnf = pigeonhole(8, 7);
+        let deadline = Deadline::after(Duration::ZERO);
+        let (result, stats) =
+            Solver::new(cnf).solve_with_budget(Budget::new().with_deadline(deadline));
+        assert_eq!(result, SatResult::Unknown);
+        assert!(stats.deadline_expired);
+        assert!(!stats.cancelled);
+        assert_eq!(
+            stats.conflicts, 0,
+            "no search work past an expired deadline"
+        );
+    }
+
+    #[test]
+    fn mid_search_deadline_aborts_promptly() {
+        use crate::Deadline;
+
+        // Hard enough that a 50 ms deadline expires mid-search; the hot-loop
+        // poll must then abort well before the instance would finish.
+        let cnf = pigeonhole(10, 9);
+        let deadline = Deadline::after(Duration::from_millis(50));
+        let start = Instant::now();
+        let (result, stats) =
+            Solver::new(cnf).solve_with_budget(Budget::new().with_deadline(deadline));
+        assert_eq!(result, SatResult::Unknown);
+        assert!(stats.deadline_expired);
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "deadline abort took {:?}",
+            start.elapsed()
+        );
     }
 
     #[test]

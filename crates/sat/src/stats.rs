@@ -31,6 +31,9 @@ pub struct SolverStats {
     /// [`CancellationToken`](crate::CancellationToken) (as opposed to
     /// exhausting a conflict/time limit or finishing).
     pub cancelled: bool,
+    /// Whether the call was aborted by an expired wall-clock
+    /// [`Deadline`](crate::Deadline).
+    pub deadline_expired: bool,
     /// Number of DRAT proof steps emitted (additions + deletions + the
     /// concluding empty clause). Zero when proof logging is off.
     pub proof_steps: u64,
@@ -52,7 +55,8 @@ impl fmt::Display for SolverStats {
         write!(
             f,
             "{} conflicts, {} decisions, {} propagations, {} restarts, \
-             {} cancel-polls, cancelled {}, {} proof-steps, {} proof-literals, \
+             {} cancel-polls, cancelled {}, deadline-expired {}, \
+             {} proof-steps, {} proof-literals, \
              checked {} in {:.3}s (+{:.3}s check)",
             self.conflicts,
             self.decisions,
@@ -60,6 +64,7 @@ impl fmt::Display for SolverStats {
             self.restarts,
             self.cancel_polls,
             self.cancelled,
+            self.deadline_expired,
             self.proof_steps,
             self.proof_literals,
             self.proof_checked,
@@ -87,6 +92,7 @@ mod tests {
             "7 conflicts",
             "3 cancel-polls",
             "cancelled false",
+            "deadline-expired false",
             "11 proof-steps",
             "42 proof-literals",
             "checked true",

@@ -2,10 +2,16 @@
 //!
 //! ```text
 //! mmsynth synth    --function gf22_mul --rops 4 --legs 6 --steps 3 [--budget 300]
+//!                  [--avoid-cells 0,3 --array-size 16] [--deadline SECS]
 //!                  [--certify] [--proof FILE] [--dot | --json | --dimacs | --schedule]
 //! mmsynth minimize --function gf22_mul [--max-rops N] [--max-steps N] [--r-only]
-//!                  [--jobs N] [--conflicts N] [--certify] [--proof-dir DIR]
-//!                  [--dot | --json | --schedule]
+//!                  [--jobs N] [--conflicts N] [--deadline SECS] [--certify]
+//!                  [--proof-dir DIR] [--dot | --json | --schedule]
+//! mmsynth faultsim --function xor2 --rops 1 --legs 2 --steps 2
+//!                  [--stuck CELL:lrs,CELL:hrs] [--flip CELL:CYCLE,...]
+//!                  [--variability SIGMA] [--trials N] [--seed N]
+//!                  [--array-size N] [--repair [--retries N]] [--certify]
+//!                  [--out FILE]
 //! mmsynth map      --function adder3 [--dot | --json]
 //! mmsynth run      --function gf22_mul --input 1011 [--trace] [--seed 42]
 //! mmsynth census   --inputs 3 [--pre K] [--post K] [--tebe K]
@@ -17,6 +23,15 @@
 //! `--proof`/`--proof-dir` additionally archive the accepted proofs as
 //! standard DRAT text for cross-checking with external tools (`drat-trim`).
 //!
+//! `faultsim` synthesizes a circuit, places its schedule on a physical
+//! array, and runs a fault-injection campaign against it; `--repair` closes
+//! the loop, avoiding the implicated cells and resynthesizing.
+//!
+//! Exit codes: 0 on success (including a proven UNSAT), 1 on errors, and
+//! 2 when the answer is *inconclusive* — a budget or deadline expired
+//! before the search finished, or a repair loop gave up. Degraded runs
+//! still print their best-known circuit before exiting with 2.
+//!
 //! Functions are either named generators (see `mmsynth list`) or comma-
 //! separated truth-table bitstrings (`--function 0110,1000` = two outputs).
 
@@ -25,12 +40,19 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use memristive_mm::boolfn::{generators, MultiOutputFn, TruthTable};
-use memristive_mm::circuit::Schedule;
-use memristive_mm::device::{ElectricalParams, LineArray};
-use memristive_mm::sat::Budget;
+use memristive_mm::circuit::campaign::{run_campaign, CampaignConfig, CampaignReport};
+use memristive_mm::circuit::{FaultPlan, Schedule};
+use memristive_mm::device::{DeviceState, ElectricalParams, LineArray};
+use memristive_mm::sat::{Budget, Deadline};
 use memristive_mm::synth::optimize::parallel;
+use memristive_mm::synth::repair::{synthesize_with_repair, RepairConfig, RepairStatus};
 use memristive_mm::synth::universality::{census, CensusConfig};
 use memristive_mm::synth::{heuristic, EncodeOptions, SynthResult, SynthSpec, Synthesizer};
+
+/// Exit code for inconclusive answers: a budget/deadline expired before the
+/// search finished, or a repair loop gave up. Distinct from 1 (errors) so
+/// scripts can retry with a larger budget instead of failing hard.
+const EXIT_INCONCLUSIVE: u8 = 2;
 
 fn named_functions() -> Vec<(&'static str, MultiOutputFn)> {
     vec![
@@ -116,7 +138,7 @@ fn main() -> ExitCode {
     let args = parse_args(&argv);
     let command = args.bare.first().map(String::as_str).unwrap_or("help");
     match run(command, &args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
             ExitCode::FAILURE
@@ -124,7 +146,39 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(command: &str, args: &Args) -> Result<(), String> {
+/// Comma-separated cell indices (`0,3,5`).
+fn parse_cells(spec: &str) -> Result<Vec<usize>, String> {
+    spec.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|e| format!("bad cell index {s:?}: {e}"))
+        })
+        .collect()
+}
+
+/// Builds the solver budget shared by `synth`/`minimize`: `--conflicts`
+/// keeps portfolio results deterministic across `--jobs`; `--deadline` adds
+/// a wall-clock bound under which minimization degrades gracefully.
+fn budget_from(args: &Args) -> Result<Option<Budget>, String> {
+    let mut budget = None;
+    if let Some(c) = args.get("conflicts") {
+        let c: u64 = c.parse().map_err(|e| format!("bad --conflicts: {e}"))?;
+        budget = Some(Budget::new().with_max_conflicts(c));
+    }
+    if let Some(d) = args.get("deadline") {
+        let secs: f64 = d.parse().map_err(|e| format!("bad --deadline: {e}"))?;
+        if !secs.is_finite() || secs < 0.0 {
+            return Err(format!("--deadline must be a nonnegative number, got {d}"));
+        }
+        let deadline = Deadline::after(Duration::from_secs_f64(secs));
+        budget = Some(budget.unwrap_or_default().with_deadline(deadline));
+    }
+    Ok(budget)
+}
+
+fn run(command: &str, args: &Args) -> Result<ExitCode, String> {
     match command {
         "list" => {
             println!("named functions:");
@@ -135,7 +189,7 @@ fn run(command: &str, args: &Args) -> Result<(), String> {
                     f.n_outputs()
                 );
             }
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "census" => {
             let n = args.get_usize("inputs", 3) as u8;
@@ -148,17 +202,18 @@ fn run(command: &str, args: &Args) -> Result<(), String> {
                 "{reached} of {} {n}-input functions realizable with {cfg:?}",
                 1u64 << (1 << n)
             );
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "map" => {
             let f = parse_function(args.get("function").ok_or("--function required")?)?;
             let circuit = heuristic::map(&f).map_err(|e| e.to_string())?;
-            emit_circuit(&circuit, args)
+            emit_circuit(&circuit, args)?;
+            Ok(ExitCode::SUCCESS)
         }
         "synth" => {
             let f = parse_function(args.get("function").ok_or("--function required")?)?;
             let rops = args.get_usize("rops", 0);
-            let spec = if args.has("r-only") {
+            let mut spec = if args.has("r-only") {
                 SynthSpec::r_only(&f, args.get_usize("r-only", 1))
             } else {
                 let legs = args.get_usize(
@@ -168,15 +223,26 @@ fn run(command: &str, args: &Args) -> Result<(), String> {
                 SynthSpec::mixed_mode(&f, rops, legs, args.get_usize("steps", 3))
             }
             .map_err(|e| e.to_string())?;
+            if let Some(cells) = args.get("avoid-cells") {
+                let avoid = parse_cells(cells)?;
+                spec = spec.with_cell_avoidance(args.get_usize("array-size", 16), avoid);
+            }
+            let mut budget = Budget::new()
+                .with_max_time(Duration::from_secs(args.get_usize("budget", 120) as u64));
+            if let Some(extra) = budget_from(args)? {
+                if let Some(c) = extra.max_conflicts() {
+                    budget = budget.with_max_conflicts(c);
+                }
+                if let Some(d) = extra.deadline() {
+                    budget = budget.with_deadline(d);
+                }
+            }
             let synth = Synthesizer::new()
-                .with_budget(
-                    Budget::new()
-                        .with_max_time(Duration::from_secs(args.get_usize("budget", 120) as u64)),
-                )
+                .with_budget(budget)
                 .with_certification(args.has("certify"));
             if args.has("dimacs") {
                 print!("{}", synth.export_dimacs(&spec).map_err(|e| e.to_string())?);
-                return Ok(());
+                return Ok(ExitCode::SUCCESS);
             }
             let outcome = synth.run(&spec).map_err(|e| e.to_string())?;
             eprintln!(
@@ -197,7 +263,18 @@ fn run(command: &str, args: &Args) -> Result<(), String> {
                 }
             }
             match outcome.result {
-                SynthResult::Realizable(circuit) => emit_circuit(&circuit, args),
+                SynthResult::Realizable(circuit) => {
+                    if let Some(placement) = &outcome.placement {
+                        eprintln!(
+                            "placed on {} cells, avoiding {:?} (used: {:?})",
+                            placement.n_cells(),
+                            args.get("avoid-cells").unwrap_or(""),
+                            placement.used_cells()
+                        );
+                    }
+                    emit_circuit(&circuit, args)?;
+                    Ok(ExitCode::SUCCESS)
+                }
                 SynthResult::Unrealizable => {
                     println!(
                         "UNSAT: no circuit exists within these budgets (optimality certificate{})",
@@ -207,9 +284,12 @@ fn run(command: &str, args: &Args) -> Result<(), String> {
                             ""
                         }
                     );
-                    Ok(())
+                    Ok(ExitCode::SUCCESS)
                 }
-                SynthResult::Unknown => Err("budget exhausted; raise --budget".into()),
+                SynthResult::Unknown => {
+                    eprintln!("inconclusive: budget exhausted; raise --budget or --deadline");
+                    Ok(ExitCode::from(EXIT_INCONCLUSIVE))
+                }
             }
         }
         "minimize" => {
@@ -218,11 +298,10 @@ fn run(command: &str, args: &Args) -> Result<(), String> {
             let options = EncodeOptions::recommended();
             let mut synth = Synthesizer::new().with_certification(args.has("certify"));
             // A conflict (not wall-clock) limit keeps the portfolio result
-            // deterministic across --jobs settings; unlimited by default.
-            if args.has("conflicts") {
-                synth = synth.with_budget(
-                    Budget::new().with_max_conflicts(args.get_usize("conflicts", 0) as u64),
-                );
+            // deterministic across --jobs settings; a --deadline bounds
+            // wall-clock time and degrades gracefully. Unlimited by default.
+            if let Some(budget) = budget_from(args)? {
+                synth = synth.with_budget(budget);
             }
             let report = if args.has("r-only") {
                 parallel::minimize_r_only(&synth, &f, args.get_usize("max-rops", 8), &options, jobs)
@@ -280,18 +359,33 @@ fn run(command: &str, args: &Args) -> Result<(), String> {
                 report.calls.len(),
                 report.total_time().as_secs_f64()
             );
+            let degraded = report.status.is_degraded();
+            if let memristive_mm::synth::optimize::OptimizeStatus::Degraded { reason } =
+                &report.status
+            {
+                eprintln!("degraded: {reason}; the result below is the best known");
+            }
             match report.best {
                 Some(circuit) => {
                     emit_circuit(&circuit, args)?;
                     println!(
                         "optimality: {}",
-                        match (report.proven_optimal, args.has("certify")) {
-                            (true, true) => "proven (UNSAT below, DRAT-certified)",
-                            (true, false) => "proven (UNSAT below)",
-                            (false, _) => "upper bound only",
+                        match (report.proven_optimal, args.has("certify"), degraded) {
+                            (true, true, _) => "proven (UNSAT below, DRAT-certified)",
+                            (true, false, _) => "proven (UNSAT below)",
+                            (false, _, true) => "upper bound only (degraded run)",
+                            (false, _, false) => "upper bound only",
                         }
                     );
-                    Ok(())
+                    if degraded {
+                        Ok(ExitCode::from(EXIT_INCONCLUSIVE))
+                    } else {
+                        Ok(ExitCode::SUCCESS)
+                    }
+                }
+                None if degraded => {
+                    eprintln!("inconclusive: no circuit found before the budget ran out");
+                    Ok(ExitCode::from(EXIT_INCONCLUSIVE))
                 }
                 None => Err(
                     "no circuit found within the search limits; raise --max-rops/--max-steps"
@@ -318,28 +412,181 @@ fn run(command: &str, args: &Args) -> Result<(), String> {
             }
             let bits: String = out.iter().map(|&b| if b { '1' } else { '0' }).collect();
             println!("{}({input}) = {bits}", f.name());
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
+        "faultsim" => faultsim(args),
         _ => {
             println!(
-                "usage: mmsynth <synth|minimize|map|run|census|list> [--function NAME|BITS,...]\n\
+                "usage: mmsynth <synth|minimize|faultsim|map|run|census|list> [--function NAME|BITS,...]\n\
                  \x20      synth:    --rops N [--legs N] [--steps N] [--r-only N] [--budget s]\n\
+                 \x20                [--avoid-cells 0,3 --array-size N] [--deadline SECS]\n\
                  \x20                [--certify] [--proof FILE]\n\
                  \x20                [--dot | --json | --dimacs | --schedule]\n\
                  \x20      minimize: [--max-rops N] [--max-steps N] [--r-only] [--adder]\n\
-                 \x20                [--jobs N] [--conflicts N] [--certify] [--proof-dir DIR]\n\
+                 \x20                [--jobs N] [--conflicts N] [--deadline SECS]\n\
+                 \x20                [--certify] [--proof-dir DIR]\n\
                  \x20                [--dot | --json | --schedule]\n\
+                 \x20      faultsim: --rops N [--legs N] [--steps N]\n\
+                 \x20                [--stuck CELL:lrs,...] [--flip CELL:CYCLE,...]\n\
+                 \x20                [--variability SIGMA] [--trials N] [--seed N]\n\
+                 \x20                [--array-size N] [--repair [--retries N]]\n\
+                 \x20                [--certify] [--out FILE]\n\
                  \x20      map:      [--dot | --json | --schedule]\n\
                  \x20      run:      --input BITS [--trace] [--seed N]\n\
                  \x20      census:   --inputs N [--pre K] [--post K] [--tebe K]\n\
                  \n\
                  \x20      --certify checks every UNSAT answer against its DRAT proof\n\
                  \x20      before any optimality claim; --proof/--proof-dir archive the\n\
-                 \x20      accepted proofs as DRAT text"
+                 \x20      accepted proofs as DRAT text\n\
+                 \x20      exit codes: 0 ok, 1 error, 2 inconclusive (budget/deadline\n\
+                 \x20      expired or repair gave up; best-known result still printed)"
             );
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
     }
+}
+
+/// `mmsynth faultsim`: synthesize, place, inject faults, optionally repair.
+fn faultsim(args: &Args) -> Result<ExitCode, String> {
+    let f = parse_function(args.get("function").ok_or("--function required")?)?;
+    let rops = args.get_usize("rops", 1);
+    let legs = args.get_usize(
+        "legs",
+        SynthSpec::paper_legs(&f, rops, f.name().starts_with("adder")),
+    );
+    let spec = SynthSpec::mixed_mode(&f, rops, legs, args.get_usize("steps", 3))
+        .map_err(|e| e.to_string())?;
+
+    // Fault plans: an always-present healthy control, plus one injected
+    // plan when any fault flag is given.
+    let mut injected = FaultPlan::named("injected");
+    if let Some(stuck) = args.get("stuck") {
+        for part in stuck.split(',').filter(|s| !s.is_empty()) {
+            let (cell, state) = part
+                .split_once(':')
+                .ok_or_else(|| format!("bad --stuck entry {part:?}, want CELL:lrs|hrs"))?;
+            let cell: usize = cell.trim().parse().map_err(|e| format!("bad cell: {e}"))?;
+            let state = match state.trim().to_ascii_lowercase().as_str() {
+                "lrs" | "1" => DeviceState::Lrs,
+                "hrs" | "0" => DeviceState::Hrs,
+                other => return Err(format!("bad stuck state {other:?}, want lrs|hrs")),
+            };
+            injected = injected.with_stuck(cell, state);
+        }
+    }
+    if let Some(flips) = args.get("flip") {
+        for part in flips.split(',').filter(|s| !s.is_empty()) {
+            let (cell, cycle) = part
+                .split_once(':')
+                .ok_or_else(|| format!("bad --flip entry {part:?}, want CELL:CYCLE"))?;
+            injected = injected.with_transient(
+                cell.trim().parse().map_err(|e| format!("bad cell: {e}"))?,
+                cycle
+                    .trim()
+                    .parse()
+                    .map_err(|e| format!("bad cycle: {e}"))?,
+            );
+        }
+    }
+    if let Some(v) = args.get("variability") {
+        let sigma: f64 = v.parse().map_err(|e| format!("bad --variability: {e}"))?;
+        injected = injected.with_variability(memristive_mm::device::Variability {
+            d2d_sigma: sigma,
+            c2c_sigma: sigma / 4.0,
+        });
+    }
+    let mut plans = vec![FaultPlan::named("control")];
+    if !injected.is_healthy() {
+        plans.push(injected);
+    }
+
+    let mut campaign = CampaignConfig::default();
+    campaign.trials = args.get_usize("trials", campaign.trials as usize) as u32;
+    campaign.seed = args.get_usize("seed", campaign.seed as usize) as u64;
+
+    let synth = Synthesizer::new().with_certification(args.has("certify"));
+
+    if args.has("repair") {
+        let array_size = args.get_usize("array-size", 16);
+        let config = RepairConfig {
+            array_size,
+            max_retries: args.get_usize("retries", 4),
+            budget_escalation: 2,
+            campaign,
+        };
+        let outcome =
+            synthesize_with_repair(&synth, &spec, &plans, &config).map_err(|e| e.to_string())?;
+        for (i, attempt) in outcome.attempts.iter().enumerate() {
+            eprintln!(
+                "round {i}: {} failures with cells {:?} avoided; newly implicated: {:?}",
+                attempt.failures, attempt.avoided, attempt.newly_implicated
+            );
+        }
+        match &outcome.status {
+            RepairStatus::Clean => eprintln!("clean: schedule survives the campaign unrepaired"),
+            RepairStatus::Repaired => eprintln!(
+                "repaired: schedule routed around cells {:?} and survives the campaign",
+                outcome.avoided
+            ),
+            RepairStatus::Unrepairable { reason } => eprintln!("unrepairable: {reason}"),
+        }
+        if let Some(report) = &outcome.report {
+            write_report(report, args)?;
+        }
+        if outcome.succeeded() {
+            Ok(ExitCode::SUCCESS)
+        } else {
+            Ok(ExitCode::from(EXIT_INCONCLUSIVE))
+        }
+    } else {
+        let outcome = synth.run(&spec).map_err(|e| e.to_string())?;
+        let circuit = match outcome.result {
+            SynthResult::Realizable(c) => c,
+            SynthResult::Unrealizable => {
+                return Err("no circuit exists within these budgets; raise --rops/--steps".into())
+            }
+            SynthResult::Unknown => {
+                eprintln!("inconclusive: synthesis budget exhausted");
+                return Ok(ExitCode::from(EXIT_INCONCLUSIVE));
+            }
+        };
+        let schedule = Schedule::compile(&circuit).map_err(|e| e.to_string())?;
+        let n_cells = schedule.n_cells();
+        let array_size = args.get_usize("array-size", n_cells);
+        let placed = schedule
+            .place_avoiding(array_size, &[])
+            .map_err(|e| e.to_string())?;
+        let report = run_campaign(&placed, &plans, &campaign).map_err(|e| e.to_string())?;
+        for plan in &report.plans {
+            eprintln!(
+                "plan {:?}: {}/{} executions failed (error rate {:.3}; \
+                 {} stuck, {} transient, {} variability), first divergence: {:?}",
+                plan.plan.name,
+                plan.failures,
+                plan.executions,
+                plan.error_rate,
+                plan.stuck_failures,
+                plan.transient_failures,
+                plan.variability_failures,
+                plan.first_divergence_cycle,
+            );
+        }
+        write_report(&report, args)?;
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+/// Prints the campaign report as JSON to stdout, or to `--out FILE`.
+fn write_report(report: &CampaignReport, args: &Args) -> Result<(), String> {
+    let json = report.to_json();
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("campaign report written to {path}");
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
 }
 
 fn emit_circuit(circuit: &memristive_mm::circuit::MmCircuit, args: &Args) -> Result<(), String> {
