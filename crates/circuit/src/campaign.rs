@@ -49,6 +49,7 @@
 use serde::{Deserialize, Serialize};
 
 use mm_device::{ElectricalParams, FaultPlan, LineArray};
+use mm_telemetry::{kv, Telemetry};
 
 use crate::{CircuitError, Schedule};
 
@@ -188,6 +189,24 @@ pub fn run_campaign(
     plans: &[FaultPlan],
     config: &CampaignConfig,
 ) -> Result<CampaignReport, CircuitError> {
+    run_campaign_traced(schedule, plans, config, &Telemetry::disabled())
+}
+
+/// [`run_campaign`] with telemetry: the whole campaign runs inside a
+/// `campaign` span, and every finished plan emits a `campaign.plan` point
+/// (name, executions, failures, masked divergences). A disabled handle
+/// makes this identical to the plain entry point.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::FaultPlanOutOfRange`] when a plan references a
+/// cell the schedule's array does not have.
+pub fn run_campaign_traced(
+    schedule: &Schedule,
+    plans: &[FaultPlan],
+    config: &CampaignConfig,
+    telemetry: &Telemetry,
+) -> Result<CampaignReport, CircuitError> {
     let n = schedule.n_cells();
     for plan in plans {
         if let Some(cell) = plan.max_cell().filter(|&c| c >= n) {
@@ -198,6 +217,14 @@ pub fn run_campaign(
             });
         }
     }
+    let _campaign_span = telemetry.span_with(
+        "campaign",
+        vec![
+            kv("n_plans", plans.len()),
+            kv("trials", config.trials),
+            kv("n_cells", n),
+        ],
+    );
     let n_assignments = 1u32 << schedule.n_inputs();
     let used = schedule.used_cells();
 
@@ -280,6 +307,15 @@ pub fn run_campaign(
         attribution.sort_by(|a, b| b.divergences.cmp(&a.divergences).then(a.cell.cmp(&b.cell)));
 
         let executions = config.trials * n_assignments;
+        telemetry.point(
+            "campaign.plan",
+            vec![
+                kv("plan", plan.name.clone()),
+                kv("executions", executions),
+                kv("failures", failures),
+                kv("masked", masked),
+            ],
+        );
         plan_reports.push(PlanReport {
             plan: plan.clone(),
             executions,

@@ -19,7 +19,11 @@ use mm_sat::DratProof;
 use crate::{EncodeOptions, SynthError, SynthResult, SynthSpec, Synthesizer};
 
 /// One synthesis call made during a minimization run.
-#[derive(Debug, Clone)]
+///
+/// The serde representation backs `mmsynth --stats-json` and is schema-stable
+/// (see the golden test in this module): `Duration` fields serialize as
+/// `{"secs", "nanos"}` objects and the optional proof as DRAT text.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct CallRecord {
     /// R-op budget of the call.
     pub n_rops: usize,
@@ -53,7 +57,7 @@ pub struct CallRecord {
 
 /// A [`SynthResult`] variant tag without the circuit
 /// payload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum SynthResultKind {
     /// The instance was satisfiable.
     Realizable,
@@ -457,6 +461,42 @@ mod tests {
             );
         }
         assert!(report.total_time() > std::time::Duration::ZERO);
+    }
+
+    /// Golden-JSON schema stability for [`CallRecord`]: `--stats-json`
+    /// consumers parse this exact shape. A field rename or re-ordering is a
+    /// schema break.
+    #[test]
+    fn call_record_serde_schema_is_stable() {
+        let record = CallRecord {
+            n_rops: 2,
+            n_legs: 3,
+            n_vsteps: 4,
+            result: SynthResultKind::Unrealizable,
+            n_vars: 120,
+            n_clauses: 456,
+            time: Duration::new(0, 7_000),
+            proof_steps: 5,
+            deadline_expired: false,
+            check_time: Duration::new(0, 1_000),
+            certified: true,
+            proof: Some(mm_sat::DratProof::from_steps(vec![
+                mm_sat::drat::ProofStep::Add(vec![]),
+            ])),
+        };
+        let json = serde_json::to_string(&record).expect("record serialize");
+        let golden = concat!(
+            "{\"n_rops\":2,\"n_legs\":3,\"n_vsteps\":4,\"result\":\"Unrealizable\",",
+            "\"n_vars\":120,\"n_clauses\":456,\"time\":{\"secs\":0,\"nanos\":7000},",
+            "\"proof_steps\":5,\"deadline_expired\":false,",
+            "\"check_time\":{\"secs\":0,\"nanos\":1000},\"certified\":true,",
+            "\"proof\":\"0\\n\"}"
+        );
+        assert_eq!(json, golden);
+
+        let back: CallRecord = serde_json::from_str(&json).expect("record parse");
+        assert_eq!(serde_json::to_string(&back).expect("reserialize"), json);
+        assert!(back.proof.expect("proof survives").is_concluded());
     }
 
     #[test]

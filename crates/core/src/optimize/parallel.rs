@@ -59,6 +59,7 @@ use std::sync::Mutex;
 use mm_boolfn::MultiOutputFn;
 use mm_circuit::MmCircuit;
 use mm_sat::CancellationToken;
+use mm_telemetry::{kv, AttrValue};
 
 use super::{record, seed_upper_bound, CallRecord, DegradeReason, OptimizeReport, OptimizeStatus};
 use crate::{EncodeOptions, SynthError, SynthResult, SynthSpec, Synthesizer};
@@ -122,16 +123,21 @@ fn run_ladder(
     let cursor = AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| {
+        // Shadow with references so the `move` closures copy pointers, not
+        // the shared state itself.
+        let (tokens, cursor) = (&tokens, &cursor);
+        let (outcomes, calls, first_error) = (&outcomes, &calls, &first_error);
+        for worker_idx in 0..jobs {
+            scope.spawn(move || {
                 worker(
                     synth,
                     specs,
-                    &tokens,
-                    &cursor,
-                    &outcomes,
-                    &calls,
-                    &first_error,
+                    tokens,
+                    cursor,
+                    outcomes,
+                    calls,
+                    first_error,
+                    worker_idx,
                 );
             });
         }
@@ -189,6 +195,23 @@ fn run_ladder(
     } else {
         None
     };
+    // One ladder-summary event per run: the verdict the rung events roll
+    // up to, so a trace is self-contained.
+    synth.telemetry().point(
+        "ladder",
+        vec![
+            kv("points", n),
+            kv("proven", proven && degrade.is_none()),
+            kv("degraded", degrade.is_some()),
+            kv(
+                "reason",
+                degrade
+                    .as_ref()
+                    .map(ToString::to_string)
+                    .unwrap_or_default(),
+            ),
+        ],
+    );
     Ok(LadderOutcome {
         best,
         proven: proven && degrade.is_none(),
@@ -197,6 +220,19 @@ fn run_ladder(
     })
 }
 
+/// Shared attributes of every `rung` / `rung.spawned` event: the ladder
+/// index, the point's budgets, and the worker that handled it.
+fn rung_attrs(idx: usize, spec: &SynthSpec, worker_idx: usize) -> Vec<(String, AttrValue)> {
+    vec![
+        kv("idx", idx),
+        kv("n_rops", spec.n_rops()),
+        kv("n_legs", spec.n_legs()),
+        kv("n_vsteps", spec.n_vsteps()),
+        kv("worker", format!("w{worker_idx}")),
+    ]
+}
+
+#[allow(clippy::too_many_arguments)] // one call site; mirrors the shared state
 fn worker(
     synth: &Synthesizer,
     specs: &[SynthSpec],
@@ -205,17 +241,29 @@ fn worker(
     outcomes: &Mutex<Vec<Option<PointOutcome>>>,
     calls: &Mutex<Vec<CallRecord>>,
     first_error: &Mutex<Option<SynthError>>,
+    worker_idx: usize,
 ) {
+    let telemetry = synth.telemetry().clone();
     loop {
         let idx = cursor.fetch_add(1, Ordering::Relaxed);
         if idx >= specs.len() {
             return;
         }
+        let rung = |outcome: &str| {
+            let mut attrs = rung_attrs(idx, &specs[idx], worker_idx);
+            attrs.push(kv("outcome", outcome));
+            attrs
+        };
         if first_error.lock().expect("no poisoned lock").is_some() {
+            telemetry.point("rung", rung("skipped"));
             set_outcome(outcomes, idx, PointOutcome::Skipped);
             continue;
         }
         if tokens[idx].is_cancelled() {
+            // Lattice-closed before launch: the "cancelled" lifecycle case.
+            let mut attrs = rung("skipped");
+            attrs.push(kv("cancelled", true));
+            telemetry.point("rung", attrs);
             set_outcome(outcomes, idx, PointOutcome::Skipped);
             continue;
         }
@@ -223,9 +271,13 @@ fn worker(
         // Unknown; skip the launch (and the encode) but record the point as
         // undecided, not as lattice-closed.
         if synth.budget().deadline().is_some_and(|d| d.expired()) {
+            let mut attrs = rung("unknown");
+            attrs.push(kv("deadline", true));
+            telemetry.point("rung", attrs);
             set_outcome(outcomes, idx, PointOutcome::Unknown { deadline: true });
             continue;
         }
+        telemetry.point("rung.spawned", rung_attrs(idx, &specs[idx], worker_idx));
         let budget = synth.budget().with_cancellation(tokens[idx].clone());
         let point_synth = synth.clone().with_budget(budget);
         let run = catch_unwind(AssertUnwindSafe(|| point_synth.run(&specs[idx])));
@@ -236,11 +288,26 @@ fn worker(
                     .map(|s| (*s).to_string())
                     .or_else(|| payload.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "non-string panic payload".to_string());
+                telemetry.point("rung", rung("panicked"));
                 set_outcome(outcomes, idx, PointOutcome::Panicked(message));
             }
             Ok(Ok(outcome)) => {
                 let record = record(&outcome, &specs[idx]);
                 let deadline = record.deadline_expired;
+                let mut attrs = rung(match outcome.result {
+                    SynthResult::Realizable(_) => "sat",
+                    SynthResult::Unrealizable => "unsat",
+                    SynthResult::Unknown => "unknown",
+                });
+                attrs.extend([
+                    kv("conflicts", outcome.solver_stats.conflicts),
+                    kv("vars", record.n_vars),
+                    kv("clauses", record.n_clauses),
+                    kv("time_us", record.time.as_micros() as u64),
+                    kv("certified", record.certified),
+                    kv("cancelled", outcome.solver_stats.cancelled),
+                    kv("deadline", deadline),
+                ]);
                 calls.lock().expect("no poisoned lock").push(record);
                 let point = match outcome.result {
                     SynthResult::Realizable(c) => {
@@ -248,6 +315,7 @@ fn worker(
                         for token in &tokens[idx + 1..] {
                             token.cancel();
                         }
+                        attrs.push(kv("cancels_above", specs.len() - idx - 1));
                         PointOutcome::Sat(Box::new(c))
                     }
                     SynthResult::Unrealizable => {
@@ -256,10 +324,12 @@ fn worker(
                         for token in &tokens[..idx] {
                             token.cancel();
                         }
+                        attrs.push(kv("cancels_below", idx));
                         PointOutcome::Unsat
                     }
                     SynthResult::Unknown => PointOutcome::Unknown { deadline },
                 };
+                telemetry.point("rung", attrs);
                 set_outcome(outcomes, idx, point);
             }
             Ok(Err(e)) => {
@@ -271,6 +341,7 @@ fn worker(
                 for token in tokens {
                     token.cancel();
                 }
+                telemetry.point("rung", rung("skipped"));
                 set_outcome(outcomes, idx, PointOutcome::Skipped);
             }
         }

@@ -24,9 +24,10 @@
 //! varies); the loop reports them as unrepairable instead of looping
 //! forever.
 
-use mm_circuit::campaign::{run_campaign, CampaignConfig, CampaignReport, FaultClass};
+use mm_circuit::campaign::{run_campaign_traced, CampaignConfig, CampaignReport, FaultClass};
 use mm_circuit::{FaultPlan, MmCircuit, ROpKind, Schedule};
 use mm_sat::Budget;
+use mm_telemetry::kv;
 
 use crate::{SynthError, SynthResult, SynthSpec, Synthesizer};
 
@@ -152,6 +153,15 @@ pub fn synthesize_with_repair(
         }
     }
 
+    let telemetry = synth.telemetry().clone();
+    let _repair_span = telemetry.span_with(
+        "repair",
+        vec![
+            kv("array_size", config.array_size),
+            kv("max_retries", config.max_retries),
+        ],
+    );
+
     let mut avoided: Vec<usize> = spec
         .cell_avoidance()
         .map(|a| a.dead_cells())
@@ -173,6 +183,15 @@ pub fn synthesize_with_repair(
                        last: Option<(MmCircuit, Schedule, CampaignReport)>,
                        attempts: Vec<RepairAttempt>,
                        avoided: Vec<usize>| {
+            telemetry.point(
+                "repair.round",
+                vec![
+                    kv("round", round),
+                    kv("avoided", avoided.len()),
+                    kv("outcome", "gave-up"),
+                    kv("reason", reason.clone()),
+                ],
+            );
             let (circuit, placement, report) = match last {
                 Some((c, s, r)) => (Some(c), Some(s), Some(r)),
                 None => (None, None, None),
@@ -232,7 +251,7 @@ pub fn synthesize_with_repair(
             }
         };
 
-        let report = run_campaign(&placement, plans, &config.campaign)?;
+        let report = run_campaign_traced(&placement, plans, &config.campaign, &telemetry)?;
         let failures: u32 = report.plans.iter().map(|p| p.failures).sum();
         if failures == 0 {
             let status = if attempts.is_empty() {
@@ -240,6 +259,23 @@ pub fn synthesize_with_repair(
             } else {
                 RepairStatus::Repaired
             };
+            telemetry.point(
+                "repair.round",
+                vec![
+                    kv("round", round),
+                    kv("failures", failures),
+                    kv("newly_implicated", 0usize),
+                    kv("avoided", avoided.len()),
+                    kv(
+                        "outcome",
+                        if attempts.is_empty() {
+                            "clean"
+                        } else {
+                            "repaired"
+                        },
+                    ),
+                ],
+            );
             return Ok(RepairOutcome {
                 circuit: Some(circuit),
                 placement: Some(placement),
@@ -268,6 +304,25 @@ pub fn synthesize_with_repair(
             failures,
             newly_implicated: newly.clone(),
         });
+        telemetry.point(
+            "repair.round",
+            vec![
+                kv("round", round),
+                kv("failures", failures),
+                kv("newly_implicated", newly.len()),
+                kv("avoided", avoided.len()),
+                kv(
+                    "outcome",
+                    if newly.is_empty() {
+                        "unrepairable"
+                    } else if round == config.max_retries {
+                        "retry-limit"
+                    } else {
+                        "diagnosed"
+                    },
+                ),
+            ],
+        );
 
         if newly.is_empty() {
             return Ok(RepairOutcome {
@@ -359,7 +414,7 @@ mod tests {
         let placement = outcome.placement.as_ref().unwrap();
         assert!(!placement.used_cells().contains(&0));
         assert!(placement.verify(&f));
-        assert_eq!(outcome.report.as_ref().unwrap().any_failures(), false);
+        assert!(!outcome.report.as_ref().unwrap().any_failures());
     }
 
     #[test]

@@ -3,6 +3,7 @@ use std::time::Duration;
 use mm_circuit::{MmCircuit, Schedule};
 use mm_sat::drat::{self, CheckStats};
 use mm_sat::{Budget, DratProof, SatResult, Solver, SolverStats};
+use mm_telemetry::{kv, AttrValue, Telemetry};
 
 use crate::{decoder, encoder, EncodeStats, SynthError, SynthSpec};
 
@@ -96,6 +97,7 @@ impl SynthOutcome {
 pub struct Synthesizer {
     budget: Budget,
     certify: bool,
+    telemetry: Telemetry,
 }
 
 impl Synthesizer {
@@ -135,6 +137,25 @@ impl Synthesizer {
         self.budget.clone()
     }
 
+    /// Installs a telemetry handle; every [`run`](Self::run) then emits a
+    /// `synth` span with `encode` / `solve` / `decode` (and, under
+    /// certification, `certify` / `device-verify`) child spans, an
+    /// `encoder.cnf` size event, and the solver's sampled counters. The
+    /// handle is cloned into the SAT solver for each call.
+    ///
+    /// Disabled handles (the default) keep all instrumentation to one branch
+    /// per site — see the `telemetry_overhead` bench.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The installed telemetry handle (disabled unless
+    /// [`with_telemetry`](Self::with_telemetry) was called).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
     /// Builds `Φ(f, N_V, N_R)` and returns it as DIMACS CNF text, for
     /// archiving or cross-checking with an external solver.
     ///
@@ -154,15 +175,21 @@ impl Synthesizer {
     /// decode/verification failures (which indicate an internal bug, not a
     /// property of the function).
     pub fn run(&self, spec: &SynthSpec) -> Result<SynthOutcome, SynthError> {
-        let encoded = encoder::encode(spec)?;
+        let _synth_span = self.telemetry.span_with("synth", span_attrs(spec));
+        let encoded = self.encode_traced(spec)?;
         if self.certify {
             return self.run_certified(spec, encoded);
         }
-        let (result, solver_stats) =
-            Solver::new(encoded.cnf).solve_with_budget(self.budget.clone());
+        let (result, solver_stats) = {
+            let _solve_span = self.telemetry.span("solve");
+            Solver::new(encoded.cnf)
+                .with_telemetry(self.telemetry.clone())
+                .solve_with_budget(self.budget.clone())
+        };
         let mut placement = None;
         let result = match result {
             SatResult::Sat(model) => {
+                let _decode_span = self.telemetry.span("decode");
                 let circuit = decoder::decode(spec, &encoded.map, &model)?;
                 verify(&circuit, spec)?;
                 placement = place(&circuit, spec)?;
@@ -189,20 +216,32 @@ impl Synthesizer {
         encoded: encoder::Encoded,
     ) -> Result<SynthOutcome, SynthError> {
         let cnf = encoded.cnf.clone();
-        let (result, mut solver_stats, proof) =
-            Solver::new(encoded.cnf).solve_certified(self.budget.clone());
+        let (result, mut solver_stats, proof) = {
+            let _solve_span = self.telemetry.span("solve");
+            Solver::new(encoded.cnf)
+                .with_telemetry(self.telemetry.clone())
+                .solve_certified(self.budget.clone())
+        };
         let mut certificate = None;
         let mut placement = None;
         let result = match result {
             SatResult::Sat(model) => {
-                let circuit = decoder::decode(spec, &encoded.map, &model)?;
-                verify(&circuit, spec)?;
-                verify_on_device(&circuit, spec)?;
+                let circuit = {
+                    let _decode_span = self.telemetry.span("decode");
+                    let circuit = decoder::decode(spec, &encoded.map, &model)?;
+                    verify(&circuit, spec)?;
+                    circuit
+                };
+                {
+                    let _device_span = self.telemetry.span("device-verify");
+                    verify_on_device(&circuit, spec)?;
+                }
                 placement = place(&circuit, spec)?;
                 SynthResult::Realizable(circuit)
             }
             SatResult::Unsat => {
                 let proof = proof.expect("certified solve always returns the log");
+                let _certify_span = self.telemetry.span("certify");
                 match drat::check(&cnf, &proof) {
                     Ok(check) => {
                         solver_stats.proof_checked = true;
@@ -227,6 +266,34 @@ impl Synthesizer {
             placement,
         })
     }
+
+    /// Encodes under an `encode` span and emits the CNF-size event.
+    fn encode_traced(&self, spec: &SynthSpec) -> Result<encoder::Encoded, SynthError> {
+        let encoded = {
+            let _encode_span = self.telemetry.span("encode");
+            encoder::encode(spec)?
+        };
+        self.telemetry.point(
+            "encoder.cnf",
+            vec![
+                kv("n_rops", spec.n_rops()),
+                kv("n_legs", spec.n_legs()),
+                kv("n_vsteps", spec.n_vsteps()),
+                kv("vars", encoded.stats.n_vars),
+                kv("clauses", encoded.stats.n_clauses),
+            ],
+        );
+        Ok(encoded)
+    }
+}
+
+/// Budget attributes stamped on every `synth` span.
+fn span_attrs(spec: &SynthSpec) -> Vec<(String, AttrValue)> {
+    vec![
+        kv("n_rops", spec.n_rops()),
+        kv("n_legs", spec.n_legs()),
+        kv("n_vsteps", spec.n_vsteps()),
+    ]
 }
 
 /// Places the circuit's schedule onto the spec's constrained array, routing

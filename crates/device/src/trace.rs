@@ -97,6 +97,39 @@ impl MeasurementTrace {
         self.cycles.is_empty()
     }
 
+    /// Bridges the recorded cycles into a telemetry stream: one
+    /// `device.cycle` point per cycle (carrying the [`CycleKind`]
+    /// breakdown) plus a `device.cycles` counter with the total. A
+    /// disabled handle makes this a no-op before any allocation.
+    pub fn emit_telemetry(&self, telemetry: &mm_telemetry::Telemetry) {
+        use mm_telemetry::kv;
+        if !telemetry.is_enabled() || self.cycles.is_empty() {
+            return;
+        }
+        for (idx, c) in self.cycles.iter().enumerate() {
+            let mut attrs = vec![kv("cycle", idx)];
+            match &c.kind {
+                CycleKind::Init => attrs.push(kv("kind", "init")),
+                CycleKind::VOp { be } => {
+                    attrs.push(kv("kind", "vop"));
+                    attrs.push(kv("be", *be));
+                }
+                CycleKind::ROp { inputs, output } => {
+                    attrs.push(kv("kind", "rop"));
+                    attrs.push(kv("n_inputs", inputs.len()));
+                    attrs.push(kv("output", *output));
+                }
+                CycleKind::Read { cell, value } => {
+                    attrs.push(kv("kind", "read"));
+                    attrs.push(kv("cell", *cell));
+                    attrs.push(kv("value", *value));
+                }
+            }
+            telemetry.point("device.cycle", attrs);
+        }
+        telemetry.counter("device.cycles", self.cycles.len() as u64);
+    }
+
     /// Renders the trace as a fixed-width table (cells as columns, one block
     /// of rows per cycle), mirroring the layout of the paper's Fig. 2.
     pub fn to_table(&self) -> String {
@@ -179,6 +212,59 @@ mod tests {
         assert!(table.contains("V-op (BE=0)"));
         assert!(table.contains("LRS"));
         assert!(table.contains("n/a"));
+    }
+
+    #[test]
+    fn emit_telemetry_bridges_every_cycle() {
+        use mm_telemetry::{attr, EventKind, MemorySink, RunReport, Telemetry};
+        use std::sync::Arc;
+
+        let mut trace = MeasurementTrace::new();
+        trace.push(CycleRecord {
+            kind: CycleKind::Init,
+            te_voltages: vec![None],
+            be_voltage: Some(0.0),
+            currents: vec![None],
+            resistances: vec![1.0e6],
+            states: vec![DeviceState::Lrs],
+        });
+        trace.push(CycleRecord {
+            kind: CycleKind::Read {
+                cell: 0,
+                value: true,
+            },
+            te_voltages: vec![Some(1.0)],
+            be_voltage: Some(0.0),
+            currents: vec![Some(1.0e-6)],
+            resistances: vec![1.0e6],
+            states: vec![DeviceState::Lrs],
+        });
+
+        // Disabled handle: no-op.
+        trace.emit_telemetry(&Telemetry::disabled());
+
+        let sink = Arc::new(MemorySink::new());
+        let telemetry = Telemetry::new(sink.clone());
+        trace.emit_telemetry(&telemetry);
+        let events = sink.snapshot();
+        let points = events
+            .iter()
+            .filter(|e| matches!(&e.kind, EventKind::Point { name, .. } if name == "device.cycle"))
+            .count();
+        assert_eq!(points, 2);
+        let read_attrs = events
+            .iter()
+            .find_map(|e| match &e.kind {
+                EventKind::Point { name, attrs } if name == "device.cycle" => attr(attrs, "kind")
+                    .and_then(|v| v.as_str())
+                    .filter(|k| *k == "read")
+                    .map(|_| attrs.clone()),
+                _ => None,
+            })
+            .expect("read cycle bridged");
+        assert_eq!(attr(&read_attrs, "cell").and_then(|v| v.as_u64()), Some(0));
+        let report = RunReport::from_events(&events);
+        assert_eq!(report.counter("device.cycles"), 2);
     }
 
     #[test]

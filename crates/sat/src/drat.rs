@@ -181,6 +181,26 @@ impl DratProof {
     }
 }
 
+// Serde uses the textual DRAT form: it is the interchange format external
+// checkers already understand, round-trips exactly through
+// [`DratProof::parse`], and keeps `CallRecord` (which embeds an optional
+// proof) derivable without exposing `ProofStep` internals as JSON.
+impl serde::Serialize for DratProof {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.to_drat_string())
+    }
+}
+
+impl serde::Deserialize for DratProof {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Str(text) => DratProof::parse(text)
+                .map_err(|e| serde::Error::msg(format!("invalid DRAT text: {e}"))),
+            _ => Err(serde::Error::msg("expected DRAT text string")),
+        }
+    }
+}
+
 impl ProofWriter for DratProof {
     fn add_clause(&mut self, lits: &[Lit]) {
         self.steps.push(ProofStep::Add(lits.to_vec()));

@@ -4,6 +4,8 @@
 
 use std::time::Instant;
 
+use mm_telemetry::Telemetry;
+
 use crate::drat::DratProof;
 use crate::{Budget, CnfFormula, Lit, Model, ProofWriter, SolverStats, Var};
 
@@ -114,6 +116,12 @@ pub struct Solver {
     /// DRAT log sink; `None` keeps the hot path to a single well-predicted
     /// branch per learn/delete site.
     proof: Option<Box<dyn ProofWriter>>,
+    /// Telemetry handle; disabled by default, same single-branch discipline
+    /// as `proof`. Counter deltas are emitted at the cancel-poll cadence.
+    telemetry: Telemetry,
+    /// Counter values already emitted to telemetry, so each emission sends
+    /// only the delta: (conflicts, propagations, decisions, restarts).
+    tel_emitted: (u64, u64, u64, u64),
 }
 
 impl Solver {
@@ -143,6 +151,8 @@ impl Solver {
             n_vars: n,
             minimize_enabled: true,
             proof: None,
+            telemetry: Telemetry::disabled(),
+            tel_emitted: (0, 0, 0, 0),
         };
         for clause in cnf.clauses() {
             solver.add_original_clause(clause);
@@ -171,6 +181,19 @@ impl Solver {
         self
     }
 
+    /// Installs a telemetry handle. The search loop then emits
+    /// `solver.conflicts` / `solver.propagations` / `solver.decisions` /
+    /// `solver.restarts` counter *deltas* at the existing cancel-poll cadence
+    /// (every `CANCEL_POLL_INTERVAL` loop rounds), plus one final delta when
+    /// the solve returns — so counter totals always equal [`SolverStats`].
+    ///
+    /// A disabled handle keeps the loop byte-for-byte on its old path: the
+    /// poll guard stays false and no emission code runs.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// Solves the formula to completion (no budget).
     pub fn solve(self) -> SatResult {
         self.solve_with_budget(Budget::new()).0
@@ -195,6 +218,7 @@ impl Solver {
     ) -> (SatResult, SolverStats, Option<Box<dyn ProofWriter>>) {
         let start = Instant::now();
         let result = self.search(budget, start);
+        self.emit_counter_deltas();
         if result.is_unsat() {
             if let Some(w) = self.proof.as_mut() {
                 w.conclude_unsat();
@@ -223,6 +247,24 @@ impl Solver {
             .and_then(|w| w.into_any().downcast::<DratProof>().ok())
             .map(|boxed| *boxed);
         (result, stats, proof)
+    }
+
+    /// Sends counter deltas accumulated since the previous emission. No-op
+    /// (one branch) when telemetry is disabled.
+    fn emit_counter_deltas(&mut self) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let s = self.stats;
+        self.telemetry
+            .counter("solver.conflicts", s.conflicts - self.tel_emitted.0);
+        self.telemetry
+            .counter("solver.propagations", s.propagations - self.tel_emitted.1);
+        self.telemetry
+            .counter("solver.decisions", s.decisions - self.tel_emitted.2);
+        self.telemetry
+            .counter("solver.restarts", s.restarts - self.tel_emitted.3);
+        self.tel_emitted = (s.conflicts, s.propagations, s.decisions, s.restarts);
     }
 
     #[inline]
@@ -707,7 +749,9 @@ impl Solver {
         const CANCEL_POLL_INTERVAL: u32 = 1024;
         let cancel = budget.cancellation().cloned();
         let deadline = budget.deadline();
-        let poll_abort = cancel.is_some() || deadline.is_some();
+        // Telemetry sampling rides the same cadence: enabling it turns the
+        // poll guard on but adds no additional hot-loop checks.
+        let poll_abort = cancel.is_some() || deadline.is_some() || self.telemetry.is_enabled();
         let mut cancel_countdown = 1u32; // poll on the first iteration
 
         loop {
@@ -728,6 +772,7 @@ impl Solver {
                             return SatResult::Unknown;
                         }
                     }
+                    self.emit_counter_deltas();
                 }
             }
             if let Some(conflict) = self.propagate() {
@@ -1244,5 +1289,29 @@ mod tests {
         assert!(stats.conflicts > 0);
         assert!(stats.propagations > 0);
         assert!(stats.solve_time.as_nanos() > 0);
+    }
+
+    #[test]
+    fn telemetry_counter_totals_equal_stats() {
+        use mm_telemetry::{MemorySink, RunReport};
+        use std::sync::Arc;
+
+        let sink = Arc::new(MemorySink::new());
+        let telemetry = Telemetry::new(sink.clone());
+        let cnf = pigeonhole(6, 5);
+        let (result, stats) = Solver::new(cnf)
+            .with_telemetry(telemetry.clone())
+            .solve_with_budget(Budget::new());
+        assert!(result.is_unsat());
+
+        // Sampled emission batches deltas, but the final flush makes the
+        // totals exact regardless of how many polls happened.
+        let report = RunReport::from_events(&sink.snapshot());
+        assert_eq!(report.counter("solver.conflicts"), stats.conflicts);
+        assert_eq!(report.counter("solver.propagations"), stats.propagations);
+        assert_eq!(report.counter("solver.decisions"), stats.decisions);
+        assert_eq!(report.counter("solver.restarts"), stats.restarts);
+        // Enabling telemetry turns the poll guard on even with no budget.
+        assert!(stats.cancel_polls > 0);
     }
 }

@@ -1,12 +1,18 @@
 use std::fmt;
 use std::time::Duration;
 
+use serde::{Deserialize, Serialize};
+
 /// Search statistics of one solver run.
 ///
 /// These numbers back the `Vars`, `Clauses` and `T[s]` columns of the
 /// paper's Table IV (the variable/clause counts come from the CNF itself,
 /// the runtime from [`SolverStats::solve_time`]).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+///
+/// The serde representation is part of the `--stats-json` / `RunReport`
+/// schema: field names are stable, and `Duration` fields serialize as
+/// `{"secs": u64, "nanos": u32}` (see the golden test below).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 #[non_exhaustive]
 pub struct SolverStats {
     /// Number of decisions taken.
@@ -80,12 +86,14 @@ mod tests {
 
     #[test]
     fn display_is_one_line_with_all_counters() {
-        let mut stats = SolverStats::default();
-        stats.conflicts = 7;
-        stats.cancel_polls = 3;
-        stats.proof_steps = 11;
-        stats.proof_literals = 42;
-        stats.proof_checked = true;
+        let stats = SolverStats {
+            conflicts: 7,
+            cancel_polls: 3,
+            proof_steps: 11,
+            proof_literals: 42,
+            proof_checked: true,
+            ..Default::default()
+        };
         let line = stats.to_string();
         assert!(!line.contains('\n'));
         for needle in [
@@ -99,5 +107,43 @@ mod tests {
         ] {
             assert!(line.contains(needle), "missing {needle:?} in {line:?}");
         }
+    }
+
+    /// Golden-JSON schema stability: tooling (CI lint, EXPERIMENTS recipes)
+    /// parses this exact shape. Changing a field name or the `Duration`
+    /// encoding is a schema break and must bump the report schema version.
+    #[test]
+    fn serde_schema_is_stable() {
+        let stats = SolverStats {
+            decisions: 1,
+            propagations: 2,
+            conflicts: 3,
+            restarts: 4,
+            learnt_clauses: 5,
+            deleted_clauses: 6,
+            minimized_literals: 7,
+            solve_time: Duration::new(1, 500_000_000),
+            cancel_polls: 8,
+            cancelled: true,
+            deadline_expired: false,
+            proof_steps: 9,
+            proof_literals: 10,
+            proof_check_time: Duration::new(0, 250),
+            proof_checked: true,
+        };
+
+        let json = serde_json::to_string(&stats).expect("stats serialize");
+        let golden = concat!(
+            "{\"decisions\":1,\"propagations\":2,\"conflicts\":3,\"restarts\":4,",
+            "\"learnt_clauses\":5,\"deleted_clauses\":6,\"minimized_literals\":7,",
+            "\"solve_time\":{\"secs\":1,\"nanos\":500000000},\"cancel_polls\":8,",
+            "\"cancelled\":true,\"deadline_expired\":false,\"proof_steps\":9,",
+            "\"proof_literals\":10,\"proof_check_time\":{\"secs\":0,\"nanos\":250},",
+            "\"proof_checked\":true}"
+        );
+        assert_eq!(json, golden);
+
+        let back: SolverStats = serde_json::from_str(&json).expect("stats parse");
+        assert_eq!(back, stats);
     }
 }

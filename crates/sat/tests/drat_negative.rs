@@ -14,6 +14,7 @@ use mm_sat::{Budget, CancellationToken, CnfFormula, DratProof, Lit, SatResult, S
 
 /// Pigeonhole `pigeons` into `holes` — UNSAT for pigeons > holes, with no
 /// unit clauses, so the empty clause is never RUP of the bare formula.
+#[allow(clippy::needless_range_loop)]
 fn pigeonhole(pigeons: usize, holes: usize) -> CnfFormula {
     let mut cnf = CnfFormula::new();
     let vars: Vec<Vec<Lit>> = (0..pigeons)

@@ -1,0 +1,117 @@
+//! Property-based checks of the telemetry wire format and aggregator: any
+//! sequence of span open/close, counter, and point operations must serialize
+//! to JSONL that parses back to the identical event stream, and the rebuilt
+//! [`RunReport`] must be consistent (same report from file and memory, counter
+//! totals exact, span counts exact, child time bounded by parent time).
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use mm_telemetry::{
+    kv, Event, JsonlSink, MemorySink, MultiSink, PhaseNode, RunReport, Span, Telemetry,
+    TelemetrySink, REPORT_SCHEMA_VERSION,
+};
+use proptest::prelude::*;
+
+const NAMES: [&str; 5] = ["synth", "encode", "solve", "decode", "certify"];
+
+/// Writer handing its bytes back to the test thread.
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().expect("buffer").extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn child_times_bounded(node: &PhaseNode) -> bool {
+    let child_sum: u64 = node.children.iter().map(|c| c.total_us).sum();
+    child_sum <= node.total_us && node.children.iter().all(child_times_bounded)
+}
+
+fn count_spans(nodes: &[PhaseNode]) -> u64 {
+    nodes
+        .iter()
+        .map(|n| n.count + count_spans(&n.children))
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn any_op_sequence_roundtrips_and_aggregates_consistently(
+        ops in prop::collection::vec((0u32..4, 0u64..1000, 0usize..NAMES.len()), 0..80)
+    ) {
+        let memory = Arc::new(MemorySink::new());
+        let buffer: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        let jsonl = Arc::new(JsonlSink::with_writer(Box::new(SharedBuf(buffer.clone()))));
+        let telemetry = Telemetry::new(Arc::new(MultiSink::new(vec![
+            memory.clone() as Arc<dyn TelemetrySink>,
+            jsonl as Arc<dyn TelemetrySink>,
+        ])));
+
+        let mut open: Vec<Span> = Vec::new();
+        let mut expected_opens = 0u64;
+        let mut expected_counters: std::collections::BTreeMap<&str, u64> =
+            std::collections::BTreeMap::new();
+
+        for &(op, delta, name_idx) in &ops {
+            let name = NAMES[name_idx];
+            match op {
+                0 => {
+                    open.push(telemetry.span(name));
+                    expected_opens += 1;
+                }
+                1 => {
+                    open.pop(); // drop closes the span
+                }
+                2 => {
+                    telemetry.counter(name, delta);
+                    if delta > 0 {
+                        *expected_counters.entry(name).or_default() += delta;
+                    }
+                }
+                _ => {
+                    telemetry.point("tick", vec![kv("i", delta)]);
+                }
+            }
+        }
+        drop(open);
+        telemetry.flush();
+
+        // 1. The JSONL stream parses back to the identical event multiset.
+        let text = String::from_utf8(buffer.lock().expect("buffer").clone()).expect("utf8");
+        let mut parsed: Vec<Event> = text
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(|l| serde_json::from_str(l).expect("every trace line parses"))
+            .collect();
+        parsed.sort_by_key(|e| e.seq);
+        let mut recorded = memory.snapshot();
+        recorded.sort_by_key(|e| e.seq);
+        prop_assert_eq!(&parsed, &recorded);
+
+        // 2. File-derived and memory-derived reports agree exactly.
+        let from_file = RunReport::from_jsonl(&text).expect("trace parses");
+        let from_memory = RunReport::from_events(&recorded);
+        prop_assert_eq!(&from_file, &from_memory);
+        prop_assert_eq!(from_file.schema_version, REPORT_SCHEMA_VERSION);
+
+        // 3. Counter totals are exact.
+        for (name, total) in &expected_counters {
+            prop_assert_eq!(from_memory.counter(name), *total);
+        }
+        prop_assert_eq!(from_memory.counters.len(), expected_counters.len());
+
+        // 4. Every opened span lands in the tree exactly once (drop or
+        //    end-of-trace closes it), and child time never exceeds parent time.
+        prop_assert_eq!(count_spans(&from_memory.phases), expected_opens);
+        prop_assert!(from_memory.phases.iter().all(child_times_bounded));
+    }
+}

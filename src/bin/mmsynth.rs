@@ -23,6 +23,14 @@
 //! `--proof`/`--proof-dir` additionally archive the accepted proofs as
 //! standard DRAT text for cross-checking with external tools (`drat-trim`).
 //!
+//! Every subcommand also accepts the telemetry flags: `--trace-out F.jsonl`
+//! streams the raw span/counter/point event stream as JSON lines,
+//! `--report-json F` aggregates it into a versioned per-phase timing report
+//! ([`RunReport`]), and `--progress` renders point events to stderr as a
+//! live ticker. `synth` and `minimize` additionally accept `--stats-json
+//! [FILE]` for a machine-readable summary (solver statistics, per-rung
+//! call records) on stdout or in FILE.
+//!
 //! `faultsim` synthesizes a circuit, places its schedule on a physical
 //! array, and runs a fault-injection campaign against it; `--repair` closes
 //! the loop, avoiding the implicated cells and resynthesizing.
@@ -36,11 +44,13 @@
 //! separated truth-table bitstrings (`--function 0110,1000` = two outputs).
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 use memristive_mm::boolfn::{generators, MultiOutputFn, TruthTable};
-use memristive_mm::circuit::campaign::{run_campaign, CampaignConfig, CampaignReport};
+use memristive_mm::circuit::campaign::{run_campaign_traced, CampaignConfig, CampaignReport};
 use memristive_mm::circuit::{FaultPlan, Schedule};
 use memristive_mm::device::{DeviceState, ElectricalParams, LineArray};
 use memristive_mm::sat::{Budget, Deadline};
@@ -48,6 +58,10 @@ use memristive_mm::synth::optimize::parallel;
 use memristive_mm::synth::repair::{synthesize_with_repair, RepairConfig, RepairStatus};
 use memristive_mm::synth::universality::{census, CensusConfig};
 use memristive_mm::synth::{heuristic, EncodeOptions, SynthResult, SynthSpec, Synthesizer};
+use memristive_mm::telemetry::{
+    JsonlSink, MemorySink, MultiSink, ProgressSink, RunReport, Telemetry, TelemetrySink,
+};
+use serde::{Serialize, Value};
 
 /// Exit code for inconclusive answers: a budget/deadline expired before the
 /// search finished, or a repair loop gave up. Distinct from 1 (errors) so
@@ -178,7 +192,80 @@ fn budget_from(args: &Args) -> Result<Option<Budget>, String> {
     Ok(budget)
 }
 
+/// Telemetry wiring shared by every subcommand: `--trace-out FILE` streams
+/// raw JSONL events, `--report-json FILE` aggregates them into a versioned
+/// [`RunReport`], `--progress` renders point events to stderr as a ticker.
+struct TelemetrySetup {
+    telemetry: Telemetry,
+    memory: Option<Arc<MemorySink>>,
+    report_path: Option<String>,
+}
+
+fn telemetry_from(args: &Args, command: &str) -> Result<TelemetrySetup, String> {
+    let report_path = args.get("report-json").map(str::to_string);
+    let mut sinks: Vec<Arc<dyn TelemetrySink>> = Vec::new();
+    let mut memory = None;
+    if let Some(path) = args.get("trace-out") {
+        let sink =
+            JsonlSink::create(Path::new(path)).map_err(|e| format!("creating {path}: {e}"))?;
+        sinks.push(Arc::new(sink));
+    }
+    if report_path.is_some() {
+        let m = Arc::new(MemorySink::new());
+        memory = Some(m.clone());
+        sinks.push(m);
+    }
+    if args.has("progress") {
+        sinks.push(Arc::new(ProgressSink::stderr()));
+    }
+    let telemetry = match sinks.len() {
+        0 => Telemetry::disabled(),
+        1 => Telemetry::new(sinks.pop().expect("length checked")),
+        _ => Telemetry::new(Arc::new(MultiSink::new(sinks))),
+    };
+    telemetry.meta_event(command);
+    Ok(TelemetrySetup {
+        telemetry,
+        memory,
+        report_path,
+    })
+}
+
+impl TelemetrySetup {
+    /// Flushes sinks and writes the aggregated run report, if requested.
+    fn finish(&self) -> Result<(), String> {
+        self.telemetry.flush();
+        if let (Some(path), Some(memory)) = (&self.report_path, &self.memory) {
+            let report = RunReport::from_events(&memory.snapshot());
+            let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+            std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("run report written to {path}");
+        }
+        Ok(())
+    }
+}
+
+/// `--stats-json` with no value prints to stdout; with a value, writes to
+/// that path.
+fn write_stats_json(dest: &str, value: &Value) -> Result<(), String> {
+    let json = serde_json::to_string_pretty(value).map_err(|e| e.to_string())?;
+    if dest == "true" {
+        println!("{json}");
+    } else {
+        std::fs::write(dest, json).map_err(|e| format!("writing {dest}: {e}"))?;
+        eprintln!("stats written to {dest}");
+    }
+    Ok(())
+}
+
 fn run(command: &str, args: &Args) -> Result<ExitCode, String> {
+    let tel = telemetry_from(args, command)?;
+    let result = dispatch(command, args, &tel);
+    tel.finish()?;
+    result
+}
+
+fn dispatch(command: &str, args: &Args, tel: &TelemetrySetup) -> Result<ExitCode, String> {
     match command {
         "list" => {
             println!("named functions:");
@@ -239,7 +326,8 @@ fn run(command: &str, args: &Args) -> Result<ExitCode, String> {
             }
             let synth = Synthesizer::new()
                 .with_budget(budget)
-                .with_certification(args.has("certify"));
+                .with_certification(args.has("certify"))
+                .with_telemetry(tel.telemetry.clone());
             if args.has("dimacs") {
                 print!("{}", synth.export_dimacs(&spec).map_err(|e| e.to_string())?);
                 return Ok(ExitCode::SUCCESS);
@@ -249,6 +337,29 @@ fn run(command: &str, args: &Args) -> Result<ExitCode, String> {
                 "{} vars, {} clauses, {}",
                 outcome.encode_stats.n_vars, outcome.encode_stats.n_clauses, outcome.solver_stats
             );
+            if let Some(dest) = args.get("stats-json") {
+                let result = match &outcome.result {
+                    SynthResult::Realizable(_) => "realizable",
+                    SynthResult::Unrealizable => "unrealizable",
+                    SynthResult::Unknown => "unknown",
+                };
+                let stats = Value::Object(vec![
+                    ("schema_version".into(), Value::UInt(1)),
+                    ("command".into(), Value::Str("synth".into())),
+                    ("function".into(), Value::Str(f.name().to_string())),
+                    ("result".into(), Value::Str(result.into())),
+                    (
+                        "n_vars".into(),
+                        Value::UInt(outcome.encode_stats.n_vars as u64),
+                    ),
+                    (
+                        "n_clauses".into(),
+                        Value::UInt(outcome.encode_stats.n_clauses as u64),
+                    ),
+                    ("solver_stats".into(), outcome.solver_stats.to_value()),
+                ]);
+                write_stats_json(dest, &stats)?;
+            }
             if let Some(cert) = &outcome.certificate {
                 eprintln!(
                     "certificate: {} proof steps, {} core, checked in {:.3}s",
@@ -296,7 +407,9 @@ fn run(command: &str, args: &Args) -> Result<ExitCode, String> {
             let f = parse_function(args.get("function").ok_or("--function required")?)?;
             let jobs = args.get_usize("jobs", parallel::default_jobs()).max(1);
             let options = EncodeOptions::recommended();
-            let mut synth = Synthesizer::new().with_certification(args.has("certify"));
+            let mut synth = Synthesizer::new()
+                .with_certification(args.has("certify"))
+                .with_telemetry(tel.telemetry.clone());
             // A conflict (not wall-clock) limit keeps the portfolio result
             // deterministic across --jobs settings; a --deadline bounds
             // wall-clock time and degrades gracefully. Unlimited by default.
@@ -365,6 +478,26 @@ fn run(command: &str, args: &Args) -> Result<ExitCode, String> {
             {
                 eprintln!("degraded: {reason}; the result below is the best known");
             }
+            if let Some(dest) = args.get("stats-json") {
+                let stats = Value::Object(vec![
+                    ("schema_version".into(), Value::UInt(1)),
+                    ("command".into(), Value::Str("minimize".into())),
+                    ("function".into(), Value::Str(f.name().to_string())),
+                    ("proven_optimal".into(), Value::Bool(report.proven_optimal)),
+                    ("degraded".into(), Value::Bool(degraded)),
+                    ("n_calls".into(), Value::UInt(report.calls.len() as u64)),
+                    ("certified_unsat".into(), Value::UInt(certified as u64)),
+                    (
+                        "total_solver_time_us".into(),
+                        Value::UInt(report.total_time().as_micros() as u64),
+                    ),
+                    (
+                        "calls".into(),
+                        Value::Array(report.calls.iter().map(Serialize::to_value).collect()),
+                    ),
+                ]);
+                write_stats_json(dest, &stats)?;
+            }
             match report.best {
                 Some(circuit) => {
                     emit_circuit(&circuit, args)?;
@@ -407,6 +540,7 @@ fn run(command: &str, args: &Args) -> Result<ExitCode, String> {
             let seed = args.get_usize("seed", 42) as u64;
             let mut array = LineArray::bfo(schedule.n_cells(), ElectricalParams::bfo(), seed);
             let out = schedule.execute(x, &mut array);
+            array.trace().emit_telemetry(&tel.telemetry);
             if args.has("trace") {
                 print!("{}", array.trace().to_table());
             }
@@ -414,7 +548,7 @@ fn run(command: &str, args: &Args) -> Result<ExitCode, String> {
             println!("{}({input}) = {bits}", f.name());
             Ok(ExitCode::SUCCESS)
         }
-        "faultsim" => faultsim(args),
+        "faultsim" => faultsim(args, tel),
         _ => {
             println!(
                 "usage: mmsynth <synth|minimize|faultsim|map|run|census|list> [--function NAME|BITS,...]\n\
@@ -438,6 +572,10 @@ fn run(command: &str, args: &Args) -> Result<ExitCode, String> {
                  \x20      --certify checks every UNSAT answer against its DRAT proof\n\
                  \x20      before any optimality claim; --proof/--proof-dir archive the\n\
                  \x20      accepted proofs as DRAT text\n\
+                 \x20      telemetry (all subcommands): --trace-out FILE.jsonl streams\n\
+                 \x20      raw events, --report-json FILE writes the aggregated phase\n\
+                 \x20      timing report, --progress renders a stderr ticker;\n\
+                 \x20      synth/minimize also take --stats-json [FILE]\n\
                  \x20      exit codes: 0 ok, 1 error, 2 inconclusive (budget/deadline\n\
                  \x20      expired or repair gave up; best-known result still printed)"
             );
@@ -447,7 +585,7 @@ fn run(command: &str, args: &Args) -> Result<ExitCode, String> {
 }
 
 /// `mmsynth faultsim`: synthesize, place, inject faults, optionally repair.
-fn faultsim(args: &Args) -> Result<ExitCode, String> {
+fn faultsim(args: &Args, tel: &TelemetrySetup) -> Result<ExitCode, String> {
     let f = parse_function(args.get("function").ok_or("--function required")?)?;
     let rops = args.get_usize("rops", 1);
     let legs = args.get_usize(
@@ -504,7 +642,9 @@ fn faultsim(args: &Args) -> Result<ExitCode, String> {
     campaign.trials = args.get_usize("trials", campaign.trials as usize) as u32;
     campaign.seed = args.get_usize("seed", campaign.seed as usize) as u64;
 
-    let synth = Synthesizer::new().with_certification(args.has("certify"));
+    let synth = Synthesizer::new()
+        .with_certification(args.has("certify"))
+        .with_telemetry(tel.telemetry.clone());
 
     if args.has("repair") {
         let array_size = args.get_usize("array-size", 16);
@@ -556,7 +696,8 @@ fn faultsim(args: &Args) -> Result<ExitCode, String> {
         let placed = schedule
             .place_avoiding(array_size, &[])
             .map_err(|e| e.to_string())?;
-        let report = run_campaign(&placed, &plans, &campaign).map_err(|e| e.to_string())?;
+        let report = run_campaign_traced(&placed, &plans, &campaign, &tel.telemetry)
+            .map_err(|e| e.to_string())?;
         for plan in &report.plans {
             eprintln!(
                 "plan {:?}: {}/{} executions failed (error rate {:.3}; \

@@ -13,6 +13,9 @@
 //! * [`synth`] — the paper's core contribution: SAT-based optimal synthesis
 //!   of mixed-mode circuits, the universality census, and the heuristic
 //!   mapper.
+//! * [`telemetry`] — structured tracing: spans, counters and point events
+//!   from every layer above, JSONL sinks, and the [`telemetry::RunReport`]
+//!   per-phase timing aggregator.
 //!
 //! # Quickstart
 //!
@@ -36,6 +39,7 @@ pub use mm_circuit as circuit;
 pub use mm_device as device;
 pub use mm_sat as sat;
 pub use mm_synth as synth;
+pub use mm_telemetry as telemetry;
 
 /// Convenient glob-import surface for examples and downstream experiments.
 pub mod prelude {

@@ -91,6 +91,102 @@ fn conflict_capped_adder2_is_thread_count_invariant() {
 }
 
 #[test]
+fn telemetry_report_is_thread_count_invariant() {
+    // Aggregate telemetry — the winning rung, the largest UNSAT rung, the
+    // phase-name tree — must be identical for every jobs value, even though
+    // the raw event stream (ordering, cancelled rungs, counter totals) is
+    // schedule-dependent. Within one run, the rung events must agree with
+    // the returned call records exactly.
+    use std::sync::Arc;
+
+    use memristive_mm::synth::optimize::SynthResultKind;
+    use memristive_mm::telemetry::{MemorySink, RunReport, Telemetry};
+
+    /// Phase names of the tree, flattened depth-first (counts and times are
+    /// schedule-dependent; the shape is not).
+    fn phase_names(nodes: &[memristive_mm::telemetry::PhaseNode], out: &mut Vec<String>) {
+        for n in nodes {
+            out.push(n.name.clone());
+            phase_names(&n.children, out);
+        }
+    }
+
+    let f = generators::xor_gate(2);
+    let opts = EncodeOptions::recommended();
+    let mut invariants = Vec::new();
+    for jobs in job_counts() {
+        let sink = Arc::new(MemorySink::new());
+        let synth = Synthesizer::new().with_telemetry(Telemetry::new(sink.clone()));
+        let report =
+            parallel::minimize_r_only(&synth, &f, 5, &opts, jobs).expect("xor specs encode");
+        let run = RunReport::from_events(&sink.snapshot());
+
+        // Per-run consistency: every completed solver call appears as
+        // exactly one rung event with the same budget and outcome.
+        let mut from_calls: Vec<(u64, &str)> = report
+            .calls
+            .iter()
+            .map(|c| {
+                let outcome = match c.result {
+                    SynthResultKind::Realizable => "sat",
+                    SynthResultKind::Unrealizable => "unsat",
+                    SynthResultKind::Unknown => "unknown",
+                };
+                (c.n_rops as u64, outcome)
+            })
+            .collect();
+        let mut from_rungs: Vec<(u64, &str)> = run
+            .rungs
+            .iter()
+            .filter(|r| r.outcome != "skipped")
+            .map(|r| (r.n_rops, r.outcome.as_str()))
+            .collect();
+        from_calls.sort_unstable();
+        from_rungs.sort_unstable();
+        assert_eq!(
+            from_calls, from_rungs,
+            "jobs={jobs}: rung events and call records disagree"
+        );
+
+        // The verdict the rung events roll up to matches the returned
+        // report: cheapest SAT rung = the optimum, largest UNSAT = its
+        // optimality proof.
+        let winner = run
+            .rungs
+            .iter()
+            .filter(|r| r.outcome == "sat")
+            .map(|r| r.n_rops)
+            .min();
+        assert_eq!(
+            winner,
+            report.best.as_ref().map(|c| c.metrics().n_rops as u64),
+            "jobs={jobs}: winning rung disagrees with the returned circuit"
+        );
+        let max_unsat = run
+            .rungs
+            .iter()
+            .filter(|r| r.outcome == "unsat")
+            .map(|r| r.n_rops)
+            .max();
+        assert_eq!(max_unsat, Some(2), "jobs={jobs}: XOR2 is UNSAT at N_R ≤ 2");
+        assert!(report.proven_optimal, "jobs={jobs}");
+
+        let mut phases = Vec::new();
+        phase_names(&run.phases, &mut phases);
+        invariants.push((jobs, winner, max_unsat, phases));
+    }
+    for pair in invariants.windows(2) {
+        let (ja, wa, ua, pa) = &pair[0];
+        let (jb, wb, ub, pb) = &pair[1];
+        assert_eq!(
+            (wa, ua, pa),
+            (wb, ub, pb),
+            "jobs={ja} vs jobs={jb}: telemetry aggregates differ"
+        );
+    }
+}
+
+#[test]
 fn xor2_r_only_is_thread_count_invariant() {
     // XOR2 needs exactly 3 MAGIC NOR gates; the proof (UNSAT at 1 and 2)
     // must survive any scheduling of the portfolio.

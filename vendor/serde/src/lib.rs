@@ -279,6 +279,29 @@ macro_rules! impl_tuple {
 }
 impl_tuple!((0 A) (0 A, 1 B) (0 A, 1 B, 2 C) (0 A, 1 B, 2 C, 3 D));
 
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("secs".to_string(), Value::UInt(self.as_secs())),
+            (
+                "nanos".to_string(),
+                Value::UInt(u64::from(self.subsec_nanos())),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let secs: u64 = de_field(v, "secs")?;
+        let nanos: u32 = de_field(v, "nanos")?;
+        if nanos >= 1_000_000_000 {
+            return Err(Error::msg("duration nanos out of range"));
+        }
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
 impl Serialize for Value {
     fn to_value(&self) -> Value {
         self.clone()

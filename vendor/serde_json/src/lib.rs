@@ -409,7 +409,7 @@ mod tests {
 
     #[test]
     fn float_formatting_round_trips() {
-        for x in [0.1f64, 1.0, -2.5, 1e-9, 3.141592653589793] {
+        for x in [0.1f64, 1.0, -2.5, 1e-9, std::f64::consts::PI] {
             let json = to_string(&x).unwrap();
             let back: f64 = from_str(&json).unwrap();
             assert_eq!(x, back, "{json}");
