@@ -10,13 +10,15 @@
 
 pub mod parallel;
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use mm_boolfn::MultiOutputFn;
 use mm_circuit::MmCircuit;
-use mm_sat::DratProof;
+use mm_sat::{Budget, ClauseBus, DratProof, Solver};
 
-use crate::{EncodeOptions, SynthError, SynthResult, SynthSpec, Synthesizer};
+use crate::encoder::{self, SharedBase};
+use crate::{EncodeOptions, SynthError, SynthOutcome, SynthResult, SynthSpec, Synthesizer};
 
 /// One synthesis call made during a minimization run.
 ///
@@ -160,6 +162,83 @@ fn seed_upper_bound(f: &MultiOutputFn) -> Option<MmCircuit> {
     crate::heuristic::map(f).ok()
 }
 
+/// The solving engine for one ladder: either the classic cold path (a fresh
+/// encode + solver per rung) or a warm path holding one long-lived solver
+/// over a [`SharedBase`], activating rungs via assumptions.
+///
+/// Warm engines keep their learned clauses across rungs; attaching a
+/// [`ClauseBus`] additionally shares strong learned clauses between the
+/// engines of a parallel portfolio. The engine choice never changes
+/// verdicts — see the equisatisfiability argument on [`SharedBase`] and
+/// `tests/incremental_differential.rs`.
+pub(crate) enum RungEngine<'a> {
+    /// Cold per-rung solving via [`Synthesizer::run`].
+    Cold(&'a Synthesizer),
+    /// One long-lived solver descending the ladder on a shared base.
+    /// Boxed: a `Solver` is hundreds of bytes of watch/heap state, far
+    /// larger than the `Cold` variant.
+    Warm {
+        synth: &'a Synthesizer,
+        base: Arc<SharedBase>,
+        solver: Box<Solver>,
+    },
+}
+
+impl<'a> RungEngine<'a> {
+    /// The engine a serial ladder topped by `top` should use: warm when the
+    /// synthesizer [asks for it](Synthesizer::with_incremental) and the spec
+    /// is expressible in a shared base, cold otherwise.
+    fn for_ladder(synth: &'a Synthesizer, top: &SynthSpec) -> Result<Self, SynthError> {
+        if synth.incremental_for(top) {
+            let _encode_span = synth.telemetry().span("encode");
+            let base = Arc::new(encoder::encode_shared_base(top)?);
+            Ok(Self::warm(synth, base, None))
+        } else {
+            Ok(Self::Cold(synth))
+        }
+    }
+
+    /// A warm engine over an already-encoded base, optionally wired to a
+    /// portfolio clause bus.
+    fn warm(synth: &'a Synthesizer, base: Arc<SharedBase>, bus: Option<&ClauseBus>) -> Self {
+        let mut solver = Solver::new(base.cnf.clone()).with_telemetry(synth.telemetry().clone());
+        if let Some(bus) = bus {
+            solver = solver.with_clause_bus(bus.clone());
+        }
+        Self::Warm {
+            synth,
+            base,
+            solver: Box::new(solver),
+        }
+    }
+
+    /// Solves one rung under the synthesizer's configured budget.
+    fn run(&mut self, spec: &SynthSpec) -> Result<SynthOutcome, SynthError> {
+        let budget = match self {
+            Self::Cold(synth) => synth.budget(),
+            Self::Warm { synth, .. } => synth.budget(),
+        };
+        self.run_with_budget(spec, budget)
+    }
+
+    /// Solves one rung under an explicit per-call budget (the parallel
+    /// portfolio threads its cancellation token through here).
+    fn run_with_budget(
+        &mut self,
+        spec: &SynthSpec,
+        budget: Budget,
+    ) -> Result<SynthOutcome, SynthError> {
+        match self {
+            Self::Cold(synth) => synth.clone().with_budget(budget).run(spec),
+            Self::Warm {
+                synth,
+                base,
+                solver,
+            } => synth.run_on_base(solver, base, spec, budget),
+        }
+    }
+}
+
 fn record(outcome: &crate::SynthOutcome, spec: &SynthSpec) -> CallRecord {
     CallRecord {
         n_rops: spec.n_rops(),
@@ -199,6 +278,22 @@ pub fn minimize_vsteps(
     max_vsteps: usize,
     options: &EncodeOptions,
 ) -> Result<OptimizeReport, SynthError> {
+    let top = SynthSpec::mixed_mode(f, n_rops, n_legs, max_vsteps)?.with_options(options.clone());
+    let mut engine = RungEngine::for_ladder(synth, &top)?;
+    minimize_vsteps_on(&mut engine, f, n_rops, n_legs, max_vsteps, options)
+}
+
+/// [`minimize_vsteps`] on a caller-supplied engine, so an enclosing ladder
+/// (e.g. [`minimize_mixed_mode`]'s outer loop) can keep one warm solver —
+/// and its learned clauses — across both phases.
+fn minimize_vsteps_on(
+    engine: &mut RungEngine<'_>,
+    f: &MultiOutputFn,
+    n_rops: usize,
+    n_legs: usize,
+    max_vsteps: usize,
+    options: &EncodeOptions,
+) -> Result<OptimizeReport, SynthError> {
     let mut calls = Vec::new();
     let mut best: Option<MmCircuit> = None;
     let mut proven = false;
@@ -206,7 +301,7 @@ pub fn minimize_vsteps(
     let mut vsteps = max_vsteps;
     while vsteps >= 1 {
         let spec = SynthSpec::mixed_mode(f, n_rops, n_legs, vsteps)?.with_options(options.clone());
-        let outcome = synth.run(&spec)?;
+        let outcome = engine.run(&spec)?;
         calls.push(record(&outcome, &spec));
         match outcome.result {
             SynthResult::Realizable(c) => {
@@ -267,15 +362,24 @@ pub fn minimize_mixed_mode(
     options: &EncodeOptions,
 ) -> Result<OptimizeReport, SynthError> {
     let mut calls = Vec::new();
+    // The outer ladder's top rung: maximal R-ops and (by the monotone leg
+    // convention) maximal legs, so every outer probe is a sub-budget of it.
+    let top_legs = SynthSpec::paper_legs(f, max_rops, is_adder);
+    let top =
+        SynthSpec::mixed_mode(f, max_rops, top_legs, max_vsteps)?.with_options(options.clone());
+    let mut engine = RungEngine::for_ladder(synth, &top)?;
     for n_rops in 0..=max_rops {
         let n_legs = SynthSpec::paper_legs(f, n_rops, is_adder);
         let spec =
             SynthSpec::mixed_mode(f, n_rops, n_legs, max_vsteps)?.with_options(options.clone());
-        let outcome = synth.run(&spec)?;
+        let outcome = engine.run(&spec)?;
         calls.push(record(&outcome, &spec));
         if let SynthResult::Realizable(c) = outcome.result {
-            // Feasible at this N_R: shrink the V-step budget.
-            let mut inner = minimize_vsteps(synth, f, n_rops, n_legs, max_vsteps, options)?;
+            // Feasible at this N_R: shrink the V-step budget on the same
+            // engine, so a warm solver carries its outer-ladder clauses
+            // into the inner descent.
+            let mut inner =
+                minimize_vsteps_on(&mut engine, f, n_rops, n_legs, max_vsteps, options)?;
             calls.append(&mut inner.calls);
             // Outer-loop Unknowns below the found N_R also degrade the run.
             let status = match (
@@ -343,9 +447,15 @@ pub fn minimize_r_only(
 ) -> Result<OptimizeReport, SynthError> {
     let mut calls = Vec::new();
     let mut unknown_below = false;
+    let mut engine = if max_rops >= 1 {
+        let top = SynthSpec::r_only(f, max_rops)?.with_options(options.clone());
+        RungEngine::for_ladder(synth, &top)?
+    } else {
+        RungEngine::Cold(synth)
+    };
     for n_rops in 1..=max_rops {
         let spec = SynthSpec::r_only(f, n_rops)?.with_options(options.clone());
-        let outcome = synth.run(&spec)?;
+        let outcome = engine.run(&spec)?;
         calls.push(record(&outcome, &spec));
         match outcome.result {
             SynthResult::Realizable(c) => {
@@ -497,6 +607,119 @@ mod tests {
         let back: CallRecord = serde_json::from_str(&json).expect("record parse");
         assert_eq!(serde_json::to_string(&back).expect("reserialize"), json);
         assert!(back.proof.expect("proof survives").is_concluded());
+    }
+
+    #[test]
+    fn incremental_vsteps_ladder_agrees_with_cold() {
+        let f = generators::and_gate(2);
+        let opts = EncodeOptions::recommended();
+        let cold = minimize_vsteps(&Synthesizer::new(), &f, 0, 1, 4, &opts).unwrap();
+        let warm = minimize_vsteps(
+            &Synthesizer::new().with_incremental(true),
+            &f,
+            0,
+            1,
+            4,
+            &opts,
+        )
+        .unwrap();
+        assert_eq!(cold.proven_optimal, warm.proven_optimal);
+        assert_eq!(
+            cold.best.as_ref().map(|c| c.metrics().n_vsteps),
+            warm.best.as_ref().map(|c| c.metrics().n_vsteps),
+        );
+        assert!(warm.best.expect("AND2 is V-realizable").implements(&f));
+        // The warm ladder re-encodes nothing: every rung reports the same
+        // shared-base CNF size, strictly larger than any cold rung's.
+        let base_vars = warm.calls[0].n_vars;
+        assert!(warm.calls.iter().all(|c| c.n_vars == base_vars));
+        assert!(cold.calls.iter().all(|c| c.n_vars < base_vars));
+    }
+
+    #[test]
+    fn incremental_r_only_ladder_agrees_with_cold() {
+        let f = generators::xor_gate(2);
+        let opts = EncodeOptions::recommended();
+        let cold = minimize_r_only(&Synthesizer::new(), &f, 5, &opts).unwrap();
+        let warm =
+            minimize_r_only(&Synthesizer::new().with_incremental(true), &f, 5, &opts).unwrap();
+        assert_eq!(cold.proven_optimal, warm.proven_optimal);
+        assert!(warm.proven_optimal);
+        assert_eq!(
+            warm.best.expect("XOR2 from NORs").metrics().n_rops,
+            3,
+            "incremental engine must find the same optimum (Table IV)"
+        );
+    }
+
+    #[test]
+    fn incremental_mixed_mode_agrees_with_cold() {
+        let f = generators::xor_gate(2);
+        let opts = EncodeOptions::recommended();
+        let cold = minimize_mixed_mode(&Synthesizer::new(), &f, 3, 3, false, &opts).unwrap();
+        let warm = minimize_mixed_mode(
+            &Synthesizer::new().with_incremental(true),
+            &f,
+            3,
+            3,
+            false,
+            &opts,
+        )
+        .unwrap();
+        assert_eq!(cold.proven_optimal, warm.proven_optimal);
+        let (c, w) = (
+            cold.best.expect("XOR2 is MM-realizable"),
+            warm.best.expect("XOR2 is MM-realizable"),
+        );
+        assert!(w.implements(&f));
+        assert_eq!(c.metrics().n_rops, w.metrics().n_rops);
+        assert_eq!(c.metrics().n_vsteps, w.metrics().n_vsteps);
+    }
+
+    #[test]
+    fn certification_forces_the_cold_engine() {
+        // --certify --incremental must fall back to per-rung cold solves
+        // with a checkable DRAT proof on every UNSAT rung.
+        let f = generators::xor_gate(2);
+        let opts = EncodeOptions::recommended();
+        let synth = Synthesizer::new()
+            .with_incremental(true)
+            .with_certification(true);
+        assert!(!synth.incremental_for(&SynthSpec::r_only(&f, 3).unwrap()));
+        let report = minimize_r_only(&synth, &f, 4, &opts).unwrap();
+        assert_eq!(report.best.expect("XOR2 from NORs").metrics().n_rops, 3);
+        assert!(report.proven_optimal);
+        let unsat: Vec<_> = report
+            .calls
+            .iter()
+            .filter(|c| c.result == SynthResultKind::Unrealizable)
+            .collect();
+        assert_eq!(unsat.len(), 2, "N_R = 1, 2 are UNSAT");
+        for call in unsat {
+            assert!(call.certified, "uncertified UNSAT at N_R = {}", call.n_rops);
+            let proof = call.proof.as_ref().expect("certified call keeps its proof");
+            assert!(proof.is_concluded());
+        }
+    }
+
+    #[test]
+    fn incompatible_constraints_force_the_cold_engine() {
+        use mm_boolfn::Literal;
+        let f = generators::and_gate(2);
+        let synth = Synthesizer::new().with_incremental(true);
+        let avoidance = SynthSpec::mixed_mode(&f, 1, 2, 2)
+            .unwrap()
+            .with_cell_avoidance(8, vec![0]);
+        assert!(!synth.incremental_for(&avoidance));
+        let forced = SynthSpec::mixed_mode(&f, 0, 1, 2)
+            .unwrap()
+            .with_options(EncodeOptions {
+                forced_te: vec![(0, 0, Literal::Pos(2))],
+                ..EncodeOptions::default()
+            });
+        assert!(!synth.incremental_for(&forced));
+        let plain = SynthSpec::mixed_mode(&f, 0, 1, 2).unwrap();
+        assert!(synth.incremental_for(&plain));
     }
 
     #[test]

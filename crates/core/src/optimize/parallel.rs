@@ -54,15 +54,26 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use mm_boolfn::MultiOutputFn;
 use mm_circuit::MmCircuit;
-use mm_sat::CancellationToken;
+use mm_sat::{CancellationToken, ClauseBus};
 use mm_telemetry::{kv, AttrValue};
 
-use super::{record, seed_upper_bound, CallRecord, DegradeReason, OptimizeReport, OptimizeStatus};
+use super::{
+    record, seed_upper_bound, CallRecord, DegradeReason, OptimizeReport, OptimizeStatus, RungEngine,
+};
+use crate::encoder::{self, SharedBase};
 use crate::{EncodeOptions, SynthError, SynthResult, SynthSpec, Synthesizer};
+
+/// LBD threshold for clauses exported to the portfolio bus: only "glue"
+/// clauses (≤ 4 distinct decision levels) are worth the import traffic.
+const SHARE_MAX_LBD: u32 = 4;
+
+/// The shared state of a warm (incremental) portfolio: one base encoding
+/// every worker's solver loads, and the bus their learned clauses travel on.
+type WarmContext = (Arc<SharedBase>, ClauseBus);
 
 /// A sensible default worker count: the machine's available parallelism.
 pub fn default_jobs() -> usize {
@@ -109,13 +120,50 @@ struct LadderOutcome {
 
 /// Solves an ascending budget ladder (`specs[i]` strictly weaker than
 /// `specs[i + 1]`) with `jobs` workers and lattice-driven cancellation.
+/// The warm context a ladder topped by `top` should run under: a shared
+/// base encoding with disable guards plus a fresh clause bus, or `None`
+/// when the cold engine applies.
+fn warm_context_for(
+    synth: &Synthesizer,
+    top: Option<&SynthSpec>,
+) -> Result<Option<WarmContext>, SynthError> {
+    match top {
+        Some(top) if synth.incremental_for(top) => {
+            let _encode_span = synth.telemetry().span("encode");
+            Ok(Some((
+                Arc::new(encoder::encode_shared_base(top)?),
+                ClauseBus::new(SHARE_MAX_LBD),
+            )))
+        }
+        _ => Ok(None),
+    }
+}
+
 fn run_ladder(
     synth: &Synthesizer,
     specs: &[SynthSpec],
     jobs: usize,
 ) -> Result<LadderOutcome, SynthError> {
+    // Incremental engine: encode the top rung once with disable guards; the
+    // ladder is ascending, so every point is a sub-budget of the last spec.
+    let warm_ctx = warm_context_for(synth, specs.last())?;
+    run_ladder_with(synth, specs, jobs, warm_ctx.as_ref())
+}
+
+/// [`run_ladder`] under a caller-supplied warm context, so a two-phase run
+/// ([`minimize_mixed_mode`]) can share one base and one clause bus across
+/// phases: phase-2 workers then import the strong clauses phase 1 learned.
+fn run_ladder_with(
+    synth: &Synthesizer,
+    specs: &[SynthSpec],
+    jobs: usize,
+    warm_ctx: Option<&WarmContext>,
+) -> Result<LadderOutcome, SynthError> {
     let n = specs.len();
     let jobs = jobs.max(1).min(n.max(1));
+    // Bus totals are cumulative and the bus may be shared across phases;
+    // snapshot so this ladder reports only its own traffic.
+    let bus_before = warm_ctx.map(|(_, bus)| (bus.exported(), bus.imported()));
     let tokens: Vec<CancellationToken> = (0..n).map(|_| CancellationToken::new()).collect();
     let outcomes: Mutex<Vec<Option<PointOutcome>>> = Mutex::new((0..n).map(|_| None).collect());
     let calls: Mutex<Vec<CallRecord>> = Mutex::new(Vec::new());
@@ -132,6 +180,7 @@ fn run_ladder(
                 worker(
                     synth,
                     specs,
+                    warm_ctx,
                     tokens,
                     cursor,
                     outcomes,
@@ -203,6 +252,7 @@ fn run_ladder(
             kv("points", n),
             kv("proven", proven && degrade.is_none()),
             kv("degraded", degrade.is_some()),
+            kv("incremental", warm_ctx.is_some()),
             kv(
                 "reason",
                 degrade
@@ -212,6 +262,14 @@ fn run_ladder(
             ),
         ],
     );
+    if let (Some((_, bus)), Some((exp0, imp0))) = (warm_ctx, bus_before) {
+        synth
+            .telemetry()
+            .counter("ladder.clauses_exported", bus.exported() - exp0);
+        synth
+            .telemetry()
+            .counter("ladder.clauses_imported", bus.imported() - imp0);
+    }
     Ok(LadderOutcome {
         best,
         proven: proven && degrade.is_none(),
@@ -236,6 +294,7 @@ fn rung_attrs(idx: usize, spec: &SynthSpec, worker_idx: usize) -> Vec<(String, A
 fn worker(
     synth: &Synthesizer,
     specs: &[SynthSpec],
+    warm_ctx: Option<&WarmContext>,
     tokens: &[CancellationToken],
     cursor: &AtomicUsize,
     outcomes: &Mutex<Vec<Option<PointOutcome>>>,
@@ -244,6 +303,14 @@ fn worker(
     worker_idx: usize,
 ) {
     let telemetry = synth.telemetry().clone();
+    // Each worker owns one engine for its whole ladder share: warm workers
+    // keep a long-lived solver (learned clauses persist across rungs) wired
+    // to the portfolio bus, cold workers re-encode per rung as before.
+    let make_engine = || match warm_ctx {
+        Some((base, bus)) => RungEngine::warm(synth, base.clone(), Some(bus)),
+        None => RungEngine::Cold(synth),
+    };
+    let mut engine = make_engine();
     loop {
         let idx = cursor.fetch_add(1, Ordering::Relaxed);
         if idx >= specs.len() {
@@ -279,8 +346,9 @@ fn worker(
         }
         telemetry.point("rung.spawned", rung_attrs(idx, &specs[idx], worker_idx));
         let budget = synth.budget().with_cancellation(tokens[idx].clone());
-        let point_synth = synth.clone().with_budget(budget);
-        let run = catch_unwind(AssertUnwindSafe(|| point_synth.run(&specs[idx])));
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            engine.run_with_budget(&specs[idx], budget)
+        }));
         match run {
             Err(payload) => {
                 let message = payload
@@ -290,6 +358,9 @@ fn worker(
                     .unwrap_or_else(|| "non-string panic payload".to_string());
                 telemetry.point("rung", rung("panicked"));
                 set_outcome(outcomes, idx, PointOutcome::Panicked(message));
+                // A panic may have left the long-lived solver mid-search;
+                // rebuild from the shared base rather than trust its state.
+                engine = make_engine();
             }
             Ok(Ok(outcome)) => {
                 let record = record(&outcome, &specs[idx]);
@@ -441,7 +512,11 @@ pub fn minimize_mixed_mode(
             Ok(SynthSpec::mixed_mode(f, n_rops, n_legs, max_vsteps)?.with_options(options.clone()))
         })
         .collect::<Result<Vec<_>, SynthError>>()?;
-    let outer = run_ladder(synth, &rop_specs, jobs)?;
+    // One warm context for both phases: the outer top rung dominates every
+    // spec of either ladder (legs grow monotonically with N_R), and sharing
+    // the bus lets phase-2 solvers start from phase 1's learned clauses.
+    let warm_ctx = warm_context_for(synth, rop_specs.last())?;
+    let outer = run_ladder_with(synth, &rop_specs, jobs, warm_ctx.as_ref())?;
     let mut calls = outer.calls;
     let Some((rop_idx, outer_circuit)) = outer.best else {
         // No witness at any N_R. If the ladder degraded (deadline, budget,
@@ -457,12 +532,18 @@ pub fn minimize_mixed_mode(
         });
     };
 
-    // Phase 2: shrink the V-step budget at that N_R.
+    // Phase 2: shrink the V-step budget at that N_R, on the same warm
+    // context (phase-2 solvers import the glue clauses phase 1 published).
     let n_rops = rop_idx; // ladder index 0 is N_R = 0
     let n_legs = SynthSpec::paper_legs(f, n_rops, is_adder);
-    let mut inner = minimize_vsteps(synth, f, n_rops, n_legs, max_vsteps, options, jobs)?;
-    calls.append(&mut inner.calls);
-    let status = match (status_of(outer.degrade), inner.status) {
+    let vs_specs = (1..=max_vsteps)
+        .map(|vs| Ok(SynthSpec::mixed_mode(f, n_rops, n_legs, vs)?.with_options(options.clone())))
+        .collect::<Result<Vec<_>, SynthError>>()?;
+    let inner = run_ladder_with(synth, &vs_specs, jobs, warm_ctx.as_ref())?;
+    let mut inner_calls = inner.calls;
+    calls.append(&mut inner_calls);
+    let inner_status = status_of(inner.degrade);
+    let status = match (status_of(outer.degrade), inner_status) {
         (s @ OptimizeStatus::Degraded { .. }, _) => s,
         (OptimizeStatus::Complete, s) => s,
     };
@@ -470,10 +551,10 @@ pub fn minimize_mixed_mode(
         // The inner ladder re-solves the outer witness's point; under a
         // deadline it may come back empty, in which case the outer witness
         // is still a valid upper bound.
-        best: inner.best.or(Some(outer_circuit)),
+        best: inner.best.map(|(_, c)| c).or(Some(outer_circuit)),
         // N_R minimality comes from the outer ladder's closure, N_VS
         // minimality from the inner one — mirroring the sequential loop.
-        proven_optimal: outer.proven && inner.proven_optimal && !status.is_degraded(),
+        proven_optimal: outer.proven && inner.proven && !status.is_degraded(),
         status,
         calls,
     })
@@ -593,6 +674,64 @@ mod tests {
             {
                 assert!(!call.certified);
                 assert!(call.proof.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_portfolio_agrees_with_cold_at_every_width() {
+        let f = generators::xor_gate(2);
+        let opts = EncodeOptions::recommended();
+        let cold = Synthesizer::new();
+        let warm = Synthesizer::new().with_incremental(true);
+        let baseline = minimize_r_only(&cold, &f, 5, &opts, 1).unwrap();
+        for jobs in [1, 2, 8] {
+            let report = minimize_r_only(&warm, &f, 5, &opts, jobs).unwrap();
+            reports_agree(&baseline, &report);
+            assert!(report.proven_optimal);
+        }
+        let mm_baseline = minimize_mixed_mode(&cold, &f, 3, 3, false, &opts, 1).unwrap();
+        for jobs in [1, 2, 8] {
+            let report = minimize_mixed_mode(&warm, &f, 3, 3, false, &opts, jobs).unwrap();
+            reports_agree(&mm_baseline, &report);
+            assert!(report
+                .best
+                .as_ref()
+                .expect("XOR2 is MM-realizable")
+                .implements(&f));
+        }
+    }
+
+    #[test]
+    fn certified_incremental_ladder_falls_back_to_cold_drat_proofs() {
+        // The certification + incrementality interplay: `--certify` wins,
+        // every UNSAT rung carries its own checker-accepted refutation of
+        // the *rung's* formula, and the verdicts still match the plain run.
+        let f = generators::xor_gate(2);
+        let opts = EncodeOptions::recommended();
+        let synth = Synthesizer::new()
+            .with_incremental(true)
+            .with_certification(true);
+        let baseline = minimize_r_only(&Synthesizer::new(), &f, 5, &opts, 2).unwrap();
+        for jobs in [1, 4] {
+            let report = minimize_r_only(&synth, &f, 5, &opts, jobs).unwrap();
+            reports_agree(&baseline, &report);
+            for call in report
+                .calls
+                .iter()
+                .filter(|c| c.result == SynthResultKind::Unrealizable)
+            {
+                assert!(call.certified, "uncertified UNSAT at N_R = {}", call.n_rops);
+                let proof = call.proof.as_ref().expect("certified call keeps its proof");
+                assert!(proof.is_concluded());
+                // Re-check the proof against the rung's own cold encoding:
+                // an incremental shared-base artifact could never pass this.
+                let spec = SynthSpec::r_only(&f, call.n_rops)
+                    .unwrap()
+                    .with_options(opts.clone());
+                let text = Synthesizer::new().export_dimacs(&spec).unwrap();
+                let cnf = mm_sat::dimacs::parse(&text).unwrap();
+                mm_sat::drat::check(&cnf, proof).expect("proof refutes the rung formula");
             }
         }
     }

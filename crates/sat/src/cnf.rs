@@ -63,6 +63,13 @@ impl CnfFormula {
         self.new_var().positive()
     }
 
+    /// Allocates `n` fresh variables at once, returning their positive
+    /// literals (e.g. one activation-literal family of a shared base
+    /// encoding).
+    pub fn new_lits(&mut self, n: usize) -> Vec<Lit> {
+        (0..n).map(|_| self.new_lit()).collect()
+    }
+
     /// Ensures at least `n` variables exist.
     pub fn reserve_vars(&mut self, n: u32) {
         self.n_vars = self.n_vars.max(n);

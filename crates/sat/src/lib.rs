@@ -52,6 +52,7 @@ mod error;
 mod lit;
 mod model;
 mod proof;
+mod share;
 mod solver;
 mod stats;
 
@@ -65,5 +66,6 @@ pub use error::SatError;
 pub use lit::{Lit, Var};
 pub use model::Model;
 pub use proof::{FileProofWriter, ProofWriter};
+pub use share::ClauseBus;
 pub use solver::{SatResult, Solver};
 pub use stats::SolverStats;

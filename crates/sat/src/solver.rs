@@ -7,7 +7,13 @@ use std::time::Instant;
 use mm_telemetry::Telemetry;
 
 use crate::drat::DratProof;
+use crate::share::ClauseBus;
 use crate::{Budget, CnfFormula, Lit, Model, ProofWriter, SolverStats, Var};
+
+/// Clauses longer than this are never exported to a [`ClauseBus`], no
+/// matter how good their LBD: long clauses are expensive for importers to
+/// watch and rarely prune anything.
+const EXPORT_MAX_LEN: usize = 32;
 
 /// Outcome of a [`Solver::solve`] call.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,8 +77,13 @@ const UNASSIGNED: i8 = 0;
 /// A conflict-driven clause-learning (CDCL) SAT solver.
 ///
 /// Construct with a finished [`CnfFormula`] and call [`solve`](Self::solve)
-/// or [`solve_with_budget`](Self::solve_with_budget). A solver instance is
-/// single-shot: it consumes its formula and is dropped after one call.
+/// or [`solve_with_budget`](Self::solve_with_budget) for a one-shot answer,
+/// or keep the solver alive and call
+/// [`solve_under_assumptions`](Self::solve_under_assumptions) repeatedly:
+/// each call reuses the clause database, VSIDS activities and saved phases
+/// accumulated by the previous ones. Because assumptions are enqueued as
+/// *decisions* (never resolved as clauses), every learnt clause is a
+/// consequence of the base formula alone and stays valid across calls.
 ///
 /// # Example
 ///
@@ -122,6 +133,20 @@ pub struct Solver {
     /// Counter values already emitted to telemetry, so each emission sends
     /// only the delta: (conflicts, propagations, decisions, restarts).
     tel_emitted: (u64, u64, u64, u64),
+    /// Portfolio clause-sharing channel; `None` keeps the learn site to a
+    /// single branch.
+    bus: Option<ClauseBus>,
+    /// This solver's owner id on the bus (so imports skip own exports).
+    bus_id: usize,
+    /// Position in the bus log up to which this solver has imported.
+    bus_cursor: usize,
+    /// Clauses imported from / exported to the bus by this solver.
+    imported: u64,
+    exported: u64,
+    /// Share-counter values already emitted to telemetry (imported, exported).
+    tel_shared: (u64, u64),
+    /// Failed-assumption set of the last UNSAT-under-assumptions call.
+    failed: Vec<Lit>,
 }
 
 impl Solver {
@@ -153,6 +178,13 @@ impl Solver {
             proof: None,
             telemetry: Telemetry::disabled(),
             tel_emitted: (0, 0, 0, 0),
+            bus: None,
+            bus_id: 0,
+            bus_cursor: 0,
+            imported: 0,
+            exported: 0,
+            tel_shared: (0, 0),
+            failed: Vec::new(),
         };
         for clause in cnf.clauses() {
             solver.add_original_clause(clause);
@@ -194,6 +226,108 @@ impl Solver {
         self
     }
 
+    /// Attaches a shared clause bus for portfolio clause exchange.
+    ///
+    /// Learnt clauses with LBD ≤ the bus threshold and at most
+    /// `EXPORT_MAX_LEN` literals are published; clauses published by other
+    /// solvers are imported at call entry and at every restart. All solvers
+    /// on one bus **must** be built from the same [`CnfFormula`] — a learnt
+    /// clause is only a consequence of *that* formula.
+    ///
+    /// Importing is refused while a [`ProofWriter`] is installed: a foreign
+    /// clause is not RUP with respect to this solver's own derivation and
+    /// would make the DRAT log uncheckable. Exporting stays enabled (it
+    /// does not affect the exporter's proof).
+    pub fn with_clause_bus(mut self, bus: ClauseBus) -> Self {
+        // Cursor starts at 0 so a late-constructed worker also benefits
+        // from clauses published before it joined.
+        self.bus_cursor = 0;
+        self.bus_id = bus.register();
+        self.bus = Some(bus);
+        self
+    }
+
+    /// Cumulative statistics across every call made on this solver.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Clauses imported from the attached bus so far.
+    pub fn imported_clauses(&self) -> u64 {
+        self.imported
+    }
+
+    /// Clauses exported to the attached bus so far.
+    pub fn exported_clauses(&self) -> u64 {
+        self.exported
+    }
+
+    /// The subset of the most recent call's assumptions that the solver
+    /// proved incompatible with the formula.
+    ///
+    /// Populated when [`solve_under_assumptions`](Self::solve_under_assumptions)
+    /// returns [`SatResult::Unsat`]; empty when the formula is
+    /// unsatisfiable on its own (the empty subset already suffices).
+    pub fn failed_assumptions(&self) -> &[Lit] {
+        &self.failed
+    }
+
+    /// Adds a clause between solve calls.
+    ///
+    /// The clause is simplified against the top-level assignment and takes
+    /// effect on the next call. Must not be combined with proof logging:
+    /// an externally injected clause is not RUP with respect to this
+    /// solver's derivation, so the DRAT log would no longer check.
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        debug_assert!(!lits.is_empty());
+        debug_assert!(
+            self.proof.is_none(),
+            "post-solve add_clause would poison the DRAT log"
+        );
+        self.backtrack_to(0);
+        self.add_simplified_clause(lits, false);
+    }
+
+    /// Solves under `assumptions`, reusing all state learned by earlier
+    /// calls on this solver.
+    ///
+    /// Assumptions are enqueued as the first decisions — assumption `i`
+    /// owns decision level `i + 1` — so conflict analysis treats them like
+    /// any other decision and learnt clauses never depend on them as
+    /// clauses. On [`SatResult::Sat`] the model satisfies every assumption;
+    /// on [`SatResult::Unsat`],
+    /// [`failed_assumptions`](Self::failed_assumptions) names a subset of
+    /// `assumptions` that is already incompatible with the formula.
+    ///
+    /// Per-call [`Budget`] limits (conflicts, time) are measured from this
+    /// call's entry, and the `cancelled` / `deadline_expired` flags in
+    /// [`stats`](Self::stats) describe the latest call; all other counters
+    /// accumulate across calls.
+    ///
+    /// A DRAT proof is concluded only when an UNSAT answer is reached with
+    /// *no* assumptions — "UNSAT under assumptions" is not refutation of
+    /// the formula, so certified optimality ladders must fall back to
+    /// one-shot solves.
+    pub fn solve_under_assumptions(&mut self, assumptions: &[Lit], budget: Budget) -> SatResult {
+        let start = Instant::now();
+        self.stats.cancelled = false;
+        self.stats.deadline_expired = false;
+        self.failed.clear();
+        self.backtrack_to(0);
+        self.import_from_bus();
+        let result = self.search(assumptions, budget, start);
+        self.backtrack_to(0);
+        self.emit_counter_deltas();
+        if result.is_unsat() && assumptions.is_empty() {
+            if let Some(w) = self.proof.as_mut() {
+                w.conclude_unsat();
+                self.stats.proof_steps += 1;
+            }
+        }
+        self.stats.solve_time += start.elapsed();
+        result
+    }
+
     /// Solves the formula to completion (no budget).
     pub fn solve(self) -> SatResult {
         self.solve_with_budget(Budget::new()).0
@@ -216,16 +350,10 @@ impl Solver {
         mut self,
         budget: Budget,
     ) -> (SatResult, SolverStats, Option<Box<dyn ProofWriter>>) {
-        let start = Instant::now();
-        let result = self.search(budget, start);
-        self.emit_counter_deltas();
-        if result.is_unsat() {
-            if let Some(w) = self.proof.as_mut() {
-                w.conclude_unsat();
-                self.stats.proof_steps += 1;
-            }
-        }
-        self.stats.solve_time = start.elapsed();
+        // Thin wrapper over the reusable path: an empty assumption set
+        // makes `solve_under_assumptions` behave exactly like the historic
+        // one-shot call (solve_time starts at zero, so `+=` is `=`).
+        let result = self.solve_under_assumptions(&[], budget);
         (result, self.stats, self.proof)
     }
 
@@ -265,6 +393,19 @@ impl Solver {
         self.telemetry
             .counter("solver.restarts", s.restarts - self.tel_emitted.3);
         self.tel_emitted = (s.conflicts, s.propagations, s.decisions, s.restarts);
+        // Share counters are zero without a bus; emit only real deltas so
+        // bus-less runs produce the same event stream as before.
+        let (di, de) = (
+            self.imported - self.tel_shared.0,
+            self.exported - self.tel_shared.1,
+        );
+        if di > 0 {
+            self.telemetry.counter("solver.imported_clauses", di);
+        }
+        if de > 0 {
+            self.telemetry.counter("solver.exported_clauses", de);
+        }
+        self.tel_shared = (self.imported, self.exported);
     }
 
     #[inline]
@@ -320,6 +461,140 @@ impl Solver {
                 });
             }
         }
+    }
+
+    /// Adds a clause at decision level 0, simplifying it against the
+    /// top-level assignment first.
+    ///
+    /// This is the post-construction twin of `add_original_clause`: by the
+    /// time it runs, `qhead` is already past the level-0 trail, so a watch
+    /// placed on an already-false literal would never be repaired by
+    /// propagation. Simplification (drop false literals, skip satisfied
+    /// clauses) restores the watch invariant instead.
+    fn add_simplified_clause(&mut self, lits: &[Lit], learnt: bool) {
+        debug_assert_eq!(self.current_level(), 0);
+        if !self.ok {
+            return;
+        }
+        let mut reduced: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            debug_assert!((l.var().index() as usize) < self.n_vars);
+            match self.value(l) {
+                1 => return, // satisfied at level 0
+                -1 => {}     // falsified at level 0: drop
+                _ => {
+                    if !reduced.contains(&l) {
+                        reduced.push(l);
+                    }
+                }
+            }
+        }
+        match reduced.len() {
+            0 => self.ok = false,
+            1 => self.enqueue(reduced[0], Reason::Decision),
+            2 => {
+                self.bin_implications[reduced[0].code() as usize].push(reduced[1]);
+                self.bin_implications[reduced[1].code() as usize].push(reduced[0]);
+            }
+            _ => {
+                let idx = self.clauses.len() as u32;
+                self.watches[reduced[0].code() as usize].push(Watch {
+                    clause: idx,
+                    blocker: reduced[1],
+                });
+                self.watches[reduced[1].code() as usize].push(Watch {
+                    clause: idx,
+                    blocker: reduced[0],
+                });
+                let lbd = reduced.len() as u32;
+                self.clauses.push(Clause {
+                    lits: reduced,
+                    learnt,
+                    deleted: false,
+                    activity: self.cla_inc,
+                    lbd,
+                });
+                if learnt {
+                    self.stats.learnt_clauses += 1;
+                }
+            }
+        }
+    }
+
+    /// Pulls every clause other workers published since this solver's
+    /// cursor. Runs only at decision level 0 (call entry and restarts).
+    ///
+    /// No-op while a proof writer is installed: imported clauses are not
+    /// derivable from this solver's own log, so they must never appear in
+    /// (or influence clauses of) a DRAT-logged run.
+    fn import_from_bus(&mut self) {
+        let Some(bus) = self.bus.clone() else {
+            return;
+        };
+        if self.proof.is_some() {
+            return;
+        }
+        let fresh = bus.collect_since(self.bus_id, &mut self.bus_cursor);
+        if fresh.is_empty() {
+            return;
+        }
+        let mut taken = 0u64;
+        for lits in &fresh {
+            if !self.ok {
+                break;
+            }
+            // Imported clauses are marked learnt so reduce_db may drop
+            // them again if they turn out not to pull their weight.
+            self.add_simplified_clause(lits, true);
+            taken += 1;
+        }
+        self.imported += taken;
+        bus.note_imported(taken);
+    }
+
+    /// Final-conflict analysis (MiniSat's `analyzeFinal`): called when
+    /// assumption `p` is found false while enqueuing the assumption
+    /// prefix. Walks the implication trail backwards from the assumption
+    /// levels, collecting into `self.failed` the assumptions (= decisions
+    /// at levels > 0) that together force `!p`.
+    fn analyze_final(&mut self, p: Lit) {
+        self.failed.clear();
+        self.failed.push(p);
+        if self.current_level() == 0 {
+            // `!p` is a top-level consequence of the formula itself.
+            return;
+        }
+        let pv = p.var().index() as usize;
+        self.seen[pv] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var().index() as usize;
+            if !self.seen[v] {
+                continue;
+            }
+            self.seen[v] = false;
+            match self.reason[v] {
+                // Decisions above level 0 are exactly the enqueued
+                // assumptions.
+                Reason::Decision => self.failed.push(l),
+                Reason::Binary(other) => {
+                    let ov = other.var().index() as usize;
+                    if self.level[ov] > 0 {
+                        self.seen[ov] = true;
+                    }
+                }
+                Reason::Clause(c) => {
+                    for k in 0..self.clauses[c as usize].lits.len() {
+                        let q = self.clauses[c as usize].lits[k];
+                        let qv = q.var().index() as usize;
+                        if qv != v && self.level[qv] > 0 {
+                            self.seen[qv] = true;
+                        }
+                    }
+                }
+            }
+        }
+        self.seen[pv] = false;
     }
 
     #[inline]
@@ -604,6 +879,12 @@ impl Solver {
         // clauses currently alive, so the derivation stays checkable.
         self.proof_add(&learnt);
         let lbd = self.compute_lbd(&learnt);
+        if let Some(bus) = &self.bus {
+            if lbd <= bus.max_lbd() && learnt.len() <= EXPORT_MAX_LEN {
+                bus.publish(self.bus_id, &learnt);
+                self.exported += 1;
+            }
+        }
         match learnt.len() {
             1 => {
                 self.enqueue(learnt[0], Reason::Decision);
@@ -729,18 +1010,26 @@ impl Solver {
         Model::new((0..self.n_vars).map(|v| self.assign[v] == 1).collect())
     }
 
-    fn search(&mut self, budget: Budget, start: Instant) -> SatResult {
+    fn search(&mut self, assumptions: &[Lit], budget: Budget, start: Instant) -> SatResult {
         if !self.ok {
             return SatResult::Unsat;
         }
         if self.propagate().is_some() {
+            // A top-level conflict refutes the base formula itself;
+            // remember that across calls.
+            self.ok = false;
             return SatResult::Unsat;
         }
 
+        // Budget limits and the reduce_db schedule are measured from this
+        // call's entry so that reusing a solver does not shrink later
+        // calls' budgets (counters in `stats` accumulate across calls).
+        let conflicts_at_entry = self.stats.conflicts;
+        let proof_steps_at_entry = self.stats.proof_steps;
         let mut restart_idx: u64 = 0;
         let restart_base: u64 = 128;
         let mut conflicts_until_restart = luby(restart_idx) * restart_base;
-        let mut next_reduce: u64 = 4000;
+        let mut next_reduce: u64 = conflicts_at_entry + 4000;
 
         // Cancellation is polled every `CANCEL_POLL_INTERVAL` propagate/decide
         // rounds — far more often than restarts — so an external cancel()
@@ -778,6 +1067,7 @@ impl Solver {
             if let Some(conflict) = self.propagate() {
                 self.stats.conflicts += 1;
                 if self.current_level() == 0 {
+                    self.ok = false;
                     return SatResult::Unsat;
                 }
                 let (learnt, bt) = self.analyze(conflict);
@@ -788,14 +1078,15 @@ impl Solver {
 
                 conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
                 if self.stats.conflicts >= next_reduce {
-                    next_reduce += 4000 + 600 * (self.stats.conflicts / 4000);
+                    next_reduce +=
+                        4000 + 600 * ((self.stats.conflicts - conflicts_at_entry) / 4000);
                     self.reduce_db();
                 }
             } else {
                 if conflicts_until_restart == 0 {
                     // Budget checks piggyback on restarts.
                     if let Some(max) = budget.max_conflicts() {
-                        if self.stats.conflicts >= max {
+                        if self.stats.conflicts - conflicts_at_entry >= max {
                             return SatResult::Unknown;
                         }
                     }
@@ -805,7 +1096,7 @@ impl Solver {
                         }
                     }
                     if let Some(max) = budget.max_proof_steps() {
-                        if self.stats.proof_steps >= max {
+                        if self.stats.proof_steps - proof_steps_at_entry >= max {
                             return SatResult::Unknown;
                         }
                     }
@@ -813,6 +1104,31 @@ impl Solver {
                     conflicts_until_restart = luby(restart_idx) * restart_base;
                     self.stats.restarts += 1;
                     self.backtrack_to(0);
+                    // Restarts are the natural low-cost moment to pick up
+                    // what the rest of the portfolio has learned.
+                    self.import_from_bus();
+                    if !self.ok {
+                        return SatResult::Unsat;
+                    }
+                    continue;
+                }
+                // The assumption prefix: assumption `i` owns decision
+                // level `i + 1` (an already-satisfied assumption holds an
+                // empty level open), so final-conflict analysis can treat
+                // every decision above level 0 as an assumption.
+                if (self.current_level() as usize) < assumptions.len() {
+                    let p = assumptions[self.current_level() as usize];
+                    match self.value(p) {
+                        1 => self.trail_lim.push(self.trail.len()),
+                        -1 => {
+                            self.analyze_final(p);
+                            return SatResult::Unsat;
+                        }
+                        _ => {
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(p, Reason::Decision);
+                        }
+                    }
                     continue;
                 }
                 match self.decide() {
@@ -1289,6 +1605,202 @@ mod tests {
         assert!(stats.conflicts > 0);
         assert!(stats.propagations > 0);
         assert!(stats.solve_time.as_nanos() > 0);
+    }
+
+    #[test]
+    fn assumptions_drive_reusable_solves() {
+        // x1 -> x2 -> x3, plus (!x3 or x4).
+        let mut cnf = CnfFormula::new();
+        let x = lits(&mut cnf, 4);
+        cnf.add_clause([!x[0], x[1]]);
+        cnf.add_clause([!x[1], x[2]]);
+        cnf.add_clause([!x[2], x[3]]);
+        let mut solver = Solver::new(cnf);
+
+        match solver.solve_under_assumptions(&[x[0]], Budget::new()) {
+            SatResult::Sat(m) => {
+                assert!(m.value(x[0]) && m.value(x[1]) && m.value(x[2]) && m.value(x[3]));
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+        // The same solver answers a contradictory assumption set.
+        let result = solver.solve_under_assumptions(&[x[0], !x[3]], Budget::new());
+        assert_eq!(result, SatResult::Unsat);
+        let failed = solver.failed_assumptions().to_vec();
+        assert!(!failed.is_empty());
+        for l in &failed {
+            assert!([x[0], !x[3]].contains(l), "failed set must be a subset");
+        }
+        // And is still usable afterwards, including with no assumptions.
+        assert!(solver.solve_under_assumptions(&[], Budget::new()).is_sat());
+    }
+
+    #[test]
+    fn base_unsat_is_sticky_and_failed_set_is_empty() {
+        let mut cnf = CnfFormula::new();
+        let a = cnf.new_lit();
+        let b = cnf.new_lit();
+        cnf.add_clause([a, b]);
+        cnf.add_clause([a, !b]);
+        cnf.add_clause([!a, b]);
+        cnf.add_clause([!a, !b]);
+        let mut solver = Solver::new(cnf);
+        assert_eq!(
+            solver.solve_under_assumptions(&[a], Budget::new()),
+            SatResult::Unsat
+        );
+        // The conflict is rooted at level 0, so no assumption is blamed …
+        assert!(solver.failed_assumptions().is_empty());
+        // … and the refutation is remembered across calls.
+        assert_eq!(
+            solver.solve_under_assumptions(&[], Budget::new()),
+            SatResult::Unsat
+        );
+    }
+
+    #[test]
+    fn post_solve_add_clause_constrains_later_calls() {
+        let mut cnf = CnfFormula::new();
+        let x = lits(&mut cnf, 3);
+        cnf.add_clause([x[0], x[1], x[2]]);
+        let mut solver = Solver::new(cnf);
+        assert!(solver.solve_under_assumptions(&[], Budget::new()).is_sat());
+        solver.add_clause(&[!x[0]]);
+        solver.add_clause(&[!x[1]]);
+        match solver.solve_under_assumptions(&[], Budget::new()) {
+            SatResult::Sat(m) => {
+                assert!(!m.value(x[0]) && !m.value(x[1]) && m.value(x[2]));
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+        solver.add_clause(&[!x[2]]);
+        assert!(solver
+            .solve_under_assumptions(&[], Budget::new())
+            .is_unsat());
+    }
+
+    #[test]
+    fn unsat_under_assumptions_leaves_formula_satisfiable() {
+        // php(n, n) is SAT, but assuming two pigeons share a hole is not.
+        let cnf = pigeonhole(3, 3);
+        let mut solver = Solver::new(cnf);
+        let p0h0 = Var::from_index(0).positive();
+        let p1h0 = Var::from_index(3).positive();
+        assert_eq!(
+            solver.solve_under_assumptions(&[p0h0, p1h0], Budget::new()),
+            SatResult::Unsat
+        );
+        let failed = solver.failed_assumptions().to_vec();
+        assert!(!failed.is_empty());
+        assert!(failed.iter().all(|l| [p0h0, p1h0].contains(l)));
+        match solver.solve_under_assumptions(&[p0h0], Budget::new()) {
+            SatResult::Sat(m) => {
+                assert!(m.value(p0h0));
+                assert!(!m.value(p1h0));
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repeated_assumption_solves_accumulate_stats() {
+        let cnf = pigeonhole(6, 5);
+        let mut solver = Solver::new(cnf);
+        // UNSAT regardless of (consistent) assumptions, with learning
+        // shared between the calls.
+        assert!(solver
+            .solve_under_assumptions(&[], Budget::new())
+            .is_unsat());
+        let after_first = solver.stats();
+        assert!(after_first.conflicts > 0);
+        assert!(solver
+            .solve_under_assumptions(&[], Budget::new())
+            .is_unsat());
+        let after_second = solver.stats();
+        assert!(after_second.solve_time >= after_first.solve_time);
+        assert!(after_second.conflicts >= after_first.conflicts);
+    }
+
+    #[test]
+    fn per_call_conflict_budget_is_not_consumed_by_earlier_calls() {
+        let cnf = pigeonhole(7, 6);
+        let mut solver = Solver::new(cnf);
+        // Burn well past 10 conflicts solving to completion …
+        assert!(solver
+            .solve_under_assumptions(&[], Budget::new())
+            .is_unsat());
+        assert!(solver.stats().conflicts > 10);
+        // … and a later tiny budget still gets its own 10 conflicts
+        // (UNSAT is remembered, so this returns instantly — the point is
+        // it must not claim Unknown from a pre-exhausted budget).
+        let result = solver.solve_under_assumptions(&[], Budget::new().with_max_conflicts(10));
+        assert_eq!(result, SatResult::Unsat);
+    }
+
+    #[test]
+    fn clause_bus_shares_learnt_clauses_between_solvers() {
+        use crate::ClauseBus;
+
+        let cnf = pigeonhole(6, 5);
+        let bus = ClauseBus::new(u32::MAX);
+        let mut exporter = Solver::new(cnf.clone()).with_clause_bus(bus.clone());
+        assert!(exporter
+            .solve_under_assumptions(&[], Budget::new())
+            .is_unsat());
+        assert!(exporter.exported_clauses() > 0, "php learns short clauses");
+        assert_eq!(bus.exported(), exporter.exported_clauses());
+
+        let mut importer = Solver::new(cnf).with_clause_bus(bus.clone());
+        assert!(importer
+            .solve_under_assumptions(&[], Budget::new())
+            .is_unsat());
+        assert!(importer.imported_clauses() > 0);
+        assert!(bus.imported() >= importer.imported_clauses());
+    }
+
+    #[test]
+    fn imported_clauses_preserve_answers() {
+        use crate::ClauseBus;
+
+        // SAT instance: importing a sibling's learnt clauses must not
+        // flip the answer or break the model.
+        let cnf = pigeonhole(6, 6);
+        let clauses: Vec<Vec<Lit>> = cnf.clauses().to_vec();
+        let bus = ClauseBus::new(u32::MAX);
+        let mut first = Solver::new(cnf.clone()).with_clause_bus(bus.clone());
+        assert!(first.solve_under_assumptions(&[], Budget::new()).is_sat());
+
+        let mut second = Solver::new(cnf).with_clause_bus(bus);
+        match second.solve_under_assumptions(&[], Budget::new()) {
+            SatResult::Sat(m) => {
+                for c in &clauses {
+                    assert!(c.iter().any(|&l| m.value(l)), "model violates clause");
+                }
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn proof_logged_solver_never_imports() {
+        use crate::ClauseBus;
+
+        let cnf = pigeonhole(5, 4);
+        let bus = ClauseBus::new(u32::MAX);
+        // A sibling fills the bus first.
+        let mut feeder = Solver::new(cnf.clone()).with_clause_bus(bus.clone());
+        assert!(feeder
+            .solve_under_assumptions(&[], Budget::new())
+            .is_unsat());
+        assert!(bus.exported() > 0);
+
+        let (result, _, proof) = Solver::new(cnf.clone())
+            .with_clause_bus(bus.clone())
+            .solve_certified(Budget::new());
+        assert!(result.is_unsat());
+        let proof = proof.expect("certified solve returns the log");
+        crate::drat::check(&cnf, &proof)
+            .expect("proof of a bus-attached logged solver must stay self-contained");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //!                  [--certify] [--proof FILE] [--dot | --json | --dimacs | --schedule]
 //! mmsynth minimize --function gf22_mul [--max-rops N] [--max-steps N] [--r-only]
 //!                  [--jobs N] [--conflicts N] [--deadline SECS] [--certify]
-//!                  [--proof-dir DIR] [--dot | --json | --schedule]
+//!                  [--no-incremental] [--proof-dir DIR] [--dot | --json | --schedule]
 //! mmsynth faultsim --function xor2 --rops 1 --legs 2 --steps 2
 //!                  [--stuck CELL:lrs,CELL:hrs] [--flip CELL:CYCLE,...]
 //!                  [--variability SIGMA] [--trials N] [--seed N]
@@ -22,6 +22,13 @@
 //! UNSAT answer with the in-tree backward checker before reporting it;
 //! `--proof`/`--proof-dir` additionally archive the accepted proofs as
 //! standard DRAT text for cross-checking with external tools (`drat-trim`).
+//!
+//! `minimize` descends its budget ladder *incrementally* by default: the
+//! formula is encoded once at the top rung and each worker keeps one
+//! long-lived solver, activating smaller rungs via assumptions and sharing
+//! strong learned clauses across the portfolio. `--no-incremental` restores
+//! cold per-rung solves; `--certify` implies them, so every archived proof
+//! refutes its own rung's formula.
 //!
 //! Every subcommand also accepts the telemetry flags: `--trace-out F.jsonl`
 //! streams the raw span/counter/point event stream as JSON lines,
@@ -407,8 +414,12 @@ fn dispatch(command: &str, args: &Args, tel: &TelemetrySetup) -> Result<ExitCode
             let f = parse_function(args.get("function").ok_or("--function required")?)?;
             let jobs = args.get_usize("jobs", parallel::default_jobs()).max(1);
             let options = EncodeOptions::recommended();
+            // Incremental ladder solving is on by default; --no-incremental
+            // restores cold per-rung solves (and --certify implies them).
+            let incremental = !args.has("no-incremental");
             let mut synth = Synthesizer::new()
                 .with_certification(args.has("certify"))
+                .with_incremental(incremental)
                 .with_telemetry(tel.telemetry.clone());
             // A conflict (not wall-clock) limit keeps the portfolio result
             // deterministic across --jobs settings; a --deadline bounds
@@ -485,6 +496,7 @@ fn dispatch(command: &str, args: &Args, tel: &TelemetrySetup) -> Result<ExitCode
                     ("function".into(), Value::Str(f.name().to_string())),
                     ("proven_optimal".into(), Value::Bool(report.proven_optimal)),
                     ("degraded".into(), Value::Bool(degraded)),
+                    ("incremental".into(), Value::Bool(incremental)),
                     ("n_calls".into(), Value::UInt(report.calls.len() as u64)),
                     ("certified_unsat".into(), Value::UInt(certified as u64)),
                     (
@@ -558,7 +570,7 @@ fn dispatch(command: &str, args: &Args, tel: &TelemetrySetup) -> Result<ExitCode
                  \x20                [--dot | --json | --dimacs | --schedule]\n\
                  \x20      minimize: [--max-rops N] [--max-steps N] [--r-only] [--adder]\n\
                  \x20                [--jobs N] [--conflicts N] [--deadline SECS]\n\
-                 \x20                [--certify] [--proof-dir DIR]\n\
+                 \x20                [--no-incremental] [--certify] [--proof-dir DIR]\n\
                  \x20                [--dot | --json | --schedule]\n\
                  \x20      faultsim: --rops N [--legs N] [--steps N]\n\
                  \x20                [--stuck CELL:lrs,...] [--flip CELL:CYCLE,...]\n\
@@ -572,6 +584,10 @@ fn dispatch(command: &str, args: &Args, tel: &TelemetrySetup) -> Result<ExitCode
                  \x20      --certify checks every UNSAT answer against its DRAT proof\n\
                  \x20      before any optimality claim; --proof/--proof-dir archive the\n\
                  \x20      accepted proofs as DRAT text\n\
+                 \x20      minimize descends its budget ladder incrementally (one\n\
+                 \x20      long-lived solver per worker, shared learned clauses);\n\
+                 \x20      --no-incremental restores cold per-rung solves, and\n\
+                 \x20      --certify implies them (proofs refute each rung's formula)\n\
                  \x20      telemetry (all subcommands): --trace-out FILE.jsonl streams\n\
                  \x20      raw events, --report-json FILE writes the aggregated phase\n\
                  \x20      timing report, --progress renders a stderr ticker;\n\
