@@ -1,0 +1,190 @@
+//! Emits the performance-trajectory report (`BENCH_<n>.json`).
+//!
+//! Runs a fixed probe set — serial synthesis ladders with telemetry
+//! attached, a seeded fuzz sweep, and a Monte-Carlo device sweep — and
+//! folds the results into a [`BenchReport`]: deterministic workload
+//! counters (solver conflicts, CNF sizes, synthesis-call and rung counts,
+//! degraded-scenario counts) plus advisory wall-clock timings. CI diffs
+//! the emitted file against the committed baseline with
+//! `scripts/bench_diff.py`.
+//!
+//! ```text
+//! bench_report --pr 7 --out BENCH_7.json
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mm_bench::report::{BenchReport, Direction};
+use mm_boolfn::{generators, MultiOutputFn};
+use mm_device::ElectricalParams;
+use mm_synth::fuzz::{run_fuzz, FuzzConfig};
+use mm_synth::optimize::minimize_mixed_mode;
+use mm_synth::{EncodeOptions, Synthesizer};
+use mm_telemetry::{MemorySink, RunReport, Telemetry};
+
+/// Fuzz probe parameters: small enough to finish in seconds, large enough
+/// to hit every scenario regime (budget regimes, fault plans, repair).
+const FUZZ_SEED: u64 = 42;
+const FUZZ_BUDGET: usize = 20;
+
+/// Monte-Carlo probe size.
+const MC_TRIALS: u32 = 256;
+const MC_SEED: u64 = 7;
+
+fn ladder_probe(report: &mut BenchReport, tag: &str, f: &MultiOutputFn, max_rops: usize) {
+    let sink = Arc::new(MemorySink::new());
+    let synth = Synthesizer::new().with_telemetry(Telemetry::new(sink.clone()));
+    let started = Instant::now();
+    let out = minimize_mixed_mode(&synth, f, max_rops, 3, false, &EncodeOptions::default())
+        .expect("probe ladder must synthesize");
+    let elapsed = started.elapsed();
+    assert!(out.proven_optimal, "probe ladder must prove optimality");
+    let run = RunReport::from_events(&sink.snapshot());
+
+    let conflicts: u64 = run.rungs.iter().map(|r| r.conflicts).sum();
+    let vars: u64 = out.calls.iter().map(|c| c.n_vars as u64).max().unwrap_or(0);
+    let clauses: u64 = out
+        .calls
+        .iter()
+        .map(|c| c.n_clauses as u64)
+        .max()
+        .unwrap_or(0);
+    let lower = Direction::Lower;
+    report.push(
+        format!("ladder_{tag}_conflicts"),
+        conflicts as f64,
+        "count",
+        lower,
+        true,
+    );
+    report.push(
+        format!("ladder_{tag}_max_vars"),
+        vars as f64,
+        "count",
+        lower,
+        true,
+    );
+    report.push(
+        format!("ladder_{tag}_max_clauses"),
+        clauses as f64,
+        "count",
+        lower,
+        true,
+    );
+    report.push(
+        format!("ladder_{tag}_calls"),
+        out.calls.len() as f64,
+        "count",
+        lower,
+        true,
+    );
+    report.push(
+        format!("ladder_{tag}_time_us"),
+        elapsed.as_micros() as f64,
+        "us",
+        lower,
+        false,
+    );
+}
+
+fn fuzz_probe(report: &mut BenchReport) {
+    let started = Instant::now();
+    let summary = run_fuzz(
+        FUZZ_SEED,
+        FUZZ_BUDGET,
+        None,
+        &FuzzConfig::default(),
+        |_, _| {},
+    );
+    let elapsed = started.elapsed();
+    assert!(
+        summary.violations.is_empty(),
+        "fuzz probe found violations: {:?}",
+        summary.violations
+    );
+    report.push(
+        "fuzz_seed42_degraded",
+        summary.degraded as f64,
+        "count",
+        Direction::None,
+        true,
+    );
+    report.push(
+        "fuzz_seed42_scenarios_per_s",
+        summary.scenarios as f64 / elapsed.as_secs_f64(),
+        "rate",
+        Direction::Higher,
+        false,
+    );
+    report.push(
+        "fuzz_seed42_time_us",
+        elapsed.as_micros() as f64,
+        "us",
+        Direction::Lower,
+        false,
+    );
+}
+
+fn device_probe(report: &mut BenchReport) {
+    let started = Instant::now();
+    let v_rate =
+        mm_device::monte_carlo::v_op_error_rate(ElectricalParams::bfo(), MC_TRIALS, MC_SEED);
+    let r_rate =
+        mm_device::monte_carlo::r_op_error_rate(ElectricalParams::bfo(), MC_TRIALS, MC_SEED);
+    let elapsed = started.elapsed();
+    report.push(
+        "mc_vop_error_rate_bfo",
+        v_rate,
+        "rate",
+        Direction::Lower,
+        true,
+    );
+    report.push(
+        "mc_rop_error_rate_bfo",
+        r_rate,
+        "rate",
+        Direction::Lower,
+        true,
+    );
+    report.push(
+        "mc_sweep_time_us",
+        elapsed.as_micros() as f64,
+        "us",
+        Direction::Lower,
+        false,
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut pr: u64 = 0;
+    let mut out_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--pr" => pr = it.next().and_then(|v| v.parse().ok()).unwrap_or(0),
+            "--out" => out_path = it.next().cloned(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_report --pr <n> [--out BENCH_<n>.json]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut report = BenchReport::new(pr);
+    ladder_probe(&mut report, "xor2", &generators::xor_gate(2), 3);
+    ladder_probe(&mut report, "maj3", &generators::majority_gate(3), 4);
+    fuzz_probe(&mut report);
+    device_probe(&mut report);
+
+    let json = report.to_json().expect("bench report serializes");
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, format!("{json}\n")).expect("write bench report");
+            eprintln!("wrote {path} ({} metrics)", report.metrics.len());
+        }
+        None => println!("{json}"),
+    }
+}

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod literature;
+pub mod report;
 pub mod table4;
 
 use std::time::Duration;

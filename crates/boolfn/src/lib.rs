@@ -58,6 +58,7 @@ mod gf2;
 mod literal;
 mod truth_table;
 
+pub mod arbitrary;
 pub mod generators;
 pub mod qmc;
 

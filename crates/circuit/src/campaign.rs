@@ -73,8 +73,9 @@ pub struct CampaignConfig {
     /// Seeded trials per plan.
     pub trials: u32,
     /// Base RNG seed; trial `t` reseeds the array with
-    /// `seed + (t << 16)` (wrapping), the same derivation the Monte-Carlo
-    /// module uses, so campaign runs are reproducible from the report.
+    /// [`mm_device::seeds::trial_seed`] — `seed + (t << 16)` (wrapping), the
+    /// same derivation the Monte-Carlo module uses — so campaign runs are
+    /// reproducible from the report.
     pub seed: u64,
     /// Electrical parameters of the arrays (plans may override the
     /// variability corner).
@@ -255,7 +256,7 @@ pub fn run_campaign_traced(
             std::collections::BTreeMap::new();
 
         for t in 0..config.trials {
-            array.reseed(config.seed.wrapping_add(u64::from(t) << 16));
+            array.reseed(mm_device::seeds::trial_seed(config.seed, t));
             for x in 0..n_assignments {
                 let mut divergence: Option<(usize, Vec<usize>)> = None;
                 let outputs = schedule.execute_with(x, &mut array, |i, a| {

@@ -57,6 +57,7 @@ mod error;
 mod spec;
 mod synthesizer;
 
+pub mod fuzz;
 pub mod heuristic;
 pub mod optimize;
 pub mod repair;

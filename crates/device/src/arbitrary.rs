@@ -1,0 +1,170 @@
+//! Randomized generators (and shrinkers) for device-layer fuzz inputs.
+//!
+//! The scenario fuzzer draws [`FaultPlan`]s, [`Variability`] corners, and
+//! [`ElectricalParams`] sweep points from these functions. Everything is a
+//! pure function of the passed RNG, so a scenario is reproducible from its
+//! seed alone. Shrinking goes through the vendored
+//! [`proptest::shrink::Shrink`] trait: a failing plan shrinks by dropping
+//! faults, never by inventing new ones.
+
+use proptest::shrink::Shrink;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::{DeviceState, ElectricalParams, FaultPlan, Variability};
+
+/// Draws a variability corner: one of the named corners or a random
+/// low-to-moderate sigma pair.
+pub fn variability(rng: &mut SmallRng) -> Variability {
+    match rng.gen_range(0u8..4) {
+        0 => Variability::NONE,
+        1 => Variability::LOW,
+        2 => Variability::HIGH,
+        _ => Variability {
+            d2d_sigma: f64::from(rng.gen_range(0u32..60)) / 100.0,
+            c2c_sigma: f64::from(rng.gen_range(0u32..20)) / 100.0,
+        },
+    }
+}
+
+/// Number of vetted electrical sweep corners ([`params_corner`]).
+pub const N_PARAMS_CORNERS: u8 = 4;
+
+/// The vetted electrical sweep corner with index `i` (taken modulo
+/// [`N_PARAMS_CORNERS`], so any `u8` is a valid corner id).
+///
+/// Every corner keeps the MAGIC and read margins intact (pinned by the
+/// `sweep_corners_stay_error_free_when_healthy` test), so a healthy device
+/// under any corner still computes correctly — sweeps stress the model
+/// without making clean runs flaky. Corner ids are stable: fuzz scenarios
+/// serialize the id, not the parameters.
+pub fn params_corner(i: u8) -> ElectricalParams {
+    let base = ElectricalParams::bfo();
+    match i % N_PARAMS_CORNERS {
+        0 => base,
+        1 => ElectricalParams {
+            v_read: 1.5,
+            ..base
+        },
+        2 => ElectricalParams {
+            v_read: 2.5,
+            ..base
+        },
+        _ => ElectricalParams {
+            v_write: 7.2,
+            ..base
+        },
+    }
+}
+
+/// Draws an electrical sweep point from the vetted corner set.
+pub fn params(rng: &mut SmallRng) -> ElectricalParams {
+    params_corner(rng.gen_range(0u8..N_PARAMS_CORNERS))
+}
+
+/// Draws a fault plan over an array of `n_cells` cells whose transient
+/// flips land in `0..max_cycles`.
+///
+/// The plan references only cells `< n_cells`, so it is always in range for
+/// a schedule placed on that array. Roughly one plan in five is healthy
+/// (no faults at all), exercising the control path.
+pub fn fault_plan(rng: &mut SmallRng, n_cells: usize, max_cycles: usize) -> FaultPlan {
+    assert!(n_cells > 0, "fault plans need at least one cell");
+    let mut plan = FaultPlan::named("fuzz");
+    for _ in 0..rng.gen_range(0usize..=2) {
+        let state = if rng.gen::<bool>() {
+            DeviceState::Lrs
+        } else {
+            DeviceState::Hrs
+        };
+        plan = plan.with_stuck(rng.gen_range(0..n_cells), state);
+    }
+    if max_cycles > 0 {
+        for _ in 0..rng.gen_range(0usize..=2) {
+            plan = plan.with_transient(rng.gen_range(0..n_cells), rng.gen_range(0..max_cycles));
+        }
+    }
+    if rng.gen_range(0u8..10) < 3 {
+        plan = plan.with_variability(variability(rng));
+    }
+    plan
+}
+
+impl Shrink for FaultPlan {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        for i in 0..self.stuck.len() {
+            let mut p = self.clone();
+            p.stuck.remove(i);
+            out.push(p);
+        }
+        for i in 0..self.transients.len() {
+            let mut p = self.clone();
+            p.transients.remove(i);
+            out.push(p);
+        }
+        if self.variability.is_some() {
+            let mut p = self.clone();
+            p.variability = None;
+            out.push(p);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monte_carlo;
+    use proptest::shrink::minimize;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let draw = |seed| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            (0..16)
+                .map(|_| fault_plan(&mut rng, 8, 10))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+
+    #[test]
+    fn plans_stay_in_range() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        for _ in 0..200 {
+            let plan = fault_plan(&mut rng, 6, 12);
+            assert!(plan.max_cell().is_none_or(|c| c < 6), "{plan:?}");
+            assert!(plan.transients.iter().all(|t| t.cycle < 12));
+        }
+    }
+
+    #[test]
+    fn sweep_corners_stay_error_free_when_healthy() {
+        // The whole point of the vetted corner set: no corner may break a
+        // healthy device, or fuzz control runs become flaky.
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..16 {
+            let p = params(&mut rng);
+            assert_eq!(monte_carlo::v_op_error_rate(p, 64, 3), 0.0, "{p:?}");
+            assert_eq!(monte_carlo::r_op_error_rate(p, 64, 3), 0.0, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn shrinking_drops_faults_down_to_the_culprit() {
+        let plan = FaultPlan::named("fuzz")
+            .with_stuck(3, DeviceState::Lrs)
+            .with_stuck(1, DeviceState::Hrs)
+            .with_transient(2, 4)
+            .with_variability(Variability::HIGH);
+        // Pretend only the stuck fault on cell 1 matters.
+        let shrunk = minimize(plan, |p| p.stuck.iter().any(|s| s.cell == 1));
+        assert_eq!(shrunk.stuck.len(), 1);
+        assert_eq!(shrunk.stuck[0].cell, 1);
+        assert!(shrunk.transients.is_empty());
+        assert!(shrunk.variability.is_none());
+    }
+}

@@ -52,7 +52,9 @@ mod state;
 mod trace;
 mod variability;
 
+pub mod arbitrary;
 pub mod monte_carlo;
+pub mod seeds;
 pub mod vop;
 
 pub use crossbar::Crossbar;

@@ -26,12 +26,12 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{DeviceState, ElectricalParams, LineArray};
+use crate::{seeds, DeviceState, ElectricalParams, LineArray};
 
 /// Fraction of failed single-device V-op writes over `trials` random
 /// (initial state, TE, BE) triples.
 pub fn v_op_error_rate(params: ElectricalParams, trials: u32, seed: u64) -> f64 {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed_0001);
+    let mut rng = SmallRng::seed_from_u64(seeds::substream(seed, seeds::STREAM_MC_VOP));
     let mut failures = 0u32;
     // One array for the whole run; reseeding re-draws D2D per trial without
     // re-boxing the device models (this loop used to allocate per trial).
@@ -40,7 +40,7 @@ pub fn v_op_error_rate(params: ElectricalParams, trials: u32, seed: u64) -> f64 
         let s0 = rng.gen::<bool>();
         let te = rng.gen::<bool>();
         let be = rng.gen::<bool>();
-        array.reseed(seed.wrapping_add(u64::from(t) << 16));
+        array.reseed(seeds::trial_seed(seed, t));
         array.reset(&[s0]);
         array.v_op_cycle(&[Some(te)], be);
         let expected = crate::vop::apply(DeviceState::from_bool(s0), te, be);
@@ -54,13 +54,13 @@ pub fn v_op_error_rate(params: ElectricalParams, trials: u32, seed: u64) -> f64 
 /// Fraction of failed single MAGIC NOR executions over `trials` random
 /// input-state pairs (fresh devices each trial, so D2D is resampled).
 pub fn r_op_error_rate(params: ElectricalParams, trials: u32, seed: u64) -> f64 {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed_0002);
+    let mut rng = SmallRng::seed_from_u64(seeds::substream(seed, seeds::STREAM_MC_ROP));
     let mut failures = 0u32;
     let mut array = LineArray::bfo(3, params, seed);
     for t in 0..trials {
         let a = rng.gen::<bool>();
         let b = rng.gen::<bool>();
-        array.reseed(seed.wrapping_add(u64::from(t) << 16));
+        array.reseed(seeds::trial_seed(seed, t));
         array.reset(&[a, b, true]);
         array.magic_nor(&[0, 1], 2);
         if array.state(2).to_bool() == (a | b) {
@@ -83,7 +83,7 @@ pub fn cascade_error_rates(
     seed: u64,
 ) -> Vec<f64> {
     let mut failures = vec![0u32; max_depth];
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed_0003);
+    let mut rng = SmallRng::seed_from_u64(seeds::substream(seed, seeds::STREAM_MC_CASCADE));
     // Cells: 0 = initial input, 1..=max_depth auxiliary inputs,
     // max_depth+1.. outputs of each stage.
     let n_cells = 1 + max_depth + max_depth;
@@ -100,7 +100,7 @@ pub fn cascade_error_rates(
             aux_values.push(aux);
             init[1 + max_depth + k] = true; // outputs pre-set to 1
         }
-        array.reseed(seed.wrapping_add(u64::from(t) << 16));
+        array.reseed(seeds::trial_seed(seed, t));
         array.reset(&init);
         let mut prev = 0usize;
         for k in 0..max_depth {
@@ -134,7 +134,7 @@ pub fn cascade_cumulative_error_rates(
     seed: u64,
 ) -> Vec<f64> {
     let mut failures = vec![0u32; max_depth];
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed_0004);
+    let mut rng = SmallRng::seed_from_u64(seeds::substream(seed, seeds::STREAM_MC_CUMULATIVE));
     let n_cells = 1 + max_depth + max_depth;
     let mut array = LineArray::bfo(n_cells, params, seed);
     for t in 0..trials {
@@ -148,7 +148,7 @@ pub fn cascade_cumulative_error_rates(
             aux_values.push(aux);
             init[1 + max_depth + k] = true;
         }
-        array.reseed(seed.wrapping_add(u64::from(t) << 16));
+        array.reseed(seeds::trial_seed(seed, t));
         array.reset(&init);
         let mut ideal = x0;
         let mut prev = 0usize;

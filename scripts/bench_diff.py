@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_<n>.json performance-trajectory reports.
+
+Compares a candidate report (fresh `bench_report` run) against a baseline
+(the committed report of the previous PR, or the same PR's committed file
+on a re-run). Gating rules:
+
+* Deterministic metrics (seeded counters, CNF sizes) fail the diff when
+  they move more than --threshold (default 20%) in their *bad* direction
+  (`Lower` metrics going up, `Higher` metrics going down). They are exact
+  functions of the workload, so any drift is a real change.
+* Wall-clock metrics (deterministic: false) only warn, because container
+  clocks are noisy. --strict-time promotes them to failures.
+* Metrics present on one side only are reported (new probes appear as a
+  PR lands them; that is informational, not a failure).
+* A missing baseline file passes: the first PR that emits a bench report
+  has nothing to diff against.
+
+Stdlib only, so the CI leg needs nothing beyond python3.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+BENCH_SCHEMA_VERSION = 1
+
+
+def load(path):
+    with open(path, encoding="utf-8") as fh:
+        report = json.load(fh)
+    version = report.get("schema_version")
+    if version != BENCH_SCHEMA_VERSION:
+        sys.exit(f"{path}: unsupported bench schema version {version!r} "
+                 f"(expected {BENCH_SCHEMA_VERSION})")
+    metrics = {}
+    for metric in report.get("metrics", []):
+        name = metric.get("name")
+        if not isinstance(name, str) or not isinstance(metric.get("value"), (int, float)):
+            sys.exit(f"{path}: malformed metric entry {metric!r}")
+        metrics[name] = metric
+    return metrics
+
+
+def regression(base, cand):
+    """Signed fractional change in the *bad* direction, or None if ungated."""
+    direction = cand.get("direction")
+    if direction not in ("Lower", "Higher"):
+        return None
+    old, new = base["value"], cand["value"]
+    if old == 0.0:
+        # A zero baseline has no meaningful ratio; only flag Lower metrics
+        # that became nonzero (0 conflicts -> any conflicts is a regression
+        # of unknown size: report 100%).
+        if direction == "Lower" and new > 0.0:
+            return 1.0
+        return 0.0
+    change = (new - old) / abs(old)
+    return change if direction == "Lower" else -change
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="previous BENCH_<n>.json")
+    parser.add_argument("candidate", help="freshly generated BENCH_<n>.json")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="max allowed bad-direction change (fraction, default 0.20)")
+    parser.add_argument("--strict-time", action="store_true",
+                        help="gate wall-clock metrics too instead of warning")
+    args = parser.parse_args()
+
+    if not os.path.exists(args.baseline):
+        print(f"bench-diff: no baseline at {args.baseline}; nothing to compare, passing")
+        return 0
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+
+    failures, warnings = [], []
+    for name in sorted(set(base) | set(cand)):
+        if name not in base:
+            print(f"  new metric: {name} = {cand[name]['value']:g}")
+            continue
+        if name not in cand:
+            print(f"  dropped metric: {name} (was {base[name]['value']:g})")
+            continue
+        change = regression(base[name], cand[name])
+        if change is None:
+            continue
+        line = (f"{name}: {base[name]['value']:g} -> {cand[name]['value']:g} "
+                f"({change:+.1%} bad-direction)")
+        if change <= args.threshold:
+            print(f"  ok {line}")
+        elif cand[name].get("deterministic") or args.strict_time:
+            failures.append(line)
+        else:
+            warnings.append(line)
+
+    for line in warnings:
+        print(f"  WARN (advisory wall-clock) {line}")
+    for line in failures:
+        print(f"  FAIL {line}")
+    if failures:
+        print(f"bench-diff: {len(failures)} regression(s) past "
+              f"{args.threshold:.0%} threshold")
+        return 1
+    print(f"bench-diff: pass ({len(warnings)} advisory warning(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

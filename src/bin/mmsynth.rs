@@ -12,6 +12,8 @@
 //!                  [--variability SIGMA] [--trials N] [--seed N]
 //!                  [--array-size N] [--repair [--retries N]] [--certify]
 //!                  [--out FILE]
+//! mmsynth fuzz     [--seed 42] [--budget 100] [--corpus tests/corpus]
+//!                  [--replay tests/corpus] [--inject-violation]
 //! mmsynth map      --function adder3 [--dot | --json]
 //! mmsynth run      --function gf22_mul --input 1011 [--trace] [--seed 42]
 //! mmsynth census   --inputs 3 [--pre K] [--post K] [--tebe K]
@@ -41,6 +43,13 @@
 //! `faultsim` synthesizes a circuit, places its schedule on a physical
 //! array, and runs a fault-injection campaign against it; `--repair` closes
 //! the loop, avoiding the implicated cells and resynthesizing.
+//!
+//! `fuzz` runs `--budget` seeded end-to-end scenarios (randomized functions
+//! × budgets × fault plans × job counts) through synthesize → certify →
+//! device-verify → campaign → repair, checking cross-cutting invariants.
+//! Failing scenarios are shrunk and archived as replayable JSON to
+//! `--corpus DIR`; `--replay DIR` re-runs an archived corpus instead. The
+//! whole sweep is bit-for-bit reproducible from `--seed`.
 //!
 //! Exit codes: 0 on success (including a proven UNSAT), 1 on errors, and
 //! 2 when the answer is *inconclusive* — a budget or deadline expired
@@ -561,9 +570,10 @@ fn dispatch(command: &str, args: &Args, tel: &TelemetrySetup) -> Result<ExitCode
             Ok(ExitCode::SUCCESS)
         }
         "faultsim" => faultsim(args, tel),
+        "fuzz" => fuzz(args),
         _ => {
             println!(
-                "usage: mmsynth <synth|minimize|faultsim|map|run|census|list> [--function NAME|BITS,...]\n\
+                "usage: mmsynth <synth|minimize|faultsim|fuzz|map|run|census|list> [--function NAME|BITS,...]\n\
                  \x20      synth:    --rops N [--legs N] [--steps N] [--r-only N] [--budget s]\n\
                  \x20                [--avoid-cells 0,3 --array-size N] [--deadline SECS]\n\
                  \x20                [--certify] [--proof FILE]\n\
@@ -577,6 +587,9 @@ fn dispatch(command: &str, args: &Args, tel: &TelemetrySetup) -> Result<ExitCode
                  \x20                [--variability SIGMA] [--trials N] [--seed N]\n\
                  \x20                [--array-size N] [--repair [--retries N]]\n\
                  \x20                [--certify] [--out FILE]\n\
+                 \x20      fuzz:     [--seed N] [--budget N] [--corpus DIR]\n\
+                 \x20                [--replay DIR] [--inject-violation]\n\
+                 \x20                [--emit-seed-corpus --corpus DIR]\n\
                  \x20      map:      [--dot | --json | --schedule]\n\
                  \x20      run:      --input BITS [--trace] [--seed N]\n\
                  \x20      census:   --inputs N [--pre K] [--post K] [--tebe K]\n\
@@ -598,6 +611,131 @@ fn dispatch(command: &str, args: &Args, tel: &TelemetrySetup) -> Result<ExitCode
             Ok(ExitCode::SUCCESS)
         }
     }
+}
+
+/// `mmsynth fuzz`: run seeded end-to-end scenarios, archive shrunk failures.
+fn fuzz(args: &Args) -> Result<ExitCode, String> {
+    use memristive_mm::synth::fuzz::{run_fuzz, run_scenario, seed_corpus, Corpus, FuzzConfig};
+
+    let seed = args.get_usize("seed", 42) as u64;
+    let budget = args.get_usize("budget", 25);
+    let cfg = FuzzConfig {
+        inject_violation: args.has("inject-violation"),
+    };
+
+    // --emit-seed-corpus: (re)write the hand-picked seed cases into
+    // --corpus DIR. Used to regenerate `tests/corpus/` after a schema
+    // change; the cases themselves live in `fuzz::seed_corpus`.
+    if args.has("emit-seed-corpus") {
+        let dir = args
+            .get("corpus")
+            .ok_or("--emit-seed-corpus needs --corpus DIR")?;
+        let corpus = Corpus::open(dir).map_err(|e| format!("opening corpus {dir}: {e}"))?;
+        for case in seed_corpus() {
+            let path = corpus
+                .archive(&case)
+                .map_err(|e| format!("archiving {}: {e}", case.scenario.name))?;
+            println!("wrote {}", path.display());
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    // --replay DIR: re-run every archived corpus case (twice, pinning
+    // replay determinism) instead of generating new scenarios.
+    if let Some(dir) = args.get("replay") {
+        let corpus = Corpus::open(dir).map_err(|e| format!("opening corpus {dir}: {e}"))?;
+        let cases = corpus.load().map_err(|e| format!("loading corpus: {e}"))?;
+        let mut violations = 0usize;
+        for (path, case) in &cases {
+            let first = run_scenario(&case.scenario, &cfg);
+            let second = run_scenario(&case.scenario, &cfg);
+            match (first, second) {
+                (Ok(a), Ok(b)) => {
+                    if a.fingerprint != b.fingerprint {
+                        violations += 1;
+                        eprintln!("{}: replay diverged", path.display());
+                    }
+                    for v in &a.violations {
+                        violations += 1;
+                        eprintln!("{}: {v}", path.display());
+                    }
+                }
+                (Err(e), _) | (_, Err(e)) => {
+                    violations += 1;
+                    eprintln!("{}: scenario error: {e}", path.display());
+                }
+            }
+        }
+        println!(
+            "replayed {} corpus cases, {violations} violations",
+            cases.len()
+        );
+        return Ok(if violations == 0 {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        });
+    }
+
+    let corpus = match args.get("corpus") {
+        Some(dir) => Some(Corpus::open(dir).map_err(|e| format!("opening corpus {dir}: {e}"))?),
+        None => None,
+    };
+    let summary = run_fuzz(seed, budget, corpus.as_ref(), &cfg, |index, report| {
+        if !report.violations.is_empty() {
+            eprintln!("scenario {index} ({}) FAILED", report.name);
+        }
+    });
+    for v in &summary.violations {
+        eprintln!("violation: {v}");
+    }
+    for path in &summary.archived {
+        eprintln!("archived shrunk reproducer: {}", path.display());
+    }
+    println!(
+        "fuzz: {} scenarios (seed {seed}), {} degraded, {} violations, fingerprint {:016x}",
+        summary.scenarios,
+        summary.degraded,
+        summary.violations.len(),
+        summary.fingerprint
+    );
+    if let Some(dest) = args.get("stats-json") {
+        let stats = Value::Object(vec![
+            ("schema_version".into(), Value::UInt(1)),
+            ("command".into(), Value::Str("fuzz".into())),
+            ("seed".into(), Value::UInt(seed)),
+            ("budget".into(), Value::UInt(budget as u64)),
+            ("scenarios".into(), Value::UInt(summary.scenarios as u64)),
+            (
+                "degraded_scenarios".into(),
+                Value::UInt(summary.degraded as u64),
+            ),
+            (
+                "violations".into(),
+                Value::UInt(summary.violations.len() as u64),
+            ),
+            (
+                "fingerprint".into(),
+                Value::Str(format!("{:016x}", summary.fingerprint)),
+            ),
+            (
+                "archived".into(),
+                Value::Array(
+                    summary
+                        .archived
+                        .iter()
+                        .map(|p| Value::Str(p.display().to_string()))
+                        .collect(),
+                ),
+            ),
+        ]);
+        write_stats_json(dest, &stats)?;
+    }
+    Ok(if summary.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
 }
 
 /// `mmsynth faultsim`: synthesize, place, inject faults, optionally repair.

@@ -1,0 +1,136 @@
+//! Replays the committed regression corpus (`tests/corpus/*.json`).
+//!
+//! Every archived case — seed cases and shrunk reproducers alike — must
+//! load under the current corpus schema, run the full pipeline with zero
+//! invariant violations, and reproduce bit-for-bit on a second run. This
+//! is the tier-1 gate that keeps once-fixed fuzz findings fixed.
+
+use std::path::PathBuf;
+
+use memristive_mm::synth::fuzz::{
+    run_scenario, seed_corpus, Corpus, FuzzConfig, CORPUS_SCHEMA_VERSION,
+};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+#[test]
+fn corpus_loads_and_is_well_formed() {
+    let cases = Corpus::open(corpus_dir())
+        .expect("corpus dir")
+        .load()
+        .expect("corpus loads");
+    assert!(
+        cases.len() >= 10,
+        "regression corpus shrank to {} cases; it must keep at least the seed set",
+        cases.len()
+    );
+    for (path, case) in &cases {
+        assert_eq!(
+            case.schema_version,
+            CORPUS_SCHEMA_VERSION,
+            "{}: wrong schema version",
+            path.display()
+        );
+        assert!(
+            !case.description.is_empty(),
+            "{}: cases must say why they are archived",
+            path.display()
+        );
+        assert!(!case.scenario.outputs.is_empty(), "{}", path.display());
+        assert!(!case.scenario.jobs.is_empty(), "{}", path.display());
+    }
+}
+
+#[test]
+fn committed_corpus_contains_every_seed_case() {
+    // `--emit-seed-corpus` writes `seed_corpus()` into tests/corpus; this
+    // pins that the committed files never drift from the code.
+    let cases = Corpus::open(corpus_dir())
+        .expect("corpus dir")
+        .load()
+        .expect("corpus loads");
+    for seed_case in seed_corpus() {
+        let committed = cases
+            .iter()
+            .map(|(_, c)| c)
+            .find(|c| c.scenario.name == seed_case.scenario.name)
+            .unwrap_or_else(|| {
+                panic!(
+                    "seed case {} missing from tests/corpus; regenerate with \
+                     `mmsynth fuzz --emit-seed-corpus --corpus tests/corpus`",
+                    seed_case.scenario.name
+                )
+            });
+        assert_eq!(
+            committed, &seed_case,
+            "committed copy of {} is stale",
+            seed_case.scenario.name
+        );
+    }
+}
+
+#[test]
+fn every_corpus_case_replays_clean_and_deterministically() {
+    let cases = Corpus::open(corpus_dir())
+        .expect("corpus dir")
+        .load()
+        .expect("corpus loads");
+    let cfg = FuzzConfig::default();
+    for (path, case) in &cases {
+        let first = run_scenario(&case.scenario, &cfg)
+            .unwrap_or_else(|e| panic!("{}: scenario error: {e}", path.display()));
+        assert!(
+            first.violations.is_empty(),
+            "{}: regression resurfaced: {:?}",
+            path.display(),
+            first.violations
+        );
+        let second = run_scenario(&case.scenario, &cfg).expect("second run");
+        assert_eq!(
+            first.fingerprint,
+            second.fingerprint,
+            "{}: replay is not deterministic",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn corpus_covers_the_key_regimes() {
+    // The corpus is only useful if it keeps exercising every pipeline
+    // regime; deleting the wrong cases should fail loudly, not silently
+    // shrink coverage.
+    let cases = Corpus::open(corpus_dir())
+        .expect("corpus dir")
+        .load()
+        .expect("corpus loads");
+    let scenarios: Vec<_> = cases.iter().map(|(_, c)| &c.scenario).collect();
+    assert!(
+        scenarios.iter().any(|s| s.zero_deadline),
+        "no degraded case"
+    );
+    assert!(scenarios.iter().any(|s| s.certify), "no certified case");
+    assert!(scenarios.iter().any(|s| s.repair), "no repair case");
+    assert!(
+        scenarios.iter().any(|s| !s.avoid_cells.is_empty()),
+        "no cell-avoidance case"
+    );
+    assert!(
+        scenarios.iter().any(|s| s.fault_plan.is_some()),
+        "no fault-campaign case"
+    );
+    assert!(
+        scenarios.iter().any(|s| s.max_conflicts.is_some()),
+        "no conflict-capped case"
+    );
+    assert!(
+        scenarios.iter().any(|s| s.max_vsteps == 0),
+        "no R-only case"
+    );
+    assert!(
+        scenarios.iter().any(|s| s.jobs.len() > 1),
+        "no multi-job invariance case"
+    );
+}

@@ -4,10 +4,15 @@
 //! `prop_assert!`/`prop_assert_eq!`, and `ProptestConfig::with_cases`.
 //!
 //! Differences from upstream: cases are generated from a fixed seed (fully
-//! deterministic, which suits CI), and failing inputs are reported but not
-//! shrunk. Case counts are honored exactly.
+//! deterministic, which suits CI), and the `proptest!` macro reports failing
+//! inputs without shrinking them. Explicit shrinking is available through the
+//! [`shrink`] module: implement [`shrink::Shrink`] for a type and call
+//! [`shrink::minimize`] with a failure predicate to greedily reduce a failing
+//! value to a local minimum. Case counts are honored exactly.
 
 #![forbid(unsafe_code)]
+
+pub mod shrink;
 
 /// Run-time configuration for a `proptest!` block.
 #[derive(Debug, Clone)]

@@ -1,0 +1,144 @@
+//! Explicit shrinking primitives.
+//!
+//! Upstream proptest shrinks through its strategy tree; this shim keeps
+//! generation and shrinking separate so domain crates can derive candidates
+//! from their own structure. A type opts in by implementing [`Shrink`]:
+//! `shrink_candidates` proposes strictly-simpler variants of a value, and
+//! [`minimize`] drives a greedy descent — it repeatedly replaces the current
+//! failing value with the first candidate that still fails, stopping at a
+//! local minimum where no candidate reproduces the failure.
+//!
+//! Determinism: candidates are explored in the order the implementation
+//! returns them and the predicate is the only source of control flow, so for
+//! a deterministic predicate the shrunk value is a pure function of the seed
+//! value.
+
+/// Types that can propose strictly-simpler variants of themselves.
+pub trait Shrink: Sized {
+    /// Candidate simplifications of `self`, simplest-first where possible.
+    ///
+    /// Every candidate must be *strictly* simpler than `self` by some
+    /// well-founded measure (fewer elements, smaller magnitude, fewer set
+    /// bits); otherwise [`minimize`] relies on its iteration bound to
+    /// terminate.
+    fn shrink_candidates(&self) -> Vec<Self>;
+}
+
+/// Upper bound on greedy descent steps, a backstop against candidate sets
+/// that are not strictly decreasing.
+const MAX_SHRINK_STEPS: usize = 10_000;
+
+/// Greedily minimizes a failing value.
+///
+/// `still_fails` must return `true` for any value that reproduces the
+/// original failure (it is guaranteed to hold for `seed`). The result is a
+/// value for which `still_fails` returned `true` and none of whose
+/// candidates reproduce the failure — a local minimum under
+/// [`Shrink::shrink_candidates`].
+pub fn minimize<T: Shrink + Clone>(seed: T, mut still_fails: impl FnMut(&T) -> bool) -> T {
+    let mut current = seed;
+    for _ in 0..MAX_SHRINK_STEPS {
+        let Some(next) = current
+            .shrink_candidates()
+            .into_iter()
+            .find(|c| still_fails(c))
+        else {
+            break;
+        };
+        current = next;
+    }
+    current
+}
+
+macro_rules! impl_shrink_uint {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink_candidates(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                if *self == 0 {
+                    return out;
+                }
+                out.push(0);
+                let half = *self / 2;
+                if half != 0 {
+                    out.push(half);
+                }
+                out.push(*self - 1);
+                out.dedup();
+                out
+            }
+        }
+    )*};
+}
+impl_shrink_uint!(u8, u16, u32, u64, usize);
+
+impl<T: Shrink + Clone> Shrink for Vec<T> {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        // Dropping elements first: structural shrinks beat value shrinks.
+        for i in 0..self.len() {
+            let mut shorter = self.clone();
+            shorter.remove(i);
+            out.push(shorter);
+        }
+        for (i, elem) in self.iter().enumerate() {
+            for cand in elem.shrink_candidates() {
+                let mut simpler = self.clone();
+                simpler[i] = cand;
+                out.push(simpler);
+            }
+        }
+        out
+    }
+}
+
+impl<T: Shrink + Clone> Shrink for Option<T> {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        match self {
+            None => Vec::new(),
+            Some(v) => {
+                let mut out = vec![None];
+                out.extend(v.shrink_candidates().into_iter().map(Some));
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uint_minimizes_to_threshold() {
+        // Failure: value >= 17. Greedy descent must land exactly on 17.
+        let shrunk = minimize(1000u64, |v| *v >= 17);
+        assert_eq!(shrunk, 17);
+    }
+
+    #[test]
+    fn uint_zero_has_no_candidates() {
+        assert!(0u32.shrink_candidates().is_empty());
+        assert_eq!(minimize(0u32, |_| true), 0);
+    }
+
+    #[test]
+    fn vec_minimizes_to_smallest_failing_subset() {
+        // Failure: contains at least two elements >= 5.
+        let seed = vec![9u32, 1, 7, 3, 8];
+        let shrunk = minimize(seed, |v| v.iter().filter(|&&x| x >= 5).count() >= 2);
+        assert_eq!(shrunk, vec![5, 5]);
+    }
+
+    #[test]
+    fn option_shrinks_to_none_when_possible() {
+        let shrunk = minimize(Some(40u8), |_| true);
+        assert_eq!(shrunk, None);
+    }
+
+    #[test]
+    fn minimize_is_deterministic() {
+        let run = || minimize(vec![250u8, 13, 99], |v| v.iter().any(|&x| x > 50));
+        assert_eq!(run(), run());
+    }
+}
