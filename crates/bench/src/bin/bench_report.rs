@@ -18,6 +18,7 @@ use std::time::Instant;
 use mm_bench::report::{BenchReport, Direction};
 use mm_boolfn::{generators, MultiOutputFn};
 use mm_device::ElectricalParams;
+use mm_service::{Attempt, AttemptResult, Engine, JobRequest, ResultCache};
 use mm_synth::fuzz::{run_fuzz, FuzzConfig};
 use mm_synth::optimize::minimize_mixed_mode;
 use mm_synth::{EncodeOptions, Synthesizer};
@@ -156,6 +157,93 @@ fn device_probe(report: &mut BenchReport) {
     );
 }
 
+/// The service-cache probe: one deterministic minimize request served
+/// three ways — cold miss, warm hit, and warm hit with `--paranoid`
+/// device re-execution. Deterministic gates: a hit must not invoke the
+/// solver, and a hit must serve the same circuit step count as the cold
+/// solve. The timings are advisory wall-clock.
+fn service_cache_probe(report: &mut BenchReport) {
+    let dir = std::env::temp_dir().join(format!("bench_service_cache_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let line = r#"{"op":"minimize","id":"bench","tables":["0110"],"max_rops":3,"max_steps":3}"#;
+    let request = JobRequest::parse(line).expect("probe request parses");
+    let attempt = Attempt {
+        index: 0,
+        max_conflicts: None,
+        backoff: std::time::Duration::ZERO,
+    };
+    let run = |engine: &Arc<Engine>| {
+        let started = Instant::now();
+        let response = match engine.run_attempt("bench", &request.op, &attempt) {
+            AttemptResult::Done(r) => r,
+            AttemptResult::Retry { reason, .. } => {
+                panic!("probe request must be conclusive, got retry: {reason}")
+            }
+        };
+        (response, started.elapsed())
+    };
+
+    let (cache, _) = ResultCache::open(&dir).expect("probe cache opens");
+    let engine = Arc::new(Engine::new(1).with_cache(cache));
+    let (cold, cold_t) = run(&engine);
+    let (warm, warm_t) = run(&engine);
+    drop(engine);
+    let (cache, recovery) = ResultCache::open(&dir).expect("probe cache reopens");
+    assert_eq!(recovery.quarantined, 0, "probe cache must survive reopen");
+    let engine = Arc::new(Engine::new(1).with_cache(cache.with_paranoid(true)));
+    let (paranoid, paranoid_t) = run(&engine);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(cold.cache.map(|c| c.as_str()), Some("miss"));
+    assert_eq!(warm.cache.map(|c| c.as_str()), Some("hit"));
+    assert_eq!(paranoid.cache.map(|c| c.as_str()), Some("hit"));
+    let steps = |r: &mm_service::JobResponse| {
+        r.metrics
+            .as_ref()
+            .map(|m| m.n_steps as f64)
+            .expect("probe solve yields a circuit")
+    };
+    assert_eq!(steps(&warm), steps(&cold), "hit must match the cold solve");
+
+    let lower = Direction::Lower;
+    report.push(
+        "service_cache_hit_solver_calls",
+        warm.solver_calls.unwrap_or(u64::MAX) as f64,
+        "count",
+        lower,
+        true,
+    );
+    report.push(
+        "service_cache_cold_solver_calls",
+        cold.solver_calls.unwrap_or(0) as f64,
+        "count",
+        lower,
+        true,
+    );
+    report.push("service_cache_steps", steps(&cold), "count", lower, true);
+    report.push(
+        "service_cache_cold_us",
+        cold_t.as_micros() as f64,
+        "us",
+        lower,
+        false,
+    );
+    report.push(
+        "service_cache_hit_us",
+        warm_t.as_micros() as f64,
+        "us",
+        lower,
+        false,
+    );
+    report.push(
+        "service_cache_paranoid_hit_us",
+        paranoid_t.as_micros() as f64,
+        "us",
+        lower,
+        false,
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut pr: u64 = 0;
@@ -178,11 +266,12 @@ fn main() {
     ladder_probe(&mut report, "maj3", &generators::majority_gate(3), 4);
     fuzz_probe(&mut report);
     device_probe(&mut report);
+    service_cache_probe(&mut report);
 
     let json = report.to_json().expect("bench report serializes");
     match out_path {
         Some(path) => {
-            std::fs::write(&path, format!("{json}\n")).expect("write bench report");
+            mm_telemetry::atomic_write(&path, format!("{json}\n")).expect("write bench report");
             eprintln!("wrote {path} ({} metrics)", report.metrics.len());
         }
         None => println!("{json}"),

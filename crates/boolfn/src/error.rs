@@ -38,6 +38,12 @@ pub enum BoolFnError {
     },
     /// A multi-output function was built without any outputs.
     EmptyFunction,
+    /// An [`NpnTransform`](crate::npn::NpnTransform) was built from parts
+    /// that are not bijections on the function shape.
+    InvalidTransform {
+        /// Explanation of what went wrong.
+        reason: String,
+    },
     /// The polynomial passed to [`Gf2m`](crate::Gf2m) is not valid for the
     /// requested field size.
     InvalidFieldPolynomial {
@@ -78,6 +84,9 @@ impl fmt::Display for BoolFnError {
             }
             Self::ParseBitstring { reason } => write!(f, "invalid truth-table bitstring: {reason}"),
             Self::EmptyFunction => write!(f, "multi-output function must have at least one output"),
+            Self::InvalidTransform { reason } => {
+                write!(f, "invalid NPN transform: {reason}")
+            }
             Self::InvalidFieldPolynomial { m, poly } => {
                 write!(
                     f,

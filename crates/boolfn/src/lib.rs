@@ -60,6 +60,7 @@ mod truth_table;
 
 pub mod arbitrary;
 pub mod generators;
+pub mod npn;
 pub mod qmc;
 
 pub use error::BoolFnError;

@@ -194,6 +194,75 @@ impl MmCircuit {
         Metrics::of(self)
     }
 
+    /// Rebuilds the circuit with every literal (V-op electrodes, R-op
+    /// literal feeds, literal output taps) passed through `map`.
+    ///
+    /// This is the de-canonicalization primitive of the NPN result cache:
+    /// an input permutation or polarity flip is a bijection on the driver
+    /// set `L_n`, so relabeling literals preserves every cost metric and
+    /// the structural shape — only the *function computed* changes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CircuitError`] if `map` produces a literal outside the
+    /// circuit's input range (the rebuilt circuit is re-validated).
+    pub fn map_literals(&self, map: impl Fn(Literal) -> Literal) -> Result<Self, CircuitError> {
+        let map_signal = |s: Signal| match s {
+            Signal::Literal(l) => Signal::Literal(map(l)),
+            other => other,
+        };
+        let mut b = Self::builder(self.n_inputs);
+        for leg in &self.legs {
+            b = b.leg(VLeg::new(
+                leg.ops()
+                    .iter()
+                    .map(|op| VOp::new(map(op.te), map(op.be)))
+                    .collect(),
+            ));
+        }
+        for rop in &self.rops {
+            b = b.rop(ROp {
+                kind: rop.kind,
+                in1: map_signal(rop.in1),
+                in2: map_signal(rop.in2),
+            });
+        }
+        for &o in &self.outputs {
+            b = b.output(map_signal(o));
+        }
+        b.build()
+    }
+
+    /// Rebuilds the circuit with output tap `k` reading the current output
+    /// `perm[k]` (the other half of NPN de-canonicalization).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `perm` is not a permutation of `0..n_outputs` — callers
+    /// pass the validated permutation of an
+    /// [`NpnTransform`](mm_boolfn::npn::NpnTransform).
+    pub fn reorder_outputs(&self, perm: &[usize]) -> Self {
+        assert_eq!(perm.len(), self.outputs.len(), "output permutation length");
+        let mut seen = vec![false; perm.len()];
+        let outputs = perm
+            .iter()
+            .map(|&k| {
+                assert!(
+                    k < self.outputs.len() && !seen[k],
+                    "output permutation is not a bijection"
+                );
+                seen[k] = true;
+                self.outputs[k]
+            })
+            .collect();
+        Self {
+            n_inputs: self.n_inputs,
+            legs: self.legs.clone(),
+            rops: self.rops.clone(),
+            outputs,
+        }
+    }
+
     /// The distinct literals that feed R-ops directly (each occupies one
     /// preloaded device in the schedule).
     pub fn literal_feeds(&self) -> Vec<Literal> {
@@ -411,6 +480,91 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(c.literal_feeds(), vec![Literal::Pos(2)]);
+    }
+
+    #[test]
+    fn map_literals_relabels_every_site() {
+        let c = MmCircuit::builder(2)
+            .leg(VLeg::new(vec![VOp::new(Literal::Pos(1), Literal::Neg(2))]))
+            .rop(ROp::nor(Signal::Literal(Literal::Pos(2)), Signal::Leg(0)))
+            .output(Signal::ROp(0))
+            .output(Signal::Literal(Literal::Neg(1)))
+            .build()
+            .unwrap();
+        let mapped = c.map_literals(Literal::complement).unwrap();
+        assert_eq!(
+            mapped.legs()[0].ops()[0],
+            VOp::new(Literal::Neg(1), Literal::Pos(2))
+        );
+        assert_eq!(mapped.rops()[0].in1, Signal::Literal(Literal::Neg(2)));
+        assert_eq!(mapped.outputs()[1], Signal::Literal(Literal::Pos(1)));
+        // Structure and metrics untouched.
+        assert_eq!(mapped.metrics(), c.metrics());
+        // An out-of-range relabel is rejected by re-validation.
+        assert!(c.map_literals(|_| Literal::Pos(9)).is_err());
+    }
+
+    #[test]
+    fn reorder_outputs_permutes_taps() {
+        let c = MmCircuit::builder(2)
+            .leg(xleg(1))
+            .rop(ROp::nor(Signal::Leg(0), Signal::Leg(0)))
+            .output(Signal::ROp(0))
+            .output(Signal::Leg(0))
+            .build()
+            .unwrap();
+        let r = c.reorder_outputs(&[1, 0]);
+        assert_eq!(r.outputs(), &[Signal::Leg(0), Signal::ROp(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a bijection")]
+    fn reorder_outputs_rejects_duplicates() {
+        let c = MmCircuit::builder(2)
+            .leg(xleg(1))
+            .output(Signal::Leg(0))
+            .output(Signal::Leg(0))
+            .build()
+            .unwrap();
+        let _ = c.reorder_outputs(&[0, 0]);
+    }
+
+    #[test]
+    fn npn_transformed_circuit_implements_transformed_function() {
+        use mm_boolfn::npn::NpnTransform;
+        use mm_boolfn::{generators, MultiOutputFn, TruthTable};
+
+        // NOR(x1, x2) as a circuit, plus a leg-computed second output so
+        // both literal sites and output reordering are exercised.
+        let c = MmCircuit::builder(2)
+            .leg(VLeg::new(vec![VOp::new(Literal::Pos(1), Literal::Const0)]))
+            .rop(ROp::nor(
+                Signal::Literal(Literal::Pos(1)),
+                Signal::Literal(Literal::Pos(2)),
+            ))
+            .output(Signal::ROp(0))
+            .output(Signal::Leg(0))
+            .build()
+            .unwrap();
+        let nor = generators::nor_gate(2).outputs()[0].clone();
+        let x1 = TruthTable::var(2, 1).unwrap();
+        let g = MultiOutputFn::new("g", vec![nor, x1]).unwrap();
+        assert!(c.implements(&g));
+
+        for (perm, flips, out_perm) in [
+            (vec![2u8, 1], 0b00u32, vec![0usize, 1]),
+            (vec![1, 2], 0b01, vec![1, 0]),
+            (vec![2, 1], 0b11, vec![1, 0]),
+        ] {
+            let t = NpnTransform::new(2, perm, flips, out_perm).unwrap();
+            let h = t.apply(&g);
+            let ct = c
+                .map_literals(|l| t.map_literal(l))
+                .unwrap()
+                .reorder_outputs(t.output_perm());
+            assert!(ct.implements(&h), "transform {t:?}");
+            assert_eq!(ct.metrics(), c.metrics());
+        }
     }
 
     #[test]

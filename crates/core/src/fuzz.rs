@@ -724,7 +724,9 @@ impl Corpus {
             .collect();
         let path = self.dir.join(format!("{stem}.json"));
         let text = serde_json::to_string_pretty(case).map_err(std::io::Error::other)?;
-        fs::write(&path, text)?;
+        // Atomic: a crash mid-archive must not leave a torn corpus case
+        // that poisons every later replay run.
+        mm_telemetry::atomic_write(&path, text)?;
         Ok(path)
     }
 

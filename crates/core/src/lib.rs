@@ -61,6 +61,7 @@ pub mod fuzz;
 pub mod heuristic;
 pub mod optimize;
 pub mod repair;
+pub mod request;
 pub mod universality;
 
 pub use encoder::EncodeStats;

@@ -1,0 +1,188 @@
+//! Deterministic retry schedules for supervised jobs.
+//!
+//! The supervisor retries a job whose attempt ended inconclusively
+//! (budget exhausted, worker panic) with an *escalating conflict budget*
+//! — the same geometric pattern the repair loop uses
+//! ([`mm_synth::repair`]) — and a bounded, deterministically jittered
+//! backoff delay between attempts. Everything here is a pure function of
+//! `(policy, attempt, seed)`: no clocks, no randomness sources, no
+//! sleeping. The supervisor decides *whether* and *how long* to wait from
+//! these values; tests assert the schedule directly and never sleep.
+
+use std::time::Duration;
+
+/// Retry policy for one job class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts allowed, including the first (`0` behaves as `1`).
+    pub max_attempts: u32,
+    /// Conflict budget of the first attempt when the request itself has no
+    /// limit. `None` disables escalation: every attempt is unlimited and
+    /// only panics are retried.
+    pub base_conflicts: Option<u64>,
+    /// Geometric growth factor applied to the conflict budget per retry.
+    pub escalation: u32,
+    /// Backoff before the first retry; doubles each further retry.
+    pub base_backoff: Duration,
+    /// Hard cap on any single backoff delay.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            base_conflicts: None,
+            escalation: 4,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+        }
+    }
+}
+
+/// What one attempt should run with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Attempt {
+    /// 0-based attempt index.
+    pub index: u32,
+    /// Conflict budget for this attempt (`None` = unlimited).
+    pub max_conflicts: Option<u64>,
+    /// Delay to wait *before* this attempt (zero for the first).
+    pub backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// The schedule entry for `attempt` (0-based), or `None` when the
+    /// policy is exhausted. `base` is the request's own conflict limit; it
+    /// wins over `base_conflicts` as the escalation seed so a caller's
+    /// explicit budget is honored on the first attempt and only *raised*
+    /// on retries. `seed` (e.g. a job-id hash) deterministically jitters
+    /// the backoff by up to 25% so synchronized clients do not retry in
+    /// lockstep.
+    pub fn attempt(&self, attempt: u32, base: Option<u64>, seed: u64) -> Option<Attempt> {
+        if attempt >= self.max_attempts.max(1) {
+            return None;
+        }
+        let seed_budget = base.or(self.base_conflicts);
+        let max_conflicts = seed_budget
+            .map(|b| b.saturating_mul(u64::from(self.escalation.max(1)).saturating_pow(attempt)));
+        let backoff = if attempt == 0 {
+            Duration::ZERO
+        } else {
+            let exp = self
+                .base_backoff
+                .saturating_mul(2u32.saturating_pow(attempt - 1))
+                .min(self.max_backoff);
+            jitter(exp, seed, attempt)
+        };
+        Some(Attempt {
+            index: attempt,
+            max_conflicts,
+            backoff,
+        })
+    }
+}
+
+/// Deterministic ±0/+25% jitter: a splitmix-style hash of `(seed,
+/// attempt)` scales the delay. Pure, so the schedule is reproducible for
+/// a given job id.
+fn jitter(d: Duration, seed: u64, attempt: u32) -> Duration {
+    let mut z = seed ^ (u64::from(attempt) << 32) ^ 0x9e37_79b9_7f4a_7c15;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    let frac = (z % 256) as u32; // 0..=255 → up to +25%
+    d + d.mul_f64(f64::from(frac) / 1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_attempt_is_immediate_and_honors_request_budget() {
+        let p = RetryPolicy::default();
+        let a = p.attempt(0, Some(1000), 7).unwrap();
+        assert_eq!(a.index, 0);
+        assert_eq!(a.max_conflicts, Some(1000));
+        assert_eq!(a.backoff, Duration::ZERO);
+    }
+
+    #[test]
+    fn budgets_escalate_geometrically() {
+        let p = RetryPolicy {
+            escalation: 4,
+            max_attempts: 4,
+            ..RetryPolicy::default()
+        };
+        let budgets: Vec<_> = (0..4)
+            .map(|i| p.attempt(i, Some(100), 0).unwrap().max_conflicts)
+            .collect();
+        assert_eq!(budgets, vec![Some(100), Some(400), Some(1600), Some(6400)]);
+    }
+
+    #[test]
+    fn unlimited_requests_stay_unlimited_without_base_conflicts() {
+        let p = RetryPolicy {
+            base_conflicts: None,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.attempt(1, None, 0).unwrap().max_conflicts, None);
+        // With a policy base, unlimited requests get the escalating ladder.
+        let p = RetryPolicy {
+            base_conflicts: Some(50),
+            escalation: 2,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.attempt(2, None, 0).unwrap().max_conflicts, Some(200));
+    }
+
+    #[test]
+    fn schedule_is_bounded_and_deterministic() {
+        let p = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        assert!(p.attempt(3, None, 0).is_none());
+        assert!(p.attempt(99, None, 0).is_none());
+        // Same (policy, attempt, seed) → same delay, different seed → may differ.
+        let a = p.attempt(2, None, 41).unwrap();
+        let b = p.attempt(2, None, 41).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps_with_bounded_jitter() {
+        let p = RetryPolicy {
+            max_attempts: 16,
+            base_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_millis(400),
+            ..RetryPolicy::default()
+        };
+        for attempt in 1..16 {
+            let a = p.attempt(attempt, None, 3).unwrap();
+            let exp = Duration::from_millis(100)
+                .saturating_mul(2u32.saturating_pow(attempt - 1))
+                .min(Duration::from_millis(400));
+            assert!(a.backoff >= exp, "jitter never shortens the delay");
+            assert!(
+                a.backoff <= exp + exp.mul_f64(0.25),
+                "jitter adds at most 25%"
+            );
+        }
+    }
+
+    #[test]
+    fn overflow_saturates_instead_of_wrapping() {
+        let p = RetryPolicy {
+            max_attempts: u32::MAX,
+            escalation: u32::MAX,
+            base_backoff: Duration::from_secs(1),
+            max_backoff: Duration::from_secs(3600),
+            ..RetryPolicy::default()
+        };
+        let a = p.attempt(64, Some(u64::MAX / 2), 0).unwrap();
+        assert_eq!(a.max_conflicts, Some(u64::MAX));
+        assert!(a.backoff <= Duration::from_secs(3600) + Duration::from_secs(900));
+    }
+}

@@ -1,0 +1,721 @@
+//! The persistent, content-addressed, NPN-canonical result cache.
+//!
+//! # Key derivation
+//!
+//! A cache key identifies the *verdict-determining facet* of a minimize
+//! job: the canonical representative of the function under the
+//! cost-preserving NPN subgroup ([`mm_boolfn::npn::canonicalize`]) plus
+//! the ladder shape and conflict limit
+//! ([`MinimizeRequest::cache_facet`]). The key is the FNV-1a hash (two
+//! independent 64-bit streams, 32 hex chars) of that facet's canonical
+//! JSON serialization. Hashes only *address* entries — every entry stores
+//! its full key material, and [`lookup`](ResultCache::lookup) compares it
+//! against the request, so a hash collision degrades into a miss, never a
+//! wrong answer.
+//!
+//! # On-disk format
+//!
+//! `<dir>/entries/<key>.json`, written atomically
+//! ([`mm_telemetry::atomic_write`]), two lines:
+//!
+//! ```text
+//! {"cache_schema":1,"checksum":"<fnv1a64 of the payload line>"}
+//! {...payload json...}
+//! ```
+//!
+//! A reader validates the header schema and the payload checksum before
+//! parsing the payload; any mismatch (torn write, truncation, bit flip,
+//! schema bump) moves the file to `<dir>/quarantine/` and reports a miss.
+//! [`ResultCache::open`] runs the same validation as a *recovery scan*
+//! over every entry, deleting in-flight temp files a killed process left
+//! behind ([`mm_telemetry::atomic::is_temp_artifact`]).
+//!
+//! # Paranoid mode
+//!
+//! With [`paranoid`](ResultCache::with_paranoid), every hit's circuit is
+//! re-executed exhaustively on the nominal device model
+//! ([`mm_device::LineArray`]) before being served; a circuit that does not
+//! reproduce its function row-for-row is quarantined and the job falls
+//! through to a fresh solve. A poisoned cache can therefore never emit a
+//! wrong answer, only cost time.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use mm_boolfn::MultiOutputFn;
+use mm_circuit::{MmCircuit, Schedule};
+use mm_device::{ElectricalParams, LineArray, MeasurementTrace};
+use mm_sat::DratProof;
+use mm_synth::request::{MinimizeMode, MinimizeRequest};
+use mm_telemetry::atomic::is_temp_artifact;
+use mm_telemetry::atomic_write;
+use serde::{Deserialize, Serialize, Value};
+
+/// Bump when [`CacheEntry`]'s serialization changes shape; readers
+/// quarantine entries from other versions instead of guessing.
+pub const CACHE_SCHEMA_VERSION: u64 = 1;
+
+/// Seed used for the deterministic device re-execution that produces the
+/// stored [`MeasurementTrace`] and backs paranoid verification.
+const DEVICE_SEED: u64 = 0xCAC4E;
+
+/// FNV-1a 64-bit.
+fn fnv1a64(bytes: &[u8], offset: u64) -> u64 {
+    let mut h = offset;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The content-address of one cacheable job facet.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey(String);
+
+impl CacheKey {
+    /// Derives the key for `(canonical function, request facet)`.
+    pub fn derive(canonical: &MultiOutputFn, request: &MinimizeRequest) -> Self {
+        let (mode, max_conflicts) = request.cache_facet();
+        let material = serde_json::to_string(&KeyMaterial {
+            tables: table_bits(canonical),
+            n_inputs: u64::from(canonical.n_inputs()),
+            mode,
+            max_conflicts,
+        })
+        .expect("key material serializes");
+        let a = fnv1a64(material.as_bytes(), 0xcbf2_9ce4_8422_2325);
+        let b = fnv1a64(material.as_bytes(), 0x6c62_272e_07bb_0142);
+        Self(format!("{a:016x}{b:016x}"))
+    }
+
+    /// The hex form used as the entry file stem.
+    pub fn as_hex(&self) -> &str {
+        &self.0
+    }
+}
+
+/// What the key hashes: canonical truth tables + ladder facet.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+struct KeyMaterial {
+    tables: Vec<String>,
+    n_inputs: u64,
+    mode: MinimizeMode,
+    max_conflicts: Option<u64>,
+}
+
+/// A function's output tables as bitstrings (row 0 first), the stable
+/// textual form used in key material and collision checks.
+fn table_bits(f: &MultiOutputFn) -> Vec<String> {
+    f.outputs()
+        .iter()
+        .map(|t| {
+            (0..t.n_rows())
+                .map(|q| if t.get(q) { '1' } else { '0' })
+                .collect()
+        })
+        .collect()
+}
+
+/// `Value` accessors the shim does not provide.
+fn value_u64(v: Option<&Value>) -> Option<u64> {
+    match v {
+        Some(Value::UInt(x)) => Some(*x),
+        _ => None,
+    }
+}
+
+fn value_str(v: Option<&Value>) -> Option<&str> {
+    match v {
+        Some(Value::Str(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// One cached result: the canonical function, the request facet it
+/// answers, and the complete canonical verdict (circuit, proof, trace).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct CacheEntry {
+    /// The canonical representative the solver actually ran on.
+    pub canonical: MultiOutputFn,
+    /// Ladder shape of the cached run.
+    pub mode: MinimizeMode,
+    /// Conflict limit of the cached run (`None` = unlimited).
+    pub max_conflicts: Option<u64>,
+    /// The minimal circuit for `canonical`, if one exists within budget.
+    pub circuit: Option<MmCircuit>,
+    /// Whether minimality was proved (UNSAT at the next smaller budget).
+    pub proven_optimal: bool,
+    /// The checker-accepted refutation of the rung below the optimum,
+    /// when the run was certified and such a rung exists.
+    pub proof: Option<DratProof>,
+    /// Deterministic device-model execution trace of `circuit` (seed
+    /// [`DEVICE_SEED`], nominal BFO parameters, input row 0).
+    pub trace: Option<MeasurementTrace>,
+    /// Solver calls the original run spent, kept so hit responses can
+    /// report the work they saved.
+    pub solver_calls: u64,
+}
+
+impl CacheEntry {
+    /// Whether the stored key material matches the request — the
+    /// collision guard behind content addressing. Compares truth tables,
+    /// not [`MultiOutputFn`] equality: the function *name* is not key
+    /// material (xor2 and xnor2 share one canonical entry, as do a named
+    /// CLI function and the same tables sent over the wire).
+    fn answers(&self, canonical: &MultiOutputFn, request: &MinimizeRequest) -> bool {
+        let (mode, max_conflicts) = request.cache_facet();
+        self.canonical.n_inputs() == canonical.n_inputs()
+            && self.canonical.outputs() == canonical.outputs()
+            && self.mode == mode
+            && self.max_conflicts == max_conflicts
+    }
+}
+
+/// Counters the cache maintains for telemetry and the `stats` op.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from disk.
+    pub hits: u64,
+    /// Lookups that found no (valid) entry.
+    pub misses: u64,
+    /// Entries written.
+    pub stores: u64,
+    /// Entries quarantined (at startup or on lookup).
+    pub quarantined: u64,
+}
+
+/// What the startup recovery scan found.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Entries that validated clean.
+    pub valid: u64,
+    /// Entries moved to quarantine (torn, truncated, bit-flipped, or from
+    /// another schema version).
+    pub quarantined: u64,
+    /// Abandoned in-flight temp files deleted.
+    pub temps_removed: u64,
+}
+
+/// Why a stored entry failed validation.
+#[derive(Debug)]
+enum EntryFault {
+    Io(io::Error),
+    Malformed(String),
+}
+
+impl std::fmt::Display for EntryFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "io: {e}"),
+            Self::Malformed(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// The persistent result cache. All methods are `&self` and thread-safe;
+/// concurrent stores of the same key are resolved by last-rename-wins.
+#[derive(Debug)]
+pub struct ResultCache {
+    entries: PathBuf,
+    quarantine: PathBuf,
+    index_path: PathBuf,
+    paranoid: bool,
+    stats: Mutex<CacheStats>,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) the cache at `dir` and runs the
+    /// recovery scan: abandoned temp files are deleted and every entry is
+    /// validated, with failures quarantined.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory creation/listing failures. Per-entry faults
+    /// never fail `open`; they are quarantined and counted.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<(Self, RecoveryReport)> {
+        let dir = dir.as_ref();
+        let cache = Self {
+            entries: dir.join("entries"),
+            quarantine: dir.join("quarantine"),
+            index_path: dir.join("index.json"),
+            paranoid: false,
+            stats: Mutex::new(CacheStats::default()),
+        };
+        fs::create_dir_all(&cache.entries)?;
+        fs::create_dir_all(&cache.quarantine)?;
+        let report = cache.recovery_scan()?;
+        cache
+            .stats
+            .lock()
+            .expect("cache stats poisoned")
+            .quarantined = report.quarantined;
+        Ok((cache, report))
+    }
+
+    /// Enables paranoid mode: hits are re-executed on the device model
+    /// before being served.
+    pub fn with_paranoid(mut self, paranoid: bool) -> Self {
+        self.paranoid = paranoid;
+        self
+    }
+
+    /// Whether paranoid verification is active.
+    pub fn is_paranoid(&self) -> bool {
+        self.paranoid
+    }
+
+    /// Snapshot of the hit/miss/store/quarantine counters.
+    pub fn stats(&self) -> CacheStats {
+        *self.stats.lock().expect("cache stats poisoned")
+    }
+
+    /// Number of (currently valid) entries on disk.
+    pub fn len(&self) -> u64 {
+        fs::read_dir(&self.entries)
+            .map(|d| d.filter_map(Result::ok).count() as u64)
+            .unwrap_or(0)
+    }
+
+    /// Whether the entry directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn recovery_scan(&self) -> io::Result<RecoveryReport> {
+        let mut report = RecoveryReport::default();
+        // Temp droppings can sit next to the index as well as the entries.
+        for dir in [
+            self.entries.parent().unwrap_or(&self.entries),
+            &self.entries,
+        ] {
+            for item in fs::read_dir(dir)? {
+                let item = item?;
+                let name = item.file_name().to_string_lossy().into_owned();
+                if is_temp_artifact(&name) && item.path().is_file() {
+                    fs::remove_file(item.path())?;
+                    report.temps_removed += 1;
+                }
+            }
+        }
+        for item in fs::read_dir(&self.entries)? {
+            let path = item?.path();
+            if !path.is_file() {
+                continue;
+            }
+            match self.read_entry(&path) {
+                Ok(_) => report.valid += 1,
+                Err(fault) => {
+                    self.quarantine_file(&path, &fault);
+                    report.quarantined += 1;
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    fn entry_path(&self, key: &CacheKey) -> PathBuf {
+        self.entries.join(format!("{}.json", key.as_hex()))
+    }
+
+    /// Parses + validates one entry file: header schema, payload
+    /// checksum, payload shape.
+    fn read_entry(&self, path: &Path) -> Result<CacheEntry, EntryFault> {
+        let text = fs::read_to_string(path).map_err(EntryFault::Io)?;
+        let (header, payload) = text
+            .split_once('\n')
+            .ok_or_else(|| EntryFault::Malformed("missing header/payload split".into()))?;
+        let header: Value = serde_json::from_str(header)
+            .map_err(|e| EntryFault::Malformed(format!("bad header: {e}")))?;
+        let schema = value_u64(header.get("cache_schema"))
+            .ok_or_else(|| EntryFault::Malformed("header missing cache_schema".into()))?;
+        if schema != CACHE_SCHEMA_VERSION {
+            return Err(EntryFault::Malformed(format!(
+                "schema {schema}, expected {CACHE_SCHEMA_VERSION}"
+            )));
+        }
+        let recorded = value_str(header.get("checksum"))
+            .ok_or_else(|| EntryFault::Malformed("header missing checksum".into()))?
+            .to_string();
+        let payload = payload.trim_end_matches('\n');
+        let actual = format!(
+            "{:016x}",
+            fnv1a64(payload.as_bytes(), 0xcbf2_9ce4_8422_2325)
+        );
+        if recorded != actual {
+            return Err(EntryFault::Malformed(format!(
+                "checksum mismatch: header {recorded}, payload {actual}"
+            )));
+        }
+        let value: Value = serde_json::from_str(payload)
+            .map_err(|e| EntryFault::Malformed(format!("bad payload json: {e}")))?;
+        CacheEntry::from_value(&value)
+            .map_err(|e| EntryFault::Malformed(format!("bad payload shape: {e}")))
+    }
+
+    fn quarantine_file(&self, path: &Path, fault: &EntryFault) {
+        let name = path
+            .file_name()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "entry".into());
+        let dest = self.quarantine.join(&name);
+        // Rename keeps the evidence; if even that fails, remove so the
+        // poison cannot be served.
+        if fs::rename(path, &dest).is_err() {
+            let _ = fs::remove_file(path);
+        } else {
+            let note = self.quarantine.join(format!("{name}.reason"));
+            let _ = atomic_write(&note, format!("{fault}\n"));
+        }
+    }
+
+    fn note_quarantine(&self) {
+        self.stats.lock().expect("cache stats poisoned").quarantined += 1;
+    }
+
+    /// Looks up the entry answering `(canonical, request)`. Invalid or
+    /// mismatching entries are quarantined and reported as a miss; in
+    /// paranoid mode the stored circuit must additionally reproduce
+    /// `canonical` on the device model.
+    pub fn lookup(
+        &self,
+        canonical: &MultiOutputFn,
+        request: &MinimizeRequest,
+    ) -> Option<CacheEntry> {
+        let key = CacheKey::derive(canonical, request);
+        let path = self.entry_path(&key);
+        if !path.exists() {
+            self.stats.lock().expect("cache stats poisoned").misses += 1;
+            return None;
+        }
+        let entry = match self.read_entry(&path) {
+            Ok(entry) => entry,
+            Err(fault) => {
+                self.quarantine_file(&path, &fault);
+                self.note_quarantine();
+                self.stats.lock().expect("cache stats poisoned").misses += 1;
+                return None;
+            }
+        };
+        if !entry.answers(canonical, request) {
+            // A hash collision: the entry is valid, just not ours. Leave
+            // it for its rightful owner and miss.
+            self.stats.lock().expect("cache stats poisoned").misses += 1;
+            return None;
+        }
+        if self.paranoid && !paranoid_check(&entry) {
+            let fault = EntryFault::Malformed(
+                "paranoid re-execution: circuit does not implement its function".into(),
+            );
+            self.quarantine_file(&path, &fault);
+            self.note_quarantine();
+            self.stats.lock().expect("cache stats poisoned").misses += 1;
+            return None;
+        }
+        self.stats.lock().expect("cache stats poisoned").hits += 1;
+        Some(entry)
+    }
+
+    /// Atomically persists `entry` under its derived key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization and I/O failures.
+    pub fn store(&self, request: &MinimizeRequest, entry: &CacheEntry) -> io::Result<()> {
+        let key = CacheKey::derive(&entry.canonical, request);
+        let payload = serde_json::to_string(entry).map_err(io::Error::other)?;
+        let checksum = format!(
+            "{:016x}",
+            fnv1a64(payload.as_bytes(), 0xcbf2_9ce4_8422_2325)
+        );
+        let text = format!(
+            "{}\n{payload}\n",
+            serde_json::to_string(&Value::Object(vec![
+                ("cache_schema".into(), Value::UInt(CACHE_SCHEMA_VERSION)),
+                ("checksum".into(), Value::Str(checksum)),
+            ]))
+            .map_err(io::Error::other)?
+        );
+        atomic_write(self.entry_path(&key), text)?;
+        self.stats.lock().expect("cache stats poisoned").stores += 1;
+        Ok(())
+    }
+
+    /// Writes the informational `index.json` (schema version, entry
+    /// count, counters) atomically. The index is advisory — recovery
+    /// rebuilds the truth from the entry files — but flushing it on
+    /// shutdown gives operators a cheap health snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization and I/O failures.
+    pub fn flush_index(&self) -> io::Result<()> {
+        let stats = self.stats();
+        let index = Value::Object(vec![
+            ("cache_schema".into(), Value::UInt(CACHE_SCHEMA_VERSION)),
+            ("entries".into(), Value::UInt(self.len())),
+            ("stats".into(), Serialize::to_value(&stats)),
+        ]);
+        let text = serde_json::to_string_pretty(&index).map_err(io::Error::other)?;
+        atomic_write(&self.index_path, format!("{text}\n"))
+    }
+}
+
+/// Executes `circuit` on a fresh nominal-parameter device array and
+/// returns its measurement trace. Shared by entry creation (the stored
+/// trace) and paranoid verification, so both observe the same model.
+pub fn device_trace(circuit: &MmCircuit) -> Option<MeasurementTrace> {
+    let schedule = Schedule::compile(circuit).ok()?;
+    let mut array = LineArray::bfo(schedule.n_cells(), ElectricalParams::bfo(), DEVICE_SEED);
+    schedule.execute(0, &mut array);
+    Some(array.trace().clone())
+}
+
+/// Exhaustive device-model re-execution: every input row must reproduce
+/// the stored canonical function. Entries without a circuit pass
+/// trivially (there is nothing executable to poison).
+fn paranoid_check(entry: &CacheEntry) -> bool {
+    let Some(circuit) = &entry.circuit else {
+        return true;
+    };
+    let Ok(schedule) = Schedule::compile(circuit) else {
+        return false;
+    };
+    let f = &entry.canonical;
+    for q in 0..f.n_rows() as u32 {
+        let mut array = LineArray::bfo(schedule.n_cells(), ElectricalParams::bfo(), DEVICE_SEED);
+        let got = schedule.execute(q, &mut array);
+        let want: Vec<bool> = (0..f.n_outputs())
+            .map(|i| f.output(i).expect("output in range").get(q as usize))
+            .collect();
+        if got != want {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use mm_boolfn::generators;
+    use mm_boolfn::npn::canonicalize;
+    use mm_synth::{EncodeOptions, Synthesizer};
+
+    use super::*;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mm_cache_{}_{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn solved_entry(f: &MultiOutputFn, request: &MinimizeRequest) -> CacheEntry {
+        let run = mm_synth::request::minimize_canonical(
+            request,
+            &Synthesizer::new(),
+            f,
+            &EncodeOptions::recommended(),
+            2,
+        )
+        .expect("solve");
+        let circuit = run.report.best;
+        CacheEntry {
+            canonical: run.canonical,
+            mode: request.cache_facet().0,
+            max_conflicts: request.max_conflicts,
+            trace: circuit.as_ref().and_then(device_trace),
+            circuit,
+            proven_optimal: run.report.proven_optimal,
+            proof: None,
+            solver_calls: run.report.calls.len() as u64,
+        }
+    }
+
+    #[test]
+    fn store_then_lookup_roundtrips_bit_identically() {
+        let dir = temp_dir("roundtrip");
+        let (cache, recovery) = ResultCache::open(&dir).unwrap();
+        assert_eq!(recovery, RecoveryReport::default());
+        let f = generators::xor_gate(2);
+        let request = MinimizeRequest::mixed_mode(3, 3, false);
+        let entry = solved_entry(&f, &request);
+        cache.store(&request, &entry).unwrap();
+
+        let (canonical, _) = canonicalize(&f);
+        let hit = cache.lookup(&canonical, &request).expect("hit");
+        assert_eq!(hit.canonical, entry.canonical);
+        assert_eq!(hit.circuit, entry.circuit);
+        assert_eq!(hit.proven_optimal, entry.proven_optimal);
+        assert_eq!(hit.trace, entry.trace);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.stores), (1, 0, 1));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn npn_equivalent_functions_share_one_entry() {
+        let dir = temp_dir("npn_share");
+        let (cache, _) = ResultCache::open(&dir).unwrap();
+        let request = MinimizeRequest::mixed_mode(3, 3, false);
+        let entry = solved_entry(&generators::xor_gate(2), &request);
+        cache.store(&request, &entry).unwrap();
+        // XNOR canonicalizes to the same representative as XOR.
+        let (canonical, _) = canonicalize(&generators::xnor_gate(2));
+        assert!(cache.lookup(&canonical, &request).is_some());
+        assert_eq!(cache.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn different_budgets_address_different_entries() {
+        let f = generators::and_gate(2);
+        let mut limited = MinimizeRequest::mixed_mode(3, 3, false);
+        limited.max_conflicts = Some(10);
+        let unlimited = MinimizeRequest::mixed_mode(3, 3, false);
+        let (canonical, _) = canonicalize(&f);
+        assert_ne!(
+            CacheKey::derive(&canonical, &limited),
+            CacheKey::derive(&canonical, &unlimited)
+        );
+        // Deadlines do not split the address space.
+        let mut with_deadline = unlimited.clone();
+        with_deadline.deadline = Some(std::time::Duration::from_secs(5));
+        assert_eq!(
+            CacheKey::derive(&canonical, &unlimited),
+            CacheKey::derive(&canonical, &with_deadline)
+        );
+    }
+
+    #[test]
+    fn truncated_entry_is_quarantined_on_lookup() {
+        let dir = temp_dir("truncate");
+        let (cache, _) = ResultCache::open(&dir).unwrap();
+        let f = generators::or_gate(2);
+        let request = MinimizeRequest::mixed_mode(3, 3, false);
+        let entry = solved_entry(&f, &request);
+        cache.store(&request, &entry).unwrap();
+        let (canonical, _) = canonicalize(&f);
+        let key = CacheKey::derive(&canonical, &request);
+        let path = cache.entry_path(&key);
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &text[..text.len() / 2]).unwrap();
+
+        assert!(cache.lookup(&canonical, &request).is_none());
+        assert!(!path.exists(), "torn entry removed from entries/");
+        assert_eq!(cache.stats().quarantined, 1);
+        assert_eq!(
+            fs::read_dir(dir.join("quarantine")).unwrap().count(),
+            2,
+            "quarantine holds the entry plus its .reason note"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_scan_quarantines_corruption_and_sweeps_temps() {
+        let dir = temp_dir("recovery");
+        let f = generators::xor_gate(2);
+        let request = MinimizeRequest::mixed_mode(3, 3, false);
+        let entry = solved_entry(&f, &request);
+        {
+            let (cache, _) = ResultCache::open(&dir).unwrap();
+            cache.store(&request, &entry).unwrap();
+        }
+        // Simulate a crash: a second entry bit-flipped, a torn temp file.
+        let bad = dir.join("entries/deadbeefdeadbeefdeadbeefdeadbeef.json");
+        let good_path = fs::read_dir(dir.join("entries"))
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap()
+            .path();
+        let mut corrupted = fs::read(&good_path).unwrap();
+        let mid = corrupted.len() / 2;
+        corrupted[mid] ^= 0x40;
+        fs::write(&bad, &corrupted).unwrap();
+        fs::write(dir.join("entries/.x.json.tmp-1-2"), b"partial").unwrap();
+
+        let (cache, recovery) = ResultCache::open(&dir).unwrap();
+        assert_eq!(recovery.valid, 1);
+        assert_eq!(recovery.quarantined, 1);
+        assert_eq!(recovery.temps_removed, 1);
+        assert_eq!(cache.len(), 1);
+        let (canonical, _) = canonicalize(&f);
+        assert!(cache.lookup(&canonical, &request).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn schema_bump_quarantines_instead_of_parsing() {
+        let dir = temp_dir("schema");
+        let f = generators::and_gate(2);
+        let request = MinimizeRequest::mixed_mode(3, 3, false);
+        let entry = solved_entry(&f, &request);
+        {
+            let (cache, _) = ResultCache::open(&dir).unwrap();
+            cache.store(&request, &entry).unwrap();
+        }
+        let path = fs::read_dir(dir.join("entries"))
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap()
+            .path();
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(
+            &path,
+            text.replacen("\"cache_schema\":1", "\"cache_schema\":99", 1),
+        )
+        .unwrap();
+        let (_, recovery) = ResultCache::open(&dir).unwrap();
+        assert_eq!(recovery.quarantined, 1);
+        assert_eq!(recovery.valid, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn paranoid_mode_rejects_poisoned_circuits() {
+        let dir = temp_dir("paranoid");
+        let (cache, _) = ResultCache::open(&dir).unwrap();
+        let cache = cache.with_paranoid(true);
+        let request = MinimizeRequest::mixed_mode(3, 3, false);
+        // Poison: store AND's canonical entry but with OR's circuit.
+        let and_entry = solved_entry(&generators::and_gate(2), &request);
+        let or_entry = solved_entry(&generators::or_gate(2), &request);
+        let poisoned = CacheEntry {
+            circuit: or_entry.circuit,
+            ..and_entry.clone()
+        };
+        cache.store(&request, &poisoned).unwrap();
+        let (canonical, _) = canonicalize(&generators::and_gate(2));
+        assert!(
+            cache.lookup(&canonical, &request).is_none(),
+            "paranoid hit must re-execute and reject"
+        );
+        assert_eq!(cache.stats().quarantined, 1);
+        // The honest entry passes paranoid verification.
+        cache.store(&request, &and_entry).unwrap();
+        assert!(cache.lookup(&canonical, &request).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn index_flush_reports_counts() {
+        let dir = temp_dir("index");
+        let (cache, _) = ResultCache::open(&dir).unwrap();
+        let request = MinimizeRequest::mixed_mode(3, 3, false);
+        let entry = solved_entry(&generators::and_gate(2), &request);
+        cache.store(&request, &entry).unwrap();
+        cache.flush_index().unwrap();
+        let index: Value =
+            serde_json::from_str(&fs::read_to_string(dir.join("index.json")).unwrap()).unwrap();
+        assert_eq!(value_u64(index.get("entries")), Some(1));
+        assert_eq!(
+            value_u64(index.get("cache_schema")),
+            Some(CACHE_SCHEMA_VERSION)
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,463 @@
+//! The `mmsynthd` daemon: JSON-lines serve loops over stdio, Unix and
+//! TCP sockets, wired to the [`Engine`](crate::engine::Engine) through
+//! the [`Supervisor`](crate::supervisor::Supervisor).
+//!
+//! # Serve loop shape
+//!
+//! Each connection gets a *reader* (the calling thread) and a *writer*
+//! thread joined by a channel of pending replies. The reader parses a
+//! line, admits the job (or sheds it), and forwards either a ready reply
+//! or the supervisor's verdict receiver; the writer resolves pendings
+//! **in submission order** and writes one response line per request.
+//! Decoupling the two lets a client pipeline requests — which is also
+//! what makes the bounded admission queue (and the `overloaded` shed
+//! response) actually reachable from a single connection.
+//!
+//! # Shutdown
+//!
+//! SIGTERM/SIGINT, the `shutdown` op, and stdin EOF all converge on the
+//! same drain: stop admitting, let the supervisor finish every accepted
+//! job, flush the cache index, checkpoint telemetry. Accepted jobs are
+//! never abandoned — each gets exactly one response line.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mm_telemetry::{kv, Telemetry};
+
+use crate::backoff::RetryPolicy;
+use crate::cache::{RecoveryReport, ResultCache};
+use crate::engine::Engine;
+use crate::proto::{JobRequest, JobResponse, Op, PROTO_VERSION};
+use crate::signal;
+use crate::supervisor::{JobVerdict, Submission, Supervisor, SupervisorConfig};
+
+/// Everything the daemon needs to start.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Persistent result-cache directory (`None` disables caching).
+    pub cache_dir: Option<PathBuf>,
+    /// Re-execute cached circuits on the device model before serving.
+    pub paranoid: bool,
+    /// Concurrent jobs.
+    pub workers: usize,
+    /// Admission queue depth beyond the jobs in flight.
+    pub queue_depth: usize,
+    /// Portfolio width per solve.
+    pub solve_jobs: usize,
+    /// Retry schedule for inconclusive attempts.
+    pub retry: RetryPolicy,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        Self {
+            cache_dir: None,
+            paranoid: false,
+            workers: 2,
+            queue_depth: 16,
+            solve_jobs: 2,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// A running daemon: engine + supervisor + (optional) persistent cache.
+pub struct Daemon {
+    engine: Arc<Engine>,
+    supervisor: Supervisor<JobResponse>,
+    telemetry: Telemetry,
+    recovery: RecoveryReport,
+}
+
+/// One reply owed to the client, in submission order.
+enum Pending {
+    /// Already-final response line.
+    Ready(String),
+    /// Supervisor verdict still in flight; `id` rebuilds a response if
+    /// the channel dies.
+    Waiting(Receiver<JobVerdict<JobResponse>>, String),
+}
+
+impl Daemon {
+    /// Opens the cache (running its crash-recovery scan), starts the
+    /// worker pool, and installs the termination latch.
+    pub fn start(config: DaemonConfig, telemetry: Telemetry) -> io::Result<Self> {
+        signal::install_termination_handler();
+        // A fresh daemon has not been signalled yet: clearing the latch
+        // here makes restart-in-the-same-process (tests, embedders) match
+        // the one-daemon-per-process production shape.
+        signal::reset_termination();
+        let mut recovery = RecoveryReport::default();
+        let mut engine = Engine::new(config.solve_jobs).with_telemetry(telemetry.clone());
+        if let Some(dir) = &config.cache_dir {
+            let (cache, report) = ResultCache::open(dir)?;
+            recovery = report;
+            telemetry.point(
+                "daemon.recovery",
+                vec![
+                    kv("valid", recovery.valid),
+                    kv("quarantined", recovery.quarantined),
+                    kv("temps_removed", recovery.temps_removed),
+                ],
+            );
+            engine = engine.with_cache(cache.with_paranoid(config.paranoid));
+        }
+        let supervisor = Supervisor::start(SupervisorConfig {
+            workers: config.workers,
+            queue_depth: config.queue_depth,
+            retry: config.retry.clone(),
+        });
+        Ok(Self {
+            engine: Arc::new(engine),
+            supervisor,
+            telemetry,
+            recovery,
+        })
+    }
+
+    /// What the startup recovery scan found (all zeros without a cache).
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// Handles one request line: cheap ops answer inline (they must stay
+    /// responsive under overload), solve ops go through the supervisor.
+    fn admit(&self, line: &str) -> Pending {
+        let request = match JobRequest::parse(line) {
+            Ok(r) => r,
+            Err(e) => return Pending::Ready(JobResponse::error("", e).to_line()),
+        };
+        let id = request.id.clone();
+        match &request.op {
+            Op::Ping | Op::Stats => Pending::Ready(
+                match request.op {
+                    Op::Stats => self.engine.stats_response(&id),
+                    _ => JobResponse {
+                        proto_version: Some(PROTO_VERSION),
+                        ..JobResponse::new(&id, "ok")
+                    },
+                }
+                .to_line(),
+            ),
+            Op::Shutdown => {
+                signal::request_termination();
+                Pending::Ready(JobResponse::new(&id, "ok").to_line())
+            }
+            Op::Minimize { request: min, .. } => {
+                let deadline = min.deadline.map(|d| Instant::now() + d);
+                self.submit(request.clone(), min.max_conflicts, deadline)
+            }
+            Op::Synthesize { max_conflicts, .. } => {
+                self.submit(request.clone(), *max_conflicts, None)
+            }
+            Op::Faultsim { .. } => self.submit(request.clone(), None, None),
+        }
+    }
+
+    fn submit(
+        &self,
+        request: JobRequest,
+        base_conflicts: Option<u64>,
+        deadline: Option<Instant>,
+    ) -> Pending {
+        let id = request.id.clone();
+        let engine = self.engine.clone();
+        let seed = id_seed(&id);
+        let submission = self.supervisor.submit(seed, base_conflicts, deadline, {
+            let id = id.clone();
+            move |attempt| engine.run_attempt(&id, &request.op, attempt)
+        });
+        match submission {
+            Submission::Queued(rx) => Pending::Waiting(rx, id),
+            Submission::Overloaded => {
+                self.telemetry
+                    .point("daemon.shed", vec![kv("id", id.as_str())]);
+                Pending::Ready(JobResponse::overloaded(&id).to_line())
+            }
+            Submission::ShuttingDown => {
+                Pending::Ready(JobResponse::new(&id, "shutting_down").to_line())
+            }
+        }
+    }
+
+    /// Serves one connection: reads request lines from `reader` until EOF
+    /// or termination, writes one response line per request to `writer`
+    /// in submission order.
+    pub fn serve<R, W>(&self, reader: R, writer: W) -> io::Result<()>
+    where
+        R: BufRead,
+        W: Write + Send + 'static,
+    {
+        let (tx, rx) = channel::<Pending>();
+        let writer_thread = std::thread::Builder::new()
+            .name("mmsynthd-writer".into())
+            .spawn(move || write_loop(rx, writer))
+            .expect("spawn writer");
+        for line in reader.lines() {
+            let line = match line {
+                Ok(l) => l,
+                // A torn read (client died mid-line) is an EOF, not a
+                // daemon failure.
+                Err(_) => break,
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            if tx.send(self.admit(&line)).is_err() {
+                break; // writer gone (client hung up)
+            }
+            if signal::termination_requested() {
+                break;
+            }
+        }
+        drop(tx);
+        writer_thread.join().expect("writer thread panicked")
+    }
+
+    /// Serves stdin/stdout until EOF or termination, then drains.
+    pub fn serve_stdio(self) -> io::Result<()> {
+        let stdin = io::stdin();
+        let stdout = io::stdout();
+        self.serve(stdin.lock(), stdout)?;
+        self.drain()
+    }
+
+    /// Accepts connections on a Unix socket until termination, then
+    /// drains. Each connection is served on its own thread.
+    pub fn serve_unix(self, path: &std::path::Path) -> io::Result<()> {
+        // A stale socket file from a killed predecessor must not block
+        // restart.
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        listener.set_nonblocking(true)?;
+        let daemon = Arc::new(self);
+        let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !signal::termination_requested() {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let daemon = daemon.clone();
+                    stream.set_nonblocking(false)?;
+                    let read_half = stream.try_clone()?;
+                    conns.push(std::thread::spawn(move || {
+                        let _ = daemon.serve(BufReader::new(read_half), stream);
+                    }));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        for conn in conns {
+            let _ = conn.join();
+        }
+        let _ = std::fs::remove_file(path);
+        Arc::try_unwrap(daemon)
+            .unwrap_or_else(|_| panic!("connection threads joined"))
+            .drain()
+    }
+
+    /// Accepts TCP connections until termination, then drains.
+    pub fn serve_tcp(self, addr: &str) -> io::Result<()> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let daemon = Arc::new(self);
+        let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !signal::termination_requested() {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let daemon = daemon.clone();
+                    stream.set_nonblocking(false)?;
+                    let read_half = stream.try_clone()?;
+                    conns.push(std::thread::spawn(move || {
+                        let _ = daemon.serve(BufReader::new(read_half), stream);
+                    }));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        for conn in conns {
+            let _ = conn.join();
+        }
+        Arc::try_unwrap(daemon)
+            .unwrap_or_else(|_| panic!("connection threads joined"))
+            .drain()
+    }
+
+    /// The drain sequence: finish accepted jobs, flush the cache index,
+    /// checkpoint telemetry.
+    pub fn drain(self) -> io::Result<()> {
+        self.supervisor.shutdown();
+        if let Some(cache) = &self.engine.cache {
+            cache.flush_index()?;
+        }
+        self.telemetry.point("daemon.drained", vec![]);
+        self.telemetry.flush();
+        Ok(())
+    }
+}
+
+/// Resolves pendings in order; every accepted request gets exactly one
+/// line.
+fn write_loop<W: Write>(rx: Receiver<Pending>, mut writer: W) -> io::Result<()> {
+    for pending in rx {
+        let line = match pending {
+            Pending::Ready(line) => line,
+            Pending::Waiting(verdict, id) => match verdict.recv() {
+                Ok(JobVerdict::Done(resp)) => resp.to_line(),
+                Ok(JobVerdict::Degraded { partial, reason }) => {
+                    let mut resp = partial.unwrap_or_else(|| JobResponse::new(&id, "degraded"));
+                    resp.status = "degraded".into();
+                    if resp.degraded_reason.is_none() {
+                        resp.degraded_reason = Some(reason);
+                    }
+                    resp.to_line()
+                }
+                Err(_) => JobResponse::error(&id, "job was dropped during shutdown").to_line(),
+            },
+        };
+        writeln!(writer, "{line}")?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// FNV-1a over the job id: the deterministic jitter seed.
+fn id_seed(id: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in id.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mm_daemon_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn run_lines(config: DaemonConfig, input: &str) -> Vec<String> {
+        // The termination latch is process-global, so tests touching the
+        // daemon serialize against the signal test.
+        let _guard = signal::test_guard();
+        let daemon = Daemon::start(config, Telemetry::disabled()).unwrap();
+        let out: Vec<u8> = Vec::new();
+        let buf = std::sync::Arc::new(std::sync::Mutex::new(out));
+        struct Shared(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().write(data)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        daemon
+            .serve(io::Cursor::new(input.to_string()), Shared(buf.clone()))
+            .unwrap();
+        daemon.drain().unwrap();
+        let bytes = buf.lock().unwrap().clone();
+        String::from_utf8(bytes)
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect()
+    }
+
+    #[test]
+    fn ping_and_stats_round_trip_over_stdio() {
+        let dir = temp_dir("ping");
+        let config = DaemonConfig {
+            cache_dir: Some(dir.clone()),
+            ..DaemonConfig::default()
+        };
+        let input = r#"{"op":"ping","id":"p1"}
+{"op":"stats","id":"s1"}
+"#;
+        let lines = run_lines(config, input);
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains(r#""id":"p1""#), "line: {}", lines[0]);
+        assert!(lines[0].contains(r#""status":"ok""#));
+        assert!(lines[1].contains(r#""id":"s1""#));
+        assert!(
+            lines[1].contains(r#""cache_entries":0"#),
+            "line: {}",
+            lines[1]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn minimize_misses_then_hits_in_submission_order() {
+        let dir = temp_dir("roundtrip");
+        let config = DaemonConfig {
+            cache_dir: Some(dir.clone()),
+            workers: 1,
+            ..DaemonConfig::default()
+        };
+        // Same function twice: second request must be a cache hit and the
+        // replies must come back in submission order.
+        let input = r#"{"op":"minimize","id":"m1","tables":["0110"],"max_rops":3,"max_steps":3}
+{"op":"minimize","id":"m2","tables":["0110"],"max_rops":3,"max_steps":3}
+"#;
+        let lines = run_lines(config, input);
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains(r#""id":"m1""#));
+        assert!(lines[0].contains(r#""cache":"miss""#), "line: {}", lines[0]);
+        assert!(lines[1].contains(r#""id":"m2""#));
+        assert!(lines[1].contains(r#""cache":"hit""#), "line: {}", lines[1]);
+        assert!(lines[1].contains(r#""solver_calls":0"#));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_lines_get_error_responses_and_do_not_kill_the_loop() {
+        let lines = run_lines(
+            DaemonConfig::default(),
+            "this is not json\n{\"op\":\"ping\",\"id\":\"after\"}\n",
+        );
+        assert_eq!(lines.len(), 2);
+        assert!(
+            lines[0].contains(r#""status":"error""#),
+            "line: {}",
+            lines[0]
+        );
+        assert!(lines[1].contains(r#""id":"after""#));
+    }
+
+    #[test]
+    fn restart_reuses_the_cache_directory() {
+        let dir = temp_dir("restart");
+        let config = DaemonConfig {
+            cache_dir: Some(dir.clone()),
+            ..DaemonConfig::default()
+        };
+        let input = "{\"op\":\"minimize\",\"id\":\"a\",\"tables\":[\"0001\"],\"max_rops\":3,\"max_steps\":3}\n";
+        let first = run_lines(config.clone(), input);
+        assert!(first[0].contains(r#""cache":"miss""#));
+        // New daemon, same directory: the entry written by the first run
+        // must survive the recovery scan and serve a hit.
+        let second = run_lines(config, input);
+        assert!(
+            second[0].contains(r#""cache":"hit""#),
+            "line: {}",
+            second[0]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,573 @@
+//! Job execution: the bridge from wire requests to the synthesis stack
+//! and the result cache.
+//!
+//! # Hit ≡ miss, bit for bit
+//!
+//! The engine only ever *solves canonical representatives*. On a miss it
+//! canonicalizes, runs the ladder on the canonical function, stores the
+//! canonical result, then de-canonicalizes for the reply; on a hit it
+//! loads the same canonical result and de-canonicalizes identically. A
+//! cache hit is therefore bit-identical (circuit, proof, verdict) to a
+//! cold solve of the same request — and since the portfolio's verdicts
+//! are worker-count-invariant for conflict-limited budgets (see
+//! `mm_synth::optimize::parallel`), that identity holds at any `--jobs`.
+//!
+//! # What gets cached
+//!
+//! Only *deterministic, conclusive, first-attempt* results: no deadline
+//! on the request, `OptimizeStatus::Complete`, and the attempt ran at the
+//! request's own conflict budget (a supervisor retry's escalated budget
+//! answers a different question than the key describes). Degraded results
+//! are served but never stored, so the cache can only contain verdicts a
+//! cold solve would reproduce.
+
+use std::sync::Arc;
+
+use mm_boolfn::npn::canonicalize;
+use mm_circuit::campaign::run_campaign_traced;
+use mm_circuit::{CampaignConfig, DeviceState, FaultPlan, MmCircuit, Schedule};
+use mm_sat::{Budget, DratProof};
+use mm_synth::optimize::{CallRecord, OptimizeReport, OptimizeStatus, SynthResultKind};
+use mm_synth::request::{decanonicalize_circuit, MinimizeRequest};
+use mm_synth::{EncodeOptions, SynthResult, Synthesizer};
+use mm_telemetry::{kv, Telemetry};
+
+use crate::backoff::Attempt;
+use crate::cache::{device_trace, CacheEntry, ResultCache};
+use crate::proto::{function_from_tables, CacheOutcome, JobResponse, Op, PROTO_VERSION};
+use crate::supervisor::AttemptResult;
+
+/// Shared, thread-safe job executor.
+pub struct Engine {
+    /// The persistent cache, when a cache dir was configured.
+    pub cache: Option<ResultCache>,
+    /// Portfolio width per solve.
+    pub solve_jobs: usize,
+    /// Telemetry handle for job spans/points.
+    pub telemetry: Telemetry,
+    /// Encoding options for every solve.
+    pub options: EncodeOptions,
+}
+
+impl Engine {
+    /// An engine with the recommended encoding and no cache.
+    pub fn new(solve_jobs: usize) -> Self {
+        Self {
+            cache: None,
+            solve_jobs: solve_jobs.max(1),
+            telemetry: Telemetry::disabled(),
+            options: EncodeOptions::recommended(),
+        }
+    }
+
+    /// Attaches the persistent cache.
+    pub fn with_cache(mut self, cache: ResultCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Attaches telemetry.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Executes one attempt of `op`. Only `Minimize` is retry-aware; the
+    /// other ops complete on the first attempt.
+    pub fn run_attempt(
+        self: &Arc<Self>,
+        id: &str,
+        op: &Op,
+        attempt: &Attempt,
+    ) -> AttemptResult<JobResponse> {
+        let _span = self.telemetry.span_with(
+            "job.attempt",
+            vec![kv("id", id), kv("attempt", u64::from(attempt.index))],
+        );
+        match op {
+            Op::Ping => AttemptResult::Done(JobResponse {
+                proto_version: Some(PROTO_VERSION),
+                ..JobResponse::new(id, "ok")
+            }),
+            Op::Stats => AttemptResult::Done(self.stats_response(id)),
+            // The daemon handles drain itself; answering here keeps the
+            // protocol total.
+            Op::Shutdown => AttemptResult::Done(JobResponse::new(id, "ok")),
+            Op::Minimize {
+                tables,
+                request,
+                no_cache,
+            } => self.minimize(id, tables, request, *no_cache, attempt),
+            Op::Synthesize {
+                tables,
+                n_rops,
+                n_legs,
+                n_vsteps,
+                max_conflicts,
+            } => AttemptResult::Done(self.synthesize(
+                id,
+                tables,
+                *n_rops,
+                *n_legs,
+                *n_vsteps,
+                *max_conflicts,
+            )),
+            Op::Faultsim {
+                tables,
+                n_rops,
+                n_vsteps,
+                trials,
+                seed,
+                stuck_lrs,
+            } => AttemptResult::Done(
+                self.faultsim(id, tables, *n_rops, *n_vsteps, *trials, *seed, stuck_lrs),
+            ),
+        }
+    }
+
+    /// The `stats` op: cache counters + entry count.
+    pub fn stats_response(&self, id: &str) -> JobResponse {
+        JobResponse {
+            proto_version: Some(PROTO_VERSION),
+            cache_stats: self.cache.as_ref().map(ResultCache::stats),
+            cache_entries: self.cache.as_ref().map(ResultCache::len),
+            ..JobResponse::new(id, "ok")
+        }
+    }
+
+    fn minimize(
+        self: &Arc<Self>,
+        id: &str,
+        tables: &[String],
+        request: &MinimizeRequest,
+        no_cache: bool,
+        attempt: &Attempt,
+    ) -> AttemptResult<JobResponse> {
+        let f = match function_from_tables(tables) {
+            Ok(f) => f,
+            Err(e) => return AttemptResult::Done(JobResponse::error(id, e.to_string())),
+        };
+        let (canonical, transform) = canonicalize(&f);
+        let cacheable = !no_cache && request.is_deterministic();
+        if cacheable {
+            if let Some(cache) = &self.cache {
+                if let Some(entry) = cache.lookup(&canonical, request) {
+                    self.telemetry
+                        .point("job.cache", vec![kv("id", id), kv("outcome", "hit")]);
+                    let mut resp = entry_response(id, &entry, &transform);
+                    resp.cache = Some(CacheOutcome::Hit);
+                    return AttemptResult::Done(resp);
+                }
+            }
+        }
+
+        // Miss (or bypass): solve the canonical representative at this
+        // attempt's budget. Attempt 0 runs the request verbatim; retries
+        // escalate the conflict limit.
+        let mut effective = request.clone();
+        if attempt.index > 0 {
+            effective.max_conflicts = attempt.max_conflicts;
+        }
+        let synth = Synthesizer::new().with_telemetry(self.telemetry.clone());
+        let report = match effective.run(&synth, &canonical, &self.options, self.solve_jobs) {
+            Ok(report) => report,
+            Err(e) => return AttemptResult::Done(JobResponse::error(id, e.to_string())),
+        };
+        let entry = entry_from_report(&canonical, request, &report);
+        let first_attempt = attempt.index == 0;
+        let conclusive = !report.status.is_degraded();
+        if cacheable && conclusive && first_attempt {
+            if let Some(cache) = &self.cache {
+                if let Err(e) = cache.store(request, &entry) {
+                    // A failed store must not fail the job; the solve is
+                    // still good.
+                    self.telemetry.point(
+                        "job.cache",
+                        vec![kv("id", id), kv("store_error", e.to_string())],
+                    );
+                }
+            }
+        }
+        let outcome = if self.cache.is_some() && cacheable {
+            CacheOutcome::Miss
+        } else {
+            CacheOutcome::Bypass
+        };
+        self.telemetry.point(
+            "job.cache",
+            vec![
+                kv("id", id),
+                kv(
+                    "outcome",
+                    if outcome == CacheOutcome::Miss {
+                        "miss"
+                    } else {
+                        "bypass"
+                    },
+                ),
+            ],
+        );
+        let mut resp = entry_response(id, &entry, &transform);
+        resp.cache = Some(outcome);
+        resp.solver_calls = Some(report.calls.len() as u64);
+        match &report.status {
+            OptimizeStatus::Complete => AttemptResult::Done(resp),
+            OptimizeStatus::Degraded { reason } => {
+                resp.status = "degraded".into();
+                resp.degraded_reason = Some(reason.to_string());
+                // Budget exhaustion on a conflict-limited request is worth
+                // another attempt at an escalated budget; a deadline expiry
+                // or an unlimited-budget degrade is final.
+                let retryable = matches!(
+                    reason,
+                    mm_synth::optimize::DegradeReason::BudgetExhausted
+                        | mm_synth::optimize::DegradeReason::WorkerPanicked { .. }
+                ) && request.max_conflicts.is_some();
+                if retryable {
+                    AttemptResult::Retry {
+                        partial: Some(resp),
+                        reason: reason.to_string(),
+                    }
+                } else {
+                    AttemptResult::Done(resp)
+                }
+            }
+        }
+    }
+
+    fn synthesize(
+        &self,
+        id: &str,
+        tables: &[String],
+        n_rops: usize,
+        n_legs: Option<usize>,
+        n_vsteps: usize,
+        max_conflicts: Option<u64>,
+    ) -> JobResponse {
+        let f = match function_from_tables(tables) {
+            Ok(f) => f,
+            Err(e) => return JobResponse::error(id, e.to_string()),
+        };
+        let n_legs = n_legs.unwrap_or_else(|| mm_synth::SynthSpec::paper_legs(&f, n_rops, false));
+        let spec = match mm_synth::SynthSpec::mixed_mode(&f, n_rops, n_legs, n_vsteps) {
+            Ok(spec) => spec.with_options(self.options.clone()),
+            Err(e) => return JobResponse::error(id, e.to_string()),
+        };
+        let mut synth = Synthesizer::new().with_telemetry(self.telemetry.clone());
+        if let Some(c) = max_conflicts {
+            synth = synth.with_budget(Budget::new().with_max_conflicts(c));
+        }
+        match synth.run(&spec) {
+            Ok(outcome) => match outcome.result {
+                SynthResult::Realizable(circuit) => JobResponse {
+                    verdict: Some("sat".into()),
+                    metrics: Some(circuit.metrics()),
+                    circuit: Some(circuit),
+                    ..JobResponse::new(id, "ok")
+                },
+                SynthResult::Unrealizable => JobResponse {
+                    verdict: Some("unsat".into()),
+                    ..JobResponse::new(id, "ok")
+                },
+                SynthResult::Unknown => JobResponse {
+                    verdict: Some("unknown".into()),
+                    degraded_reason: Some("budget exhausted".into()),
+                    ..JobResponse::new(id, "degraded")
+                },
+            },
+            Err(e) => JobResponse::error(id, e.to_string()),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the wire op's fields
+    fn faultsim(
+        &self,
+        id: &str,
+        tables: &[String],
+        n_rops: usize,
+        n_vsteps: usize,
+        trials: u32,
+        seed: u64,
+        stuck_lrs: &[usize],
+    ) -> JobResponse {
+        let f = match function_from_tables(tables) {
+            Ok(f) => f,
+            Err(e) => return JobResponse::error(id, e.to_string()),
+        };
+        let n_legs = mm_synth::SynthSpec::paper_legs(&f, n_rops, false);
+        let spec = match mm_synth::SynthSpec::mixed_mode(&f, n_rops, n_legs, n_vsteps) {
+            Ok(spec) => spec.with_options(self.options.clone()),
+            Err(e) => return JobResponse::error(id, e.to_string()),
+        };
+        let outcome = match Synthesizer::new()
+            .with_telemetry(self.telemetry.clone())
+            .run(&spec)
+        {
+            Ok(outcome) => outcome,
+            Err(e) => return JobResponse::error(id, e.to_string()),
+        };
+        let SynthResult::Realizable(circuit) = outcome.result else {
+            return JobResponse::error(
+                id,
+                "faultsim needs a realizable circuit at the given budgets",
+            );
+        };
+        let schedule = match Schedule::compile(&circuit) {
+            Ok(s) => s,
+            Err(e) => return JobResponse::error(id, e.to_string()),
+        };
+        let mut plans = vec![FaultPlan::named("control")];
+        if !stuck_lrs.is_empty() {
+            let mut injected = FaultPlan::named("injected");
+            for &cell in stuck_lrs {
+                injected = injected.with_stuck(cell, DeviceState::Lrs);
+            }
+            plans.push(injected);
+        }
+        let config = CampaignConfig {
+            trials,
+            seed,
+            ..CampaignConfig::default()
+        };
+        match run_campaign_traced(&schedule, &plans, &config, &self.telemetry) {
+            Ok(campaign) => JobResponse {
+                campaign: Some(campaign),
+                metrics: Some(circuit.metrics()),
+                ..JobResponse::new(id, "ok")
+            },
+            Err(e) => JobResponse::error(id, e.to_string()),
+        }
+    }
+}
+
+/// Builds the response fields every minimize path (hit and miss) shares:
+/// the de-canonicalized circuit, its metrics, the optimality flag and
+/// the stored proof.
+fn entry_response(
+    id: &str,
+    entry: &CacheEntry,
+    transform: &mm_boolfn::npn::NpnTransform,
+) -> JobResponse {
+    let circuit = entry.circuit.as_ref().map(|c| {
+        decanonicalize_circuit(c, transform).expect("stored circuits are structurally valid")
+    });
+    JobResponse {
+        metrics: circuit.as_ref().map(MmCircuit::metrics),
+        circuit,
+        proven_optimal: Some(entry.proven_optimal),
+        proof: entry.proof.clone(),
+        solver_calls: Some(0),
+        ..JobResponse::new(id, "ok")
+    }
+}
+
+/// Folds an [`OptimizeReport`] for the canonical function into a cache
+/// entry. Shared with `mmsynth --cache-dir`, which is the same
+/// solve-store-decanonicalize path without the daemon around it.
+pub fn entry_from_report(
+    canonical: &mm_boolfn::MultiOutputFn,
+    request: &MinimizeRequest,
+    report: &OptimizeReport,
+) -> CacheEntry {
+    let (mode, max_conflicts) = request.cache_facet();
+    CacheEntry {
+        canonical: canonical.clone(),
+        mode,
+        max_conflicts,
+        trace: report.best.as_ref().and_then(device_trace),
+        circuit: report.best.clone(),
+        proven_optimal: report.proven_optimal,
+        proof: optimality_proof(&report.calls),
+        solver_calls: report.calls.len() as u64,
+    }
+}
+
+/// The certified refutation backing the optimality claim: the UNSAT call
+/// at the *largest* budget point. That point always completes and its
+/// cold certified solve is deterministic, so the choice (unlike "last in
+/// `calls`") is invariant under portfolio scheduling.
+pub fn optimality_proof(calls: &[CallRecord]) -> Option<DratProof> {
+    calls
+        .iter()
+        .filter(|c| c.result == SynthResultKind::Unrealizable && c.certified)
+        .max_by_key(|c| (c.n_rops, c.n_legs, c.n_vsteps))
+        .and_then(|c| c.proof.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use mm_boolfn::generators;
+    use mm_synth::request::MinimizeMode;
+
+    use super::*;
+    use crate::cache::RecoveryReport;
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mm_engine_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn attempt0(max_conflicts: Option<u64>) -> Attempt {
+        Attempt {
+            index: 0,
+            max_conflicts,
+            backoff: std::time::Duration::ZERO,
+        }
+    }
+
+    fn done(result: AttemptResult<JobResponse>) -> JobResponse {
+        match result {
+            AttemptResult::Done(r) => r,
+            AttemptResult::Retry { .. } => panic!("expected a final response"),
+        }
+    }
+
+    fn minimize_op(tables: Vec<String>) -> Op {
+        Op::Minimize {
+            tables,
+            request: MinimizeRequest {
+                mode: MinimizeMode::MixedMode {
+                    max_rops: 3,
+                    max_vsteps: 3,
+                    is_adder: false,
+                },
+                max_conflicts: None,
+                deadline: None,
+                certify: false,
+            },
+            no_cache: false,
+        }
+    }
+
+    #[test]
+    fn miss_then_hit_serve_identical_answers() {
+        let dir = temp_dir("hit_identity");
+        let (cache, recovery) = ResultCache::open(&dir).unwrap();
+        assert_eq!(recovery, RecoveryReport::default());
+        let engine = Arc::new(Engine::new(2).with_cache(cache));
+        // XNOR exercises a non-identity transform (it canonicalizes onto
+        // XOR's representative).
+        let tables = vec![generators::xnor_gate(2).outputs()[0].to_bitstring()];
+        let op = minimize_op(tables);
+        let miss = done(engine.run_attempt("a", &op, &attempt0(None)));
+        assert_eq!(miss.cache, Some(CacheOutcome::Miss));
+        assert_eq!(miss.status, "ok");
+        let hit = done(engine.run_attempt("b", &op, &attempt0(None)));
+        assert_eq!(hit.cache, Some(CacheOutcome::Hit));
+        assert_eq!(
+            hit.circuit, miss.circuit,
+            "hit serves the identical circuit"
+        );
+        assert_eq!(hit.proven_optimal, miss.proven_optimal);
+        assert_eq!(hit.proof.is_some(), miss.proof.is_some());
+        assert_eq!(hit.solver_calls, Some(0));
+        let circuit = hit.circuit.expect("xnor is realizable");
+        let f = generators::xnor_gate(2);
+        assert!(
+            circuit.implements(&f),
+            "served circuit implements the *requested* fn"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_cache_requests_bypass_and_do_not_store() {
+        let dir = temp_dir("bypass");
+        let (cache, _) = ResultCache::open(&dir).unwrap();
+        let engine = Arc::new(Engine::new(2).with_cache(cache));
+        let Op::Minimize {
+            tables, request, ..
+        } = minimize_op(vec!["0110".into()])
+        else {
+            unreachable!()
+        };
+        let op = Op::Minimize {
+            tables,
+            request,
+            no_cache: true,
+        };
+        let resp = done(engine.run_attempt("x", &op, &attempt0(None)));
+        assert_eq!(resp.cache, Some(CacheOutcome::Bypass));
+        assert_eq!(engine.cache.as_ref().unwrap().len(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn degraded_budget_runs_are_retryable_and_never_cached() {
+        let dir = temp_dir("degraded");
+        let (cache, _) = ResultCache::open(&dir).unwrap();
+        let engine = Arc::new(Engine::new(2).with_cache(cache));
+        let op = Op::Minimize {
+            tables: vec![generators::gf22_multiplier().outputs()[0].to_bitstring()],
+            request: MinimizeRequest {
+                mode: MinimizeMode::MixedMode {
+                    max_rops: 4,
+                    max_vsteps: 3,
+                    is_adder: false,
+                },
+                max_conflicts: Some(1),
+                deadline: None,
+                certify: false,
+            },
+            no_cache: false,
+        };
+        match engine.run_attempt("d", &op, &attempt0(Some(1))) {
+            AttemptResult::Retry { partial, reason } => {
+                let partial = partial.expect("best-known response travels with the retry");
+                assert_eq!(partial.status, "degraded");
+                assert!(reason.contains("budget"), "reason: {reason}");
+            }
+            AttemptResult::Done(resp) => {
+                // A 1-conflict budget can conceivably still conclude on a
+                // tiny canonical function; accept but require honesty.
+                assert_eq!(resp.status, "ok");
+            }
+        }
+        assert_eq!(
+            engine.cache.as_ref().unwrap().len(),
+            0,
+            "degraded results must never be stored"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn synthesize_and_faultsim_round_trip() {
+        let engine = Arc::new(Engine::new(2));
+        let op = Op::Synthesize {
+            tables: vec!["0001".into()],
+            n_rops: 1,
+            n_legs: None,
+            n_vsteps: 3,
+            max_conflicts: None,
+        };
+        let resp = done(engine.run_attempt("s", &op, &attempt0(None)));
+        assert_eq!(resp.status, "ok");
+        assert_eq!(resp.verdict.as_deref(), Some("sat"));
+        assert!(resp.circuit.is_some());
+
+        let op = Op::Faultsim {
+            tables: vec!["0001".into()],
+            n_rops: 1,
+            n_vsteps: 3,
+            trials: 4,
+            seed: 7,
+            stuck_lrs: vec![0],
+        };
+        let resp = done(engine.run_attempt("f", &op, &attempt0(None)));
+        assert_eq!(resp.status, "ok");
+        let campaign = resp.campaign.expect("campaign report");
+        assert_eq!(campaign.plans.len(), 2);
+        let _ = &campaign;
+    }
+
+    #[test]
+    fn bad_tables_yield_error_responses_not_panics() {
+        let engine = Arc::new(Engine::new(1));
+        let op = minimize_op(vec!["junk".into()]);
+        let resp = done(engine.run_attempt("e", &op, &attempt0(None)));
+        assert_eq!(resp.status, "error");
+        assert!(resp.error.is_some());
+    }
+}

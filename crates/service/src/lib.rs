@@ -1,0 +1,40 @@
+//! Crash-safe synthesis service: the long-running counterpart to the
+//! `mmsynth` CLI.
+//!
+//! The crate packages four robustness layers around the synthesis stack:
+//!
+//! - [`cache`] — a persistent, content-addressed result cache keyed by
+//!   the NPN-canonical form of the requested function
+//!   ([`mm_boolfn::npn`]). Entries are written atomically with a
+//!   checksum and schema version; a startup recovery scan quarantines
+//!   anything torn or corrupt instead of serving it.
+//! - [`supervisor`] — a bounded worker pool with per-job deadlines,
+//!   panic isolation (`catch_unwind`), bounded retry with escalating
+//!   conflict budgets, and an explicit `overloaded` shed when the
+//!   admission queue is full.
+//! - [`engine`] — the job executor: canonicalize → cache lookup → solve
+//!   miss on the portfolio → store → de-canonicalize, so a cache hit is
+//!   bit-identical to a cold solve.
+//! - [`daemon`] — JSON-lines serve loops (stdio, Unix socket, TCP) with
+//!   pipelined per-connection reader/writer threads and a SIGTERM drain
+//!   that never abandons an accepted job.
+//!
+//! [`backoff`] holds the pure, clock-free retry schedule and [`proto`]
+//! the wire types. The only `unsafe` in the crate is the SIGTERM latch
+//! in its dedicated module.
+#![deny(unsafe_code)]
+
+pub mod backoff;
+pub mod cache;
+pub mod daemon;
+pub mod engine;
+pub mod proto;
+mod signal;
+pub mod supervisor;
+
+pub use backoff::{Attempt, RetryPolicy};
+pub use cache::{CacheEntry, CacheKey, CacheStats, RecoveryReport, ResultCache};
+pub use daemon::{Daemon, DaemonConfig};
+pub use engine::Engine;
+pub use proto::{CacheOutcome, JobRequest, JobResponse, Op, PROTO_VERSION};
+pub use supervisor::{AttemptResult, JobVerdict, Submission, Supervisor, SupervisorConfig};

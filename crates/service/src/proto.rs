@@ -1,0 +1,425 @@
+//! The JSON-lines wire protocol.
+//!
+//! One request object per line in, one response object per line out.
+//! Requests are parsed *tolerantly* by hand from the document tree —
+//! unknown fields are ignored, optional fields default — so old clients
+//! keep working across server upgrades; responses use the derived
+//! serializers so every field is always present (absent values as
+//! `null`).
+//!
+//! ```text
+//! {"op":"minimize","id":"j1","tables":["0110"],"max_rops":3,"max_steps":3}
+//! {"id":"j1","status":"ok","cache":"miss","circuit":{...},...}
+//! ```
+//!
+//! Status values mirror the CLI's exit-code contract: `ok` (exit 0),
+//! `degraded` (exit 2 — budget/deadline ran out, the payload is the best
+//! known), `overloaded` (admission queue full, retry later), `error`
+//! (malformed request or internal failure), `shutting_down` (drain in
+//! progress; resubmit elsewhere).
+
+use std::time::Duration;
+
+use mm_boolfn::{BoolFnError, MultiOutputFn, TruthTable};
+use mm_circuit::{CampaignReport, Metrics, MmCircuit};
+use mm_sat::DratProof;
+use mm_synth::request::{MinimizeMode, MinimizeRequest};
+use serde::Value;
+
+use crate::cache::CacheStats;
+
+/// Protocol schema version, echoed in `hello` and `stats` responses.
+pub const PROTO_VERSION: u64 = 1;
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRequest {
+    /// Client-chosen id echoed back in the response (defaults to `""`).
+    pub id: String,
+    /// What to do.
+    pub op: Op,
+}
+
+/// The operations the daemon serves.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Liveness probe.
+    Ping,
+    /// Cache/queue counters.
+    Stats,
+    /// Begin a graceful drain (same path as SIGTERM).
+    Shutdown,
+    /// Cached minimization of a function.
+    Minimize {
+        /// The function, one bitstring per output (row 0 first).
+        tables: Vec<String>,
+        /// Ladder + budget facet.
+        request: MinimizeRequest,
+        /// Skip the cache entirely (solve cold, do not store).
+        no_cache: bool,
+    },
+    /// One fixed-budget decision call (`SynthSpec::mixed_mode`).
+    Synthesize {
+        /// The function, one bitstring per output.
+        tables: Vec<String>,
+        /// R-op budget.
+        n_rops: usize,
+        /// Leg budget (`None` = the paper heuristic).
+        n_legs: Option<usize>,
+        /// Steps-per-leg budget.
+        n_vsteps: usize,
+        /// Per-call conflict limit.
+        max_conflicts: Option<u64>,
+    },
+    /// Fault-injection campaign against a synthesized schedule.
+    Faultsim {
+        /// The function, one bitstring per output.
+        tables: Vec<String>,
+        /// R-op budget for the circuit under test.
+        n_rops: usize,
+        /// Steps-per-leg budget for the circuit under test.
+        n_vsteps: usize,
+        /// Seeded trials per plan.
+        trials: u32,
+        /// Base RNG seed.
+        seed: u64,
+        /// Cells stuck at LRS for the injected plan (empty = control only).
+        stuck_lrs: Vec<usize>,
+    },
+}
+
+fn as_str(v: Option<&Value>) -> Option<&str> {
+    match v {
+        Some(Value::Str(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn as_u64(v: Option<&Value>) -> Option<u64> {
+    match v {
+        Some(Value::UInt(x)) => Some(*x),
+        Some(Value::Int(x)) if *x >= 0 => Some(*x as u64),
+        _ => None,
+    }
+}
+
+fn as_bool(v: Option<&Value>) -> Option<bool> {
+    match v {
+        Some(Value::Bool(b)) => Some(*b),
+        _ => None,
+    }
+}
+
+fn as_f64(v: Option<&Value>) -> Option<f64> {
+    match v {
+        Some(Value::Float(x)) => Some(*x),
+        Some(Value::UInt(x)) => Some(*x as f64),
+        Some(Value::Int(x)) => Some(*x as f64),
+        _ => None,
+    }
+}
+
+fn string_array(v: Option<&Value>) -> Option<Vec<String>> {
+    match v {
+        Some(Value::Array(items)) => items
+            .iter()
+            .map(|item| match item {
+                Value::Str(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect(),
+        _ => None,
+    }
+}
+
+fn usize_array(v: Option<&Value>) -> Vec<usize> {
+    match v {
+        Some(Value::Array(items)) => items
+            .iter()
+            .filter_map(|item| match item {
+                Value::UInt(x) => Some(*x as usize),
+                _ => None,
+            })
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+impl JobRequest {
+    /// Parses one request line. Unknown fields are ignored; a missing or
+    /// unknown `op`, or a malformed required field, is an error whose
+    /// message goes back to the client verbatim.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem found.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let value: Value =
+            serde_json::from_str(line).map_err(|e| format!("bad request json: {e}"))?;
+        let id = as_str(value.get("id")).unwrap_or_default().to_string();
+        let op = as_str(value.get("op")).ok_or("missing \"op\"")?;
+        let op = match op {
+            "ping" => Op::Ping,
+            "stats" => Op::Stats,
+            "shutdown" => Op::Shutdown,
+            "minimize" => {
+                let tables =
+                    string_array(value.get("tables")).ok_or("minimize needs \"tables\": [bits]")?;
+                let max_rops = as_u64(value.get("max_rops")).unwrap_or(4) as usize;
+                let max_vsteps = as_u64(value.get("max_steps")).unwrap_or(3) as usize;
+                let mode = if as_bool(value.get("r_only")).unwrap_or(false) {
+                    MinimizeMode::ROnly { max_rops }
+                } else {
+                    MinimizeMode::MixedMode {
+                        max_rops,
+                        max_vsteps,
+                        is_adder: as_bool(value.get("adder")).unwrap_or(false),
+                    }
+                };
+                let deadline = as_f64(value.get("deadline_secs"))
+                    .filter(|s| s.is_finite() && *s >= 0.0)
+                    .map(Duration::from_secs_f64);
+                Op::Minimize {
+                    tables,
+                    request: MinimizeRequest {
+                        mode,
+                        max_conflicts: as_u64(value.get("max_conflicts")),
+                        deadline,
+                        certify: as_bool(value.get("certify")).unwrap_or(false),
+                    },
+                    no_cache: as_bool(value.get("no_cache")).unwrap_or(false),
+                }
+            }
+            "synthesize" => Op::Synthesize {
+                tables: string_array(value.get("tables"))
+                    .ok_or("synthesize needs \"tables\": [bits]")?,
+                n_rops: as_u64(value.get("rops")).ok_or("synthesize needs \"rops\"")? as usize,
+                n_legs: as_u64(value.get("legs")).map(|x| x as usize),
+                n_vsteps: as_u64(value.get("steps")).unwrap_or(3) as usize,
+                max_conflicts: as_u64(value.get("max_conflicts")),
+            },
+            "faultsim" => Op::Faultsim {
+                tables: string_array(value.get("tables"))
+                    .ok_or("faultsim needs \"tables\": [bits]")?,
+                n_rops: as_u64(value.get("rops")).unwrap_or(1) as usize,
+                n_vsteps: as_u64(value.get("steps")).unwrap_or(3) as usize,
+                trials: as_u64(value.get("trials")).unwrap_or(16) as u32,
+                seed: as_u64(value.get("seed")).unwrap_or(42),
+                stuck_lrs: usize_array(value.get("stuck_lrs")),
+            },
+            other => return Err(format!("unknown op {other:?}")),
+        };
+        Ok(Self { id, op })
+    }
+}
+
+/// Builds the [`MultiOutputFn`] a request's `tables` describe.
+///
+/// # Errors
+///
+/// Propagates [`BoolFnError`] for empty/ragged/non-power-of-two tables.
+pub fn function_from_tables(tables: &[String]) -> Result<MultiOutputFn, BoolFnError> {
+    let outputs = tables
+        .iter()
+        .map(|bits| TruthTable::from_bitstring(bits))
+        .collect::<Result<Vec<_>, _>>()?;
+    MultiOutputFn::new("wire", outputs)
+}
+
+/// How a minimize response was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from the persistent cache.
+    Hit,
+    /// Solved cold and stored.
+    Miss,
+    /// Cache skipped (`no_cache`, non-deterministic request, or no cache
+    /// directory configured).
+    Bypass,
+}
+
+impl CacheOutcome {
+    /// The lowercase wire token (`"hit"` | `"miss"` | `"bypass"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Hit => "hit",
+            Self::Miss => "miss",
+            Self::Bypass => "bypass",
+        }
+    }
+}
+
+// Manual impls: the wire format is the lowercase token, not the derive's
+// capitalized variant name.
+impl serde::Serialize for CacheOutcome {
+    fn to_value(&self) -> serde_json::Value {
+        serde_json::Value::Str(self.as_str().to_string())
+    }
+}
+
+impl serde::Deserialize for CacheOutcome {
+    fn from_value(value: &serde_json::Value) -> Result<Self, serde::Error> {
+        match value {
+            serde_json::Value::Str(s) => match s.as_str() {
+                "hit" => Ok(Self::Hit),
+                "miss" => Ok(Self::Miss),
+                "bypass" => Ok(Self::Bypass),
+                other => Err(serde::Error::msg(format!(
+                    "unknown cache outcome {other:?}"
+                ))),
+            },
+            _ => Err(serde::Error::msg("cache outcome must be a string")),
+        }
+    }
+}
+
+/// One response line. Everything is optional except `id` + `status`, so
+/// a single shape covers all ops.
+#[derive(Debug, Clone, Default, serde::Serialize)]
+pub struct JobResponse {
+    /// Echo of the request id.
+    pub id: String,
+    /// `ok` | `degraded` | `overloaded` | `error` | `shutting_down`.
+    pub status: String,
+    /// How a minimize answer was produced.
+    pub cache: Option<CacheOutcome>,
+    /// Why a `degraded` response degraded (mirrors exit code 2).
+    pub degraded_reason: Option<String>,
+    /// The circuit, for the *requested* (de-canonicalized) function.
+    pub circuit: Option<MmCircuit>,
+    /// The circuit's cost metrics.
+    pub metrics: Option<Metrics>,
+    /// Whether minimality was proved.
+    pub proven_optimal: Option<bool>,
+    /// DRAT refutation of the rung below the optimum, when certified.
+    pub proof: Option<DratProof>,
+    /// Solver calls spent (0 for a pure cache hit).
+    pub solver_calls: Option<u64>,
+    /// Fixed-budget decision verdict (`sat` | `unsat` | `unknown`).
+    pub verdict: Option<String>,
+    /// Fault-campaign report, for `faultsim`.
+    pub campaign: Option<CampaignReport>,
+    /// Cache counters, for `stats`.
+    pub cache_stats: Option<CacheStats>,
+    /// Entries currently on disk, for `stats`.
+    pub cache_entries: Option<u64>,
+    /// Protocol schema version, for `ping`/`stats`.
+    pub proto_version: Option<u64>,
+    /// Human-readable error, for `error`.
+    pub error: Option<String>,
+}
+
+impl JobResponse {
+    /// A bare response with the given id and status.
+    pub fn new(id: &str, status: &str) -> Self {
+        Self {
+            id: id.to_string(),
+            status: status.to_string(),
+            ..Self::default()
+        }
+    }
+
+    /// The `error` response for a malformed or failed request.
+    pub fn error(id: &str, message: impl Into<String>) -> Self {
+        Self {
+            error: Some(message.into()),
+            ..Self::new(id, "error")
+        }
+    }
+
+    /// The `overloaded` shed response.
+    pub fn overloaded(id: &str) -> Self {
+        Self::new(id, "overloaded")
+    }
+
+    /// Serializes to one wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("response serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimize_line_parses_with_defaults() {
+        let req = JobRequest::parse(r#"{"op":"minimize","id":"j1","tables":["0110"]}"#).unwrap();
+        assert_eq!(req.id, "j1");
+        let Op::Minimize {
+            tables,
+            request,
+            no_cache,
+        } = req.op
+        else {
+            panic!("wrong op");
+        };
+        assert_eq!(tables, vec!["0110"]);
+        assert!(!no_cache);
+        assert_eq!(
+            request.mode,
+            MinimizeMode::MixedMode {
+                max_rops: 4,
+                max_vsteps: 3,
+                is_adder: false
+            }
+        );
+        assert!(request.is_deterministic());
+    }
+
+    #[test]
+    fn unknown_fields_are_tolerated_and_options_honored() {
+        let req = JobRequest::parse(
+            r#"{"op":"minimize","id":"x","tables":["0001"],"r_only":true,"max_rops":5,
+                "max_conflicts":100,"deadline_secs":1.5,"certify":true,"no_cache":true,
+                "some_future_field":{"nested":[1,2]}}"#,
+        )
+        .unwrap();
+        let Op::Minimize {
+            request, no_cache, ..
+        } = req.op
+        else {
+            panic!("wrong op");
+        };
+        assert!(no_cache);
+        assert_eq!(request.mode, MinimizeMode::ROnly { max_rops: 5 });
+        assert_eq!(request.max_conflicts, Some(100));
+        assert_eq!(request.deadline, Some(Duration::from_secs_f64(1.5)));
+        assert!(request.certify);
+    }
+
+    #[test]
+    fn malformed_lines_produce_messages_not_panics() {
+        assert!(JobRequest::parse("").is_err());
+        assert!(JobRequest::parse("not json").is_err());
+        assert!(JobRequest::parse(r#"{"id":"x"}"#)
+            .unwrap_err()
+            .contains("op"));
+        assert!(JobRequest::parse(r#"{"op":"minimize"}"#)
+            .unwrap_err()
+            .contains("tables"));
+        assert!(JobRequest::parse(r#"{"op":"warp"}"#)
+            .unwrap_err()
+            .contains("unknown op"));
+    }
+
+    #[test]
+    fn tables_build_functions_and_reject_garbage() {
+        let f = function_from_tables(&["0110".into(), "0001".into()]).unwrap();
+        assert_eq!(f.n_inputs(), 2);
+        assert_eq!(f.n_outputs(), 2);
+        assert!(function_from_tables(&["011".into()]).is_err());
+        assert!(function_from_tables(&[]).is_err());
+    }
+
+    #[test]
+    fn responses_serialize_every_field() {
+        let resp = JobResponse::error("j9", "boom");
+        let line = resp.to_line();
+        let value: Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(as_str(value.get("id")), Some("j9"));
+        assert_eq!(as_str(value.get("status")), Some("error"));
+        assert_eq!(as_str(value.get("error")), Some("boom"));
+        assert_eq!(value.get("circuit"), Some(&Value::Null));
+    }
+}

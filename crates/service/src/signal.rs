@@ -1,0 +1,85 @@
+//! Minimal async-signal-safe SIGTERM/SIGINT latch.
+//!
+//! The daemon's shutdown contract is "SIGTERM drains": the handler only
+//! flips an [`AtomicBool`]; the serve loops poll it between jobs and run
+//! the drain sequence (stop admission → finish queued jobs → flush cache
+//! index → checkpoint telemetry) from ordinary code. Flipping an atomic
+//! is the *only* thing the handler does — everything else is unsafe in a
+//! signal context.
+//!
+//! This is the crate's one `unsafe` island (libc `signal(2)` via a raw
+//! FFI declaration, so no new dependency); everything else is guarded by
+//! `#![deny(unsafe_code)]` at the crate root.
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERMINATION: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+extern "C" fn on_terminate(_signum: i32) {
+    TERMINATION.store(true, Ordering::SeqCst);
+}
+
+/// Installs the SIGTERM/SIGINT latch. Idempotent; safe to call from any
+/// thread before the serve loops start.
+///
+/// Note the handler does not interrupt a `read(2)` that libc restarts, so
+/// the serve loops must also treat EOF as a drain trigger — a blocked
+/// stdin daemon drains when its pipe closes even if the signal arrives
+/// mid-read.
+pub fn install_termination_handler() {
+    let handler = on_terminate as extern "C" fn(i32) as *const () as usize;
+    unsafe {
+        signal(SIGTERM, handler);
+        signal(SIGINT, handler);
+    }
+}
+
+/// Whether a termination signal has been received.
+pub fn termination_requested() -> bool {
+    TERMINATION.load(Ordering::SeqCst)
+}
+
+/// Latches termination from ordinary code (the `shutdown` op uses the
+/// same path as the signal so there is exactly one drain trigger).
+pub fn request_termination() {
+    TERMINATION.store(true, Ordering::SeqCst);
+}
+
+/// Clears the latch. A freshly started daemon calls this so a latch left
+/// over from a previous daemon in the same process (tests, embedders)
+/// does not immediately drain the new one.
+pub fn reset_termination() {
+    TERMINATION.store(false, Ordering::SeqCst);
+}
+
+/// Serializes tests that touch the process-global latch so one test's
+/// `request_termination` cannot truncate another test's serve loop.
+#[cfg(test)]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_latches_and_resets() {
+        let _guard = test_guard();
+        install_termination_handler();
+        request_termination();
+        assert!(termination_requested());
+        reset_termination();
+        assert!(!termination_requested());
+    }
+}

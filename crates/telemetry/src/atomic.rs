@@ -1,0 +1,229 @@
+//! Crash-safe artifact writes shared by every layer that persists files.
+//!
+//! Every artifact the workspace emits — stats JSON, campaign reports, DRAT
+//! proofs, corpus cases, `BENCH_*.json`, cache entries, JSONL traces — goes
+//! through one of two primitives so a crash (or `kill -9`) can never leave
+//! a torn file at a consumer-visible path:
+//!
+//! * [`atomic_write`] — one-shot: write the full payload to a hidden
+//!   sibling temp file, `fsync`, then `rename` onto the destination.
+//!   Rename is atomic on POSIX filesystems, so readers observe either the
+//!   old content or the complete new content, never a prefix.
+//! * [`AtomicFile`] — streaming: a [`Write`] implementation that writes to
+//!   the temp sibling and *commits* (flush + `fsync` + rename) on the
+//!   first explicit [`flush`](Write::flush) and again on drop. Before the
+//!   first commit the destination path does not exist; after it, appended
+//!   data keeps flowing to the same (now renamed) inode. A process killed
+//!   before the first commit leaves only a hidden `.tmp-` file behind —
+//!   startup recovery scans delete those.
+//!
+//! Temp names embed the process id and a monotone nonce, so concurrent
+//! writers targeting the same destination never collide on the temp path;
+//! the last rename wins, which is the usual POSIX overwrite semantics.
+
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide temp-name nonce (two [`AtomicFile`]s for one destination
+/// must not share a temp path).
+static NONCE: AtomicU64 = AtomicU64::new(0);
+
+/// The hidden temp sibling used while writing `path`.
+fn temp_sibling(path: &Path) -> PathBuf {
+    let name = path
+        .file_name()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "artifact".to_string());
+    path.with_file_name(format!(
+        ".{name}.tmp-{}-{}",
+        std::process::id(),
+        NONCE.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Whether a directory-entry name is one of our hidden in-flight temp
+/// files. Recovery scans use this to sweep torn writes left by a crash.
+pub fn is_temp_artifact(name: &str) -> bool {
+    name.starts_with('.') && name.contains(".tmp-")
+}
+
+/// Atomically replaces `path` with `bytes`: temp sibling + `fsync` +
+/// `rename`. Parent directories are created as needed.
+///
+/// # Errors
+///
+/// Propagates any I/O error; on failure the temp file is removed and the
+/// destination is untouched.
+pub fn atomic_write(path: impl AsRef<Path>, bytes: impl AsRef<[u8]>) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let tmp = temp_sibling(path);
+    let result = (|| {
+        let mut file = File::create(&tmp)?;
+        file.write_all(bytes.as_ref())?;
+        file.sync_all()?;
+        fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// A streaming writer whose destination path only ever holds committed
+/// data: bytes accumulate in a buffered temp sibling, and
+/// [`commit`](Self::commit) (called by [`flush`](Write::flush) and drop)
+/// flushes, `fsync`s and renames the temp file onto the destination. See
+/// the module docs for the crash-safety contract.
+pub struct AtomicFile {
+    inner: Option<BufWriter<File>>,
+    tmp: PathBuf,
+    dest: PathBuf,
+    promoted: bool,
+}
+
+impl AtomicFile {
+    /// Opens a streaming atomic writer targeting `dest`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates temp-file creation failures.
+    pub fn create(dest: impl AsRef<Path>) -> io::Result<Self> {
+        let dest = dest.as_ref().to_path_buf();
+        if let Some(parent) = dest.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let tmp = temp_sibling(&dest);
+        let file = File::create(&tmp)?;
+        Ok(Self {
+            inner: Some(BufWriter::new(file)),
+            tmp,
+            dest,
+            promoted: false,
+        })
+    }
+
+    /// Flushes buffered bytes, `fsync`s, and (on the first call) renames
+    /// the temp file onto the destination. Later data written after a
+    /// commit lands in the same inode, now at the destination path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush/sync/rename failures; the writer stays usable.
+    pub fn commit(&mut self) -> io::Result<()> {
+        let Some(inner) = self.inner.as_mut() else {
+            return Ok(());
+        };
+        inner.flush()?;
+        inner.get_ref().sync_all()?;
+        if !self.promoted {
+            fs::rename(&self.tmp, &self.dest)?;
+            self.promoted = true;
+        }
+        Ok(())
+    }
+}
+
+impl Write for AtomicFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self.inner.as_mut() {
+            Some(inner) => inner.write(buf),
+            None => Err(io::Error::other("atomic file already closed")),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.commit()
+    }
+}
+
+impl Drop for AtomicFile {
+    fn drop(&mut self) {
+        let _ = self.commit();
+        self.inner = None;
+        if !self.promoted {
+            let _ = fs::remove_file(&self.tmp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mm_atomic_{}_{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn atomic_write_replaces_whole_file() {
+        let dir = temp_dir("write");
+        let path = dir.join("a.json");
+        atomic_write(&path, "first").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "first");
+        atomic_write(&path, "second, longer payload").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "second, longer payload");
+        // No temp droppings.
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_write_creates_parents() {
+        let dir = temp_dir("parents");
+        let path = dir.join("sub/deeper/out.txt");
+        atomic_write(&path, "x").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "x");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_file_promotes_on_flush_then_keeps_streaming() {
+        let dir = temp_dir("stream");
+        let path = dir.join("trace.jsonl");
+        let mut f = AtomicFile::create(&path).unwrap();
+        f.write_all(b"line 1\n").unwrap();
+        // Not yet committed: destination absent, temp sibling hidden.
+        assert!(!path.exists());
+        f.flush().unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "line 1\n");
+        // Post-commit writes land in the same file.
+        f.write_all(b"line 2\n").unwrap();
+        drop(f);
+        assert_eq!(fs::read_to_string(&path).unwrap(), "line 1\nline 2\n");
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drop_commits_buffered_data() {
+        let dir = temp_dir("drop");
+        let path = dir.join("never.json");
+        {
+            let mut f = AtomicFile::create(&path).unwrap();
+            f.write_all(b"partial").unwrap();
+            // Dropped without an explicit flush: commit runs, so the data
+            // still lands atomically.
+        }
+        assert_eq!(fs::read_to_string(&path).unwrap(), "partial");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn temp_names_are_recognizable() {
+        assert!(is_temp_artifact(".entry.json.tmp-123-0"));
+        assert!(!is_temp_artifact("entry.json"));
+        assert!(!is_temp_artifact(".hidden"));
+    }
+}

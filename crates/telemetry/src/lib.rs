@@ -27,10 +27,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod atomic;
 mod event;
 mod report;
 mod sink;
 
+pub use atomic::{atomic_write, AtomicFile};
 pub use event::{attr, kv, AttrValue, Event, EventKind, TRACE_SCHEMA_VERSION};
 pub use report::{CounterTotal, PhaseNode, RunReport, RungSummary, REPORT_SCHEMA_VERSION};
 pub use sink::{JsonlSink, MemorySink, MultiSink, NoopSink, ProgressSink, TelemetrySink};

@@ -15,9 +15,8 @@
 //! * [`ProgressSink`] — renders a terse human ticker from lifecycle events.
 
 use std::collections::hash_map::RandomState;
-use std::fs::File;
 use std::hash::BuildHasher;
-use std::io::{self, BufWriter, Write};
+use std::io::{self, Write};
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 
@@ -104,10 +103,13 @@ pub struct JsonlSink {
 }
 
 impl JsonlSink {
-    /// Creates a sink writing to `path` (buffered).
+    /// Creates a sink writing to `path` (buffered, crash-safe): bytes
+    /// stream to a hidden temp sibling that is promoted onto `path` on the
+    /// first [`flush`](TelemetrySink::flush) (and on drop), so a killed
+    /// process never leaves a torn trace at the consumer-visible path.
     pub fn create(path: &Path) -> io::Result<Self> {
-        let file = File::create(path)?;
-        Ok(Self::with_writer(Box::new(BufWriter::new(file))))
+        let file = crate::atomic::AtomicFile::create(path)?;
+        Ok(Self::with_writer(Box::new(file)))
     }
 
     /// Creates a sink over an arbitrary writer (used by tests and benches).

@@ -13,8 +13,9 @@ on a re-run). Gating rules:
   clocks are noisy. --strict-time promotes them to failures.
 * Metrics present on one side only are reported (new probes appear as a
   PR lands them; that is informational, not a failure).
-* A missing baseline file passes: the first PR that emits a bench report
-  has nothing to diff against.
+* A missing or unparseable baseline/candidate file is a clear one-line
+  error, never a traceback. --allow-missing-baseline restores the
+  bootstrap behavior (first PR with a bench report has no baseline).
 
 Stdlib only, so the CI leg needs nothing beyond python3.
 """
@@ -28,8 +29,17 @@ BENCH_SCHEMA_VERSION = 1
 
 
 def load(path):
-    with open(path, encoding="utf-8") as fh:
-        report = json.load(fh)
+    try:
+        with open(path, encoding="utf-8") as fh:
+            report = json.load(fh)
+    except OSError as err:
+        sys.exit(f"bench-diff: cannot read {path}: {err.strerror or err}")
+    except json.JSONDecodeError as err:
+        sys.exit(f"bench-diff: {path} is not valid JSON ({err}); "
+                 "regenerate it with bench_report")
+    if not isinstance(report, dict):
+        sys.exit(f"bench-diff: {path}: expected a JSON object at top level, "
+                 f"got {type(report).__name__}")
     version = report.get("schema_version")
     if version != BENCH_SCHEMA_VERSION:
         sys.exit(f"{path}: unsupported bench schema version {version!r} "
@@ -68,11 +78,22 @@ def main():
                         help="max allowed bad-direction change (fraction, default 0.20)")
     parser.add_argument("--strict-time", action="store_true",
                         help="gate wall-clock metrics too instead of warning")
+    parser.add_argument("--allow-missing-baseline", action="store_true",
+                        help="pass when the baseline file does not exist "
+                             "(bootstrap: the first bench-emitting PR)")
     args = parser.parse_args()
 
     if not os.path.exists(args.baseline):
-        print(f"bench-diff: no baseline at {args.baseline}; nothing to compare, passing")
-        return 0
+        if args.allow_missing_baseline:
+            print(f"bench-diff: no baseline at {args.baseline}; "
+                  "nothing to compare, passing")
+            return 0
+        sys.exit(f"bench-diff: baseline {args.baseline} does not exist; "
+                 "commit the previous PR's report or pass "
+                 "--allow-missing-baseline")
+    if not os.path.exists(args.candidate):
+        sys.exit(f"bench-diff: candidate {args.candidate} does not exist; "
+                 "run bench_report first")
 
     base = load(args.baseline)
     cand = load(args.candidate)

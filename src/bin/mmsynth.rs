@@ -7,6 +7,7 @@
 //! mmsynth minimize --function gf22_mul [--max-rops N] [--max-steps N] [--r-only]
 //!                  [--jobs N] [--conflicts N] [--deadline SECS] [--certify]
 //!                  [--no-incremental] [--proof-dir DIR] [--dot | --json | --schedule]
+//!                  [--cache-dir DIR [--paranoid]]
 //! mmsynth faultsim --function xor2 --rops 1 --legs 2 --steps 2
 //!                  [--stuck CELL:lrs,CELL:hrs] [--flip CELL:CYCLE,...]
 //!                  [--variability SIGMA] [--trials N] [--seed N]
@@ -18,7 +19,14 @@
 //! mmsynth run      --function gf22_mul --input 1011 [--trace] [--seed 42]
 //! mmsynth census   --inputs 3 [--pre K] [--post K] [--tebe K]
 //! mmsynth list
+//! mmsynth client   --socket PATH | --tcp ADDR:PORT [--op minimize|synth|faultsim|ping|stats|shutdown]
+//!                  [--function NAME|BITS,...] [--id ID] [--no-cache] [...op flags]
 //! ```
+//!
+//! `minimize --cache-dir DIR` reads/writes the same persistent NPN result
+//! cache `mmsynthd` serves from: the request is canonicalized, looked up,
+//! solved (canonically) only on a miss, and de-canonicalized for printing.
+//! `client` is a one-shot JSON-lines client for a running `mmsynthd`.
 //!
 //! `--certify` runs every SAT call with DRAT proof logging and checks each
 //! UNSAT answer with the in-tree backward checker before reporting it;
@@ -75,7 +83,8 @@ use memristive_mm::synth::repair::{synthesize_with_repair, RepairConfig, RepairS
 use memristive_mm::synth::universality::{census, CensusConfig};
 use memristive_mm::synth::{heuristic, EncodeOptions, SynthResult, SynthSpec, Synthesizer};
 use memristive_mm::telemetry::{
-    JsonlSink, MemorySink, MultiSink, ProgressSink, RunReport, Telemetry, TelemetrySink,
+    atomic_write, JsonlSink, MemorySink, MultiSink, ProgressSink, RunReport, Telemetry,
+    TelemetrySink,
 };
 use serde::{Serialize, Value};
 
@@ -254,7 +263,7 @@ impl TelemetrySetup {
         if let (Some(path), Some(memory)) = (&self.report_path, &self.memory) {
             let report = RunReport::from_events(&memory.snapshot());
             let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
-            std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+            atomic_write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
             eprintln!("run report written to {path}");
         }
         Ok(())
@@ -268,7 +277,7 @@ fn write_stats_json(dest: &str, value: &Value) -> Result<(), String> {
     if dest == "true" {
         println!("{json}");
     } else {
-        std::fs::write(dest, json).map_err(|e| format!("writing {dest}: {e}"))?;
+        atomic_write(dest, json).map_err(|e| format!("writing {dest}: {e}"))?;
         eprintln!("stats written to {dest}");
     }
     Ok(())
@@ -384,7 +393,7 @@ fn dispatch(command: &str, args: &Args, tel: &TelemetrySetup) -> Result<ExitCode
                     cert.check.check_time.as_secs_f64()
                 );
                 if let Some(path) = args.get("proof") {
-                    std::fs::write(path, cert.proof.to_drat_string())
+                    atomic_write(path, cert.proof.to_drat_string())
                         .map_err(|e| format!("writing {path}: {e}"))?;
                     eprintln!("proof written to {path}");
                 }
@@ -423,6 +432,9 @@ fn dispatch(command: &str, args: &Args, tel: &TelemetrySetup) -> Result<ExitCode
             let f = parse_function(args.get("function").ok_or("--function required")?)?;
             let jobs = args.get_usize("jobs", parallel::default_jobs()).max(1);
             let options = EncodeOptions::recommended();
+            if let Some(dir) = args.get("cache-dir") {
+                return minimize_cached(args, tel, &f, jobs, &options, dir);
+            }
             // Incremental ladder solving is on by default; --no-incremental
             // restores cold per-rung solves (and --certify implies them).
             let incremental = !args.has("no-incremental");
@@ -482,7 +494,7 @@ fn dispatch(command: &str, args: &Args, tel: &TelemetrySetup) -> Result<ExitCode
                         c.n_legs,
                         c.n_vsteps
                     );
-                    std::fs::write(&path, proof.to_drat_string())
+                    atomic_write(&path, proof.to_drat_string())
                         .map_err(|e| format!("writing {path}: {e}"))?;
                 }
             }
@@ -571,9 +583,10 @@ fn dispatch(command: &str, args: &Args, tel: &TelemetrySetup) -> Result<ExitCode
         }
         "faultsim" => faultsim(args, tel),
         "fuzz" => fuzz(args),
+        "client" => client(args),
         _ => {
             println!(
-                "usage: mmsynth <synth|minimize|faultsim|fuzz|map|run|census|list> [--function NAME|BITS,...]\n\
+                "usage: mmsynth <synth|minimize|faultsim|fuzz|map|run|census|list|client> [--function NAME|BITS,...]\n\
                  \x20      synth:    --rops N [--legs N] [--steps N] [--r-only N] [--budget s]\n\
                  \x20                [--avoid-cells 0,3 --array-size N] [--deadline SECS]\n\
                  \x20                [--certify] [--proof FILE]\n\
@@ -581,7 +594,11 @@ fn dispatch(command: &str, args: &Args, tel: &TelemetrySetup) -> Result<ExitCode
                  \x20      minimize: [--max-rops N] [--max-steps N] [--r-only] [--adder]\n\
                  \x20                [--jobs N] [--conflicts N] [--deadline SECS]\n\
                  \x20                [--no-incremental] [--certify] [--proof-dir DIR]\n\
+                 \x20                [--cache-dir DIR [--paranoid]]\n\
                  \x20                [--dot | --json | --schedule]\n\
+                 \x20      client:   --socket PATH | --tcp ADDR:PORT [--op OP]\n\
+                 \x20                [--function NAME|BITS,...] [--id ID] [--no-cache]\n\
+                 \x20                (forwards minimize/synth/faultsim flags to mmsynthd)\n\
                  \x20      faultsim: --rops N [--legs N] [--steps N]\n\
                  \x20                [--stuck CELL:lrs,...] [--flip CELL:CYCLE,...]\n\
                  \x20                [--variability SIGMA] [--trials N] [--seed N]\n\
@@ -610,6 +627,218 @@ fn dispatch(command: &str, args: &Args, tel: &TelemetrySetup) -> Result<ExitCode
             );
             Ok(ExitCode::SUCCESS)
         }
+    }
+}
+
+/// `mmsynth minimize --cache-dir DIR`: the daemon's cache path without the
+/// daemon. Canonicalize, look up, solve the canonical representative on a
+/// miss, store, de-canonicalize for printing — so a CLI run warms (and is
+/// warmed by) the same cache `mmsynthd` serves from.
+fn minimize_cached(
+    args: &Args,
+    tel: &TelemetrySetup,
+    f: &MultiOutputFn,
+    jobs: usize,
+    options: &EncodeOptions,
+    dir: &str,
+) -> Result<ExitCode, String> {
+    use memristive_mm::boolfn::npn::canonicalize;
+    use memristive_mm::service::engine::entry_from_report;
+    use memristive_mm::service::ResultCache;
+    use memristive_mm::synth::request::{decanonicalize_circuit, MinimizeRequest};
+
+    if args.has("deadline") {
+        // A deadline makes the verdict timing-dependent, so such runs can
+        // neither be stored nor validly served from the cache.
+        return Err(
+            "--cache-dir requires a deterministic request; drop --deadline (use --conflicts to bound work)"
+                .into(),
+        );
+    }
+    let mut request = if args.has("r-only") {
+        MinimizeRequest::r_only(args.get_usize("max-rops", 8))
+    } else {
+        MinimizeRequest::mixed_mode(
+            args.get_usize("max-rops", 8),
+            args.get_usize("max-steps", 6),
+            args.has("adder") || f.name().starts_with("adder"),
+        )
+    };
+    if let Some(c) = args.get("conflicts") {
+        request.max_conflicts = Some(c.parse().map_err(|e| format!("bad --conflicts: {e}"))?);
+    }
+    request.certify = args.has("certify");
+
+    let (cache, recovery) =
+        ResultCache::open(dir).map_err(|e| format!("opening cache {dir}: {e}"))?;
+    let cache = cache.with_paranoid(args.has("paranoid"));
+    if recovery.quarantined > 0 || recovery.temps_removed > 0 {
+        eprintln!(
+            "cache recovery: {} valid, {} quarantined, {} temp files removed",
+            recovery.valid, recovery.quarantined, recovery.temps_removed
+        );
+    }
+    let (canonical, transform) = canonicalize(f);
+    let (entry, outcome, degraded) = match cache.lookup(&canonical, &request) {
+        Some(entry) => (entry, "hit", false),
+        None => {
+            let synth = Synthesizer::new()
+                .with_certification(request.certify)
+                .with_telemetry(tel.telemetry.clone());
+            let report = request
+                .run(&synth, &canonical, options, jobs)
+                .map_err(|e| e.to_string())?;
+            let degraded = report.status.is_degraded();
+            if let memristive_mm::synth::optimize::OptimizeStatus::Degraded { reason } =
+                &report.status
+            {
+                eprintln!("degraded: {reason}; the result below is the best known (not cached)");
+            }
+            let entry = entry_from_report(&canonical, &request, &report);
+            if !degraded {
+                cache
+                    .store(&request, &entry)
+                    .map_err(|e| format!("storing cache entry: {e}"))?;
+            }
+            (entry, "miss", degraded)
+        }
+    };
+    let stats = cache.stats();
+    eprintln!(
+        "cache: {outcome} ({} entries, {} stored this run)",
+        cache.len(),
+        stats.stores
+    );
+    match &entry.circuit {
+        Some(circuit) => {
+            let circuit = decanonicalize_circuit(circuit, &transform).map_err(|e| e.to_string())?;
+            emit_circuit(&circuit, args)?;
+            println!(
+                "optimality: {}",
+                match (entry.proven_optimal, entry.proof.is_some(), degraded) {
+                    (true, true, _) => "proven (UNSAT below, DRAT-certified)",
+                    (true, false, _) => "proven (UNSAT below)",
+                    (false, _, true) => "upper bound only (degraded run)",
+                    (false, _, false) => "upper bound only",
+                }
+            );
+            if degraded {
+                Ok(ExitCode::from(EXIT_INCONCLUSIVE))
+            } else {
+                Ok(ExitCode::SUCCESS)
+            }
+        }
+        None if degraded => {
+            eprintln!("inconclusive: no circuit found before the budget ran out");
+            Ok(ExitCode::from(EXIT_INCONCLUSIVE))
+        }
+        None => {
+            Err("no circuit found within the search limits; raise --max-rops/--max-steps".into())
+        }
+    }
+}
+
+/// `mmsynth client`: one-shot JSON-lines client for a running `mmsynthd`.
+/// Resolves `--function` to truth tables locally, sends a single request
+/// over `--socket`/`--tcp`, prints the raw response line, and maps the
+/// response status onto the usual exit codes (`degraded` → 2).
+fn client(args: &Args) -> Result<ExitCode, String> {
+    use std::io::{BufRead, BufReader, Write};
+
+    let op = args.get("op").unwrap_or("minimize");
+    let id = args.get("id").unwrap_or("cli").to_string();
+    let mut fields: Vec<(String, Value)> = vec![
+        ("op".into(), Value::Str(op.into())),
+        ("id".into(), Value::Str(id)),
+    ];
+    if matches!(op, "minimize" | "synth" | "faultsim") {
+        let f = parse_function(args.get("function").ok_or("--function required")?)?;
+        let tables: Vec<Value> = f
+            .outputs()
+            .iter()
+            .map(|t| Value::Str(t.to_bitstring()))
+            .collect();
+        fields.push(("tables".into(), Value::Array(tables)));
+    }
+    for (flag, wire) in [
+        ("max-rops", "max_rops"),
+        ("max-steps", "max_steps"),
+        ("conflicts", "max_conflicts"),
+        ("rops", "rops"),
+        ("legs", "legs"),
+        ("steps", "steps"),
+        ("trials", "trials"),
+        ("seed", "seed"),
+    ] {
+        if let Some(v) = args.get(flag) {
+            let n: u64 = v.parse().map_err(|e| format!("bad --{flag}: {e}"))?;
+            fields.push((wire.into(), Value::UInt(n)));
+        }
+    }
+    if let Some(d) = args.get("deadline") {
+        let secs: f64 = d.parse().map_err(|e| format!("bad --deadline: {e}"))?;
+        fields.push(("deadline_secs".into(), Value::Float(secs)));
+    }
+    for (flag, wire) in [
+        ("r-only", "r_only"),
+        ("adder", "adder"),
+        ("certify", "certify"),
+        ("no-cache", "no_cache"),
+    ] {
+        if args.has(flag) {
+            fields.push((wire.into(), Value::Bool(true)));
+        }
+    }
+    if let Some(stuck) = args.get("stuck-lrs") {
+        let cells = parse_cells(stuck)?;
+        fields.push((
+            "stuck_lrs".into(),
+            Value::Array(cells.into_iter().map(|c| Value::UInt(c as u64)).collect()),
+        ));
+    }
+    let line = serde_json::to_string(&Value::Object(fields)).map_err(|e| e.to_string())?;
+
+    let response = if let Some(path) = args.get("socket") {
+        let mut stream = std::os::unix::net::UnixStream::connect(path)
+            .map_err(|e| format!("connecting to {path}: {e}"))?;
+        stream
+            .write_all(format!("{line}\n").as_bytes())
+            .map_err(|e| e.to_string())?;
+        let mut reply = String::new();
+        BufReader::new(&mut stream)
+            .read_line(&mut reply)
+            .map_err(|e| e.to_string())?;
+        reply
+    } else if let Some(addr) = args.get("tcp") {
+        let mut stream =
+            std::net::TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+        stream
+            .write_all(format!("{line}\n").as_bytes())
+            .map_err(|e| e.to_string())?;
+        let mut reply = String::new();
+        BufReader::new(&mut stream)
+            .read_line(&mut reply)
+            .map_err(|e| e.to_string())?;
+        reply
+    } else {
+        return Err("client needs --socket PATH or --tcp ADDR:PORT".into());
+    };
+    let reply = response.trim_end();
+    if reply.is_empty() {
+        return Err("daemon closed the connection without a response".into());
+    }
+    println!("{reply}");
+    let status = serde_json::from_str::<Value>(reply)
+        .ok()
+        .and_then(|v| match v.get("status") {
+            Some(Value::Str(s)) => Some(s.clone()),
+            _ => None,
+        })
+        .unwrap_or_default();
+    match status.as_str() {
+        "ok" => Ok(ExitCode::SUCCESS),
+        "degraded" => Ok(ExitCode::from(EXIT_INCONCLUSIVE)),
+        _ => Ok(ExitCode::FAILURE),
     }
 }
 
@@ -876,7 +1105,7 @@ fn write_report(report: &CampaignReport, args: &Args) -> Result<(), String> {
     let json = report.to_json();
     match args.get("out") {
         Some(path) => {
-            std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+            atomic_write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
             eprintln!("campaign report written to {path}");
         }
         None => println!("{json}"),

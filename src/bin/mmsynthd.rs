@@ -1,0 +1,166 @@
+//! `mmsynthd` — the crash-safe synthesis daemon.
+//!
+//! Accepts JSON-lines jobs (`minimize`, `synth`, `faultsim`, plus
+//! `ping`/`stats`/`shutdown`) over stdin/stdout by default, or over a
+//! Unix/TCP socket with `--socket`/`--tcp`. Results for deterministic
+//! minimize requests are cached persistently under `--cache-dir`, keyed
+//! by the NPN-canonical form of the requested function, so equivalent
+//! requests — across restarts and across clients — are served without
+//! re-solving.
+//!
+//! ```text
+//! echo '{"op":"minimize","id":"1","tables":["0110"]}' \
+//!   | mmsynthd --cache-dir /var/cache/mmsynth
+//! ```
+//!
+//! SIGTERM (or the `shutdown` op, or stdin EOF) drains: queued jobs
+//! finish, the cache index is flushed, telemetry is checkpointed.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use memristive_mm::service::{Daemon, DaemonConfig, RetryPolicy};
+use memristive_mm::telemetry::{
+    atomic_write, JsonlSink, MemorySink, MultiSink, RunReport, Telemetry, TelemetrySink,
+};
+
+struct Args {
+    flags: HashMap<String, String>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut flags = HashMap::new();
+    let mut it = argv.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().expect("peeked").clone(),
+                _ => String::from("true"),
+            };
+            flags.insert(name.to_string(), value);
+        } else {
+            return Err(format!("unexpected argument {a:?} (flags only)"));
+        }
+    }
+    Ok(Args { flags })
+}
+
+impl Args {
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    fn get_usize(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("bad --{name}: {e}")),
+        }
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+}
+
+const USAGE: &str = "\
+mmsynthd — synthesis daemon (JSON-lines protocol)
+
+usage: mmsynthd [options]
+
+  --cache-dir DIR    persistent NPN result cache (recommended)
+  --paranoid         re-execute cached circuits on the device model
+  --workers N        concurrent jobs (default 2)
+  --queue-depth N    queued jobs before shedding `overloaded` (default 16)
+  --jobs N           portfolio width per solve (default 2)
+  --retries N        max attempts per job (default 3)
+  --socket PATH      serve a Unix socket instead of stdio
+  --tcp ADDR:PORT    serve TCP instead of stdio
+  --trace-out FILE   stream telemetry events as JSONL
+  --report-json FILE aggregated run report on shutdown
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<ExitCode, String> {
+    let args = parse_args(argv)?;
+    if args.has("help") {
+        print!("{USAGE}");
+        return Ok(ExitCode::SUCCESS);
+    }
+    let mut sinks: Vec<Arc<dyn TelemetrySink>> = Vec::new();
+    let mut memory = None;
+    if let Some(path) = args.get("trace-out") {
+        let sink = JsonlSink::create(std::path::Path::new(path))
+            .map_err(|e| format!("creating {path}: {e}"))?;
+        sinks.push(Arc::new(sink));
+    }
+    let report_path = args.get("report-json").map(str::to_string);
+    if report_path.is_some() {
+        let m = Arc::new(MemorySink::new());
+        memory = Some(m.clone());
+        sinks.push(m);
+    }
+    let telemetry = match sinks.len() {
+        0 => Telemetry::disabled(),
+        1 => Telemetry::new(sinks.pop().expect("length checked")),
+        _ => Telemetry::new(Arc::new(MultiSink::new(sinks))),
+    };
+    telemetry.meta_event("mmsynthd");
+
+    let config = DaemonConfig {
+        cache_dir: args.get("cache-dir").map(PathBuf::from),
+        paranoid: args.has("paranoid"),
+        workers: args.get_usize("workers", 2)?.max(1),
+        queue_depth: args.get_usize("queue-depth", 16)?.max(1),
+        solve_jobs: args.get_usize("jobs", 2)?.max(1),
+        retry: RetryPolicy {
+            max_attempts: args.get_usize("retries", 3)? as u32,
+            ..RetryPolicy::default()
+        },
+    };
+    let cache_dir = config.cache_dir.clone();
+    let daemon =
+        Daemon::start(config, telemetry.clone()).map_err(|e| format!("starting daemon: {e}"))?;
+    let recovery = daemon.recovery().clone();
+    if let Some(dir) = &cache_dir {
+        eprintln!(
+            "mmsynthd: cache {}: {} valid, {} quarantined, {} temp files removed",
+            dir.display(),
+            recovery.valid,
+            recovery.quarantined,
+            recovery.temps_removed
+        );
+    }
+
+    let served = if let Some(path) = args.get("socket") {
+        eprintln!("mmsynthd: serving on unix socket {path}");
+        daemon.serve_unix(std::path::Path::new(path))
+    } else if let Some(addr) = args.get("tcp") {
+        eprintln!("mmsynthd: serving on tcp {addr}");
+        daemon.serve_tcp(addr)
+    } else {
+        eprintln!("mmsynthd: serving on stdio");
+        daemon.serve_stdio()
+    };
+    served.map_err(|e| format!("serve loop: {e}"))?;
+
+    if let (Some(path), Some(memory)) = (&report_path, &memory) {
+        let report = RunReport::from_events(&memory.snapshot());
+        let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        atomic_write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("mmsynthd: run report written to {path}");
+    }
+    eprintln!("mmsynthd: drained");
+    Ok(ExitCode::SUCCESS)
+}

@@ -16,6 +16,9 @@
 //! * [`telemetry`] — structured tracing: spans, counters and point events
 //!   from every layer above, JSONL sinks, and the [`telemetry::RunReport`]
 //!   per-phase timing aggregator.
+//! * [`service`] — the crash-safe synthesis service behind `mmsynthd`: a
+//!   persistent NPN-canonical result cache, supervised jobs with retry
+//!   and overload shedding, and the JSON-lines daemon loops.
 //!
 //! # Quickstart
 //!
@@ -38,6 +41,7 @@ pub use mm_boolfn as boolfn;
 pub use mm_circuit as circuit;
 pub use mm_device as device;
 pub use mm_sat as sat;
+pub use mm_service as service;
 pub use mm_synth as synth;
 pub use mm_telemetry as telemetry;
 

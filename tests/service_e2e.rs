@@ -1,0 +1,294 @@
+//! End-to-end tests for `mmsynthd`: mixed batches over stdio, kill -9
+//! torture against the persistent cache, and the service's core safety
+//! claim — a cache hit is bit-identical to a cold solve at any `--jobs`.
+//!
+//! Everything runs the real binary (`CARGO_BIN_EXE_mmsynthd`) against a
+//! throwaway cache directory, exactly as CI's daemon smoke leg does.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+use memristive_mm::boolfn::{MultiOutputFn, TruthTable};
+use memristive_mm::circuit::MmCircuit;
+use serde::{Deserialize, Value};
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("svc_e2e_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spawn_daemon(cache: &Path, extra: &[&str]) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_mmsynthd"))
+        .arg("--cache-dir")
+        .arg(cache)
+        .args(extra)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("mmsynthd spawns")
+}
+
+/// Runs one daemon lifetime: writes `lines`, closes stdin (EOF drains),
+/// and returns (parsed responses, stderr).
+fn run_batch(cache: &Path, extra: &[&str], lines: &[String]) -> (Vec<Value>, String) {
+    let mut child = spawn_daemon(cache, extra);
+    let mut stdin = child.stdin.take().expect("piped stdin");
+    for line in lines {
+        writeln!(stdin, "{line}").expect("write request");
+    }
+    drop(stdin);
+    let output = child.wait_with_output().expect("daemon exits");
+    let stderr = String::from_utf8_lossy(&output.stderr).into_owned();
+    assert!(
+        output.status.success(),
+        "daemon failed: {stderr}\nstdout: {}",
+        String::from_utf8_lossy(&output.stdout)
+    );
+    let responses = String::from_utf8_lossy(&output.stdout)
+        .lines()
+        .map(|l| serde_json::from_str(l).unwrap_or_else(|e| panic!("bad response {l:?}: {e}")))
+        .collect();
+    (responses, stderr)
+}
+
+fn field<'a>(resp: &'a Value, key: &str) -> Option<&'a Value> {
+    resp.get(key).filter(|v| !matches!(v, Value::Null))
+}
+
+fn str_field<'a>(resp: &'a Value, key: &str) -> Option<&'a str> {
+    match field(resp, key) {
+        Some(Value::Str(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn minimize_line(id: &str, tables: &str, extra: &str) -> String {
+    format!(
+        r#"{{"op":"minimize","id":"{id}","tables":["{tables}"],"max_rops":3,"max_steps":3{extra}}}"#
+    )
+}
+
+fn function(tables: &str) -> MultiOutputFn {
+    MultiOutputFn::new(
+        "spec",
+        vec![TruthTable::from_bitstring(tables).expect("table")],
+    )
+    .expect("function")
+}
+
+/// Parses the circuit out of a response and checks it implements the
+/// *requested* function — the "never a wrong verdict" assertion.
+fn assert_circuit_implements(resp: &Value, tables: &str, context: &str) {
+    let circuit_value = field(resp, "circuit")
+        .unwrap_or_else(|| panic!("{context}: response has no circuit: {resp:?}"));
+    let circuit = MmCircuit::from_value(circuit_value)
+        .unwrap_or_else(|e| panic!("{context}: circuit does not parse: {e}"));
+    assert!(
+        circuit.implements(&function(tables)),
+        "{context}: served circuit does not implement {tables}"
+    );
+}
+
+#[test]
+fn mixed_batch_over_stdio() {
+    let cache = temp_dir("mixed");
+    let lines = vec![
+        r#"{"op":"ping","id":"p"}"#.to_string(),
+        minimize_line("cold", "0110", ""),
+        // XNOR canonicalizes onto XOR's representative: NPN hit.
+        minimize_line("npn", "1001", ""),
+        // A microscopic deadline: degraded, and (being timing-dependent)
+        // never served from or stored into the cache.
+        minimize_line("late", "0111", r#","deadline_secs":0.000001"#),
+        r#"{"op":"stats","id":"s"}"#.to_string(),
+    ];
+    // --workers 1 serializes the jobs so cold/npn ordering is deterministic.
+    let (responses, _) = run_batch(&cache, &["--workers", "1"], &lines);
+    assert_eq!(responses.len(), 5, "one response line per request");
+    let by_id: Vec<(&str, &Value)> = responses
+        .iter()
+        .map(|r| (str_field(r, "id").expect("id"), r))
+        .collect();
+    assert_eq!(
+        by_id.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+        vec!["p", "cold", "npn", "late", "s"],
+        "responses come back in submission order"
+    );
+    assert_eq!(str_field(by_id[0].1, "status"), Some("ok"));
+    assert_eq!(str_field(by_id[1].1, "status"), Some("ok"));
+    assert_eq!(str_field(by_id[1].1, "cache"), Some("miss"));
+    assert_circuit_implements(by_id[1].1, "0110", "cold solve");
+    assert_eq!(str_field(by_id[2].1, "status"), Some("ok"));
+    assert_eq!(
+        str_field(by_id[2].1, "cache"),
+        Some("hit"),
+        "xnor must hit xor's canonical entry: {:?}",
+        by_id[2].1
+    );
+    assert_circuit_implements(by_id[2].1, "1001", "NPN hit");
+    assert_eq!(
+        str_field(by_id[3].1, "status"),
+        Some("degraded"),
+        "deadline-expired job must degrade, not lie: {:?}",
+        by_id[3].1
+    );
+    assert!(str_field(by_id[3].1, "degraded_reason").is_some());
+    // Stats are answered inline at read time (pipelined requests may not
+    // have executed yet), so assert the counter shape, not the counts.
+    let stats = field(by_id[4].1, "cache_stats").expect("stats response carries counters");
+    for counter in ["hits", "misses", "stores", "quarantined"] {
+        assert!(
+            matches!(stats.get(counter), Some(Value::UInt(_))),
+            "missing counter {counter}: {stats:?}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+/// The bit-identity claim: for the same deterministic request, a cache
+/// hit equals a cold solve — same circuit, same proof, same verdict —
+/// and both are invariant across portfolio widths 1/2/8.
+#[test]
+fn hits_are_bit_identical_to_cold_solves_across_jobs() {
+    let request = minimize_line("j", "0110", r#","certify":true"#);
+    let mut witnesses: Vec<(String, Value, Value, Value)> = Vec::new();
+    for jobs in ["1", "2", "8"] {
+        let cache = temp_dir(&format!("identity_{jobs}"));
+        let (cold, _) = run_batch(&cache, &["--jobs", jobs], std::slice::from_ref(&request));
+        let (warm, _) = run_batch(&cache, &["--jobs", jobs], std::slice::from_ref(&request));
+        for (kind, resp) in [("cold", &cold[0]), ("warm", &warm[0])] {
+            assert_eq!(
+                str_field(resp, "status"),
+                Some("ok"),
+                "{kind}@{jobs}: {resp:?}"
+            );
+            let expected = if kind == "cold" { "miss" } else { "hit" };
+            assert_eq!(str_field(resp, "cache"), Some(expected), "{kind}@{jobs}");
+            witnesses.push((
+                format!("{kind}@{jobs}"),
+                field(resp, "circuit").expect("circuit").clone(),
+                field(resp, "proven_optimal").expect("verdict").clone(),
+                field(resp, "proof")
+                    .expect("certified run carries a proof")
+                    .clone(),
+            ));
+        }
+        let _ = std::fs::remove_dir_all(&cache);
+    }
+    let (_, circuit0, optimal0, proof0) = &witnesses[0];
+    for (who, circuit, optimal, proof) in &witnesses[1..] {
+        assert_eq!(circuit, circuit0, "circuit differs for {who}");
+        assert_eq!(optimal, optimal0, "verdict differs for {who}");
+        assert_eq!(proof, proof0, "proof differs for {who}");
+    }
+}
+
+/// Kill -9 torture: repeatedly murder the daemon mid-burst, restart on
+/// the same cache directory, and require that recovery never serves a
+/// wrong answer and converges to cache hits bit-identical to a cold
+/// solve from an untouched cache.
+#[test]
+fn sigkill_torture_never_serves_a_wrong_answer() {
+    let burst = ["0001", "0110", "1000", "0111"];
+    // Reference: cold solves from a pristine cache.
+    let pristine = temp_dir("pristine");
+    let lines: Vec<String> = burst
+        .iter()
+        .enumerate()
+        .map(|(i, t)| minimize_line(&format!("ref{i}"), t, ""))
+        .collect();
+    let (reference, _) = run_batch(&pristine, &[], &lines);
+    let _ = std::fs::remove_dir_all(&pristine);
+
+    let cache = temp_dir("torture");
+    for round in 0..3u64 {
+        let mut child = spawn_daemon(&cache, &[]);
+        let mut stdin = child.stdin.take().expect("piped stdin");
+        for (i, t) in burst.iter().enumerate() {
+            let _ = writeln!(stdin, "{}", minimize_line(&format!("r{round}j{i}"), t, ""));
+        }
+        let _ = stdin.flush();
+        // Vary the murder instant so different rounds die in different
+        // phases (parsing, solving, storing).
+        std::thread::sleep(std::time::Duration::from_millis(20 + 60 * round));
+        child.kill().expect("SIGKILL");
+        let _ = child.wait();
+
+        // Restart on the same directory: recovery must scan, then the
+        // resubmitted burst must serve only correct circuits.
+        let (responses, stderr) = run_batch(&cache, &[], &lines);
+        assert!(
+            stderr.contains("mmsynthd: cache"),
+            "restart must report the recovery scan: {stderr}"
+        );
+        assert_eq!(responses.len(), burst.len());
+        for (resp, tables) in responses.iter().zip(burst) {
+            assert_eq!(
+                str_field(resp, "status"),
+                Some("ok"),
+                "round {round}: {resp:?}"
+            );
+            assert_circuit_implements(resp, tables, &format!("round {round}"));
+        }
+    }
+    // After the dust settles everything is cached, and each answer is
+    // bit-identical to the pristine cold solve.
+    let (settled, _) = run_batch(&cache, &[], &lines);
+    for ((resp, reference), tables) in settled.iter().zip(&reference).zip(burst) {
+        assert_eq!(str_field(resp, "cache"), Some("hit"), "{tables}: {resp:?}");
+        assert_eq!(
+            field(resp, "circuit"),
+            field(reference, "circuit"),
+            "{tables}: crash-recovered cache serves a different circuit than a cold solve"
+        );
+        assert_eq!(
+            field(resp, "proven_optimal"),
+            field(reference, "proven_optimal"),
+            "{tables}: verdict drifted"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+/// Overload shedding is reachable and explicit: a tiny queue + pipelined
+/// burst must produce at least one `overloaded` response, and every
+/// accepted job still resolves correctly.
+#[test]
+fn overload_sheds_explicitly_instead_of_buffering() {
+    let cache = temp_dir("overload");
+    // Admission happens before cache lookup, so even identical requests
+    // exert queue pressure; a 12-deep pipelined burst against a depth-1
+    // queue must trip the shed path.
+    let lines: Vec<String> = (0..12)
+        .map(|i| minimize_line(&format!("b{i}"), "0110", ""))
+        .collect();
+    let (responses, _) = run_batch(&cache, &["--workers", "1", "--queue-depth", "1"], &lines);
+    assert_eq!(responses.len(), lines.len(), "every request gets a line");
+    let overloaded = responses
+        .iter()
+        .filter(|r| str_field(r, "status") == Some("overloaded"))
+        .count();
+    let ok = responses
+        .iter()
+        .filter(|r| str_field(r, "status") == Some("ok"))
+        .count();
+    assert!(ok >= 1, "at least the first job must be served");
+    assert!(
+        overloaded >= 1,
+        "a 12-deep pipelined burst against queue-depth 1 must shed; statuses: {:?}",
+        responses
+            .iter()
+            .map(|r| str_field(r, "status").unwrap_or("?").to_string())
+            .collect::<Vec<_>>()
+    );
+    for resp in responses
+        .iter()
+        .filter(|r| str_field(r, "status") == Some("ok"))
+    {
+        assert_circuit_implements(resp, "0110", "served under overload");
+    }
+    let _ = std::fs::remove_dir_all(&cache);
+}
