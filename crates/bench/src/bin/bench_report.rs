@@ -244,6 +244,89 @@ fn service_cache_probe(report: &mut BenchReport) {
     );
 }
 
+/// Metrics-registry overhead probe: the hot-path cost the observability
+/// layer adds to every job — one counter increment and one histogram
+/// observation per attempt — plus a full Prometheus render with the
+/// daemon's family set registered. The registered-family count is the
+/// deterministic gate (it moves only when instrumentation is added or
+/// removed); the per-op timings are advisory wall-clock.
+fn metrics_overhead_probe(report: &mut BenchReport) {
+    use mm_service::ServiceMetrics;
+    use mm_telemetry::metrics::MetricsRegistry;
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let _service = ServiceMetrics::register(registry.clone());
+    let counter = registry.counter("bench_probe_total", "Overhead probe counter.");
+    let histogram = registry.histogram("bench_probe_us", "Overhead probe histogram.");
+
+    const OPS: u64 = 1_000_000;
+    let started = Instant::now();
+    for _ in 0..OPS {
+        counter.inc();
+    }
+    let inc_ns = started.elapsed().as_nanos() as f64 / OPS as f64;
+    let started = Instant::now();
+    for i in 0..OPS {
+        histogram.observe(i % 1_000_000);
+    }
+    let observe_ns = started.elapsed().as_nanos() as f64 / OPS as f64;
+    assert_eq!(counter.get(), OPS, "probe counter must not drop increments");
+    assert_eq!(
+        histogram.count(),
+        OPS,
+        "probe histogram must not drop observations"
+    );
+
+    const RENDERS: u32 = 1_000;
+    let started = Instant::now();
+    let mut rendered_len = 0usize;
+    for _ in 0..RENDERS {
+        rendered_len = registry.render_prometheus().len();
+    }
+    let render_us = started.elapsed().as_micros() as f64 / f64::from(RENDERS);
+    assert!(rendered_len > 0, "render must produce output");
+
+    let families = match registry.to_value() {
+        serde::Value::Object(fields) => fields
+            .into_iter()
+            .find(|(k, _)| k == "families")
+            .map(|(_, v)| match v {
+                serde::Value::Array(items) => items.len(),
+                _ => 0,
+            })
+            .unwrap_or(0),
+        _ => 0,
+    };
+    report.push(
+        "metrics_overhead_families",
+        families as f64,
+        "count",
+        Direction::None,
+        true,
+    );
+    report.push(
+        "metrics_overhead_counter_inc_ns",
+        inc_ns,
+        "ns",
+        Direction::Lower,
+        false,
+    );
+    report.push(
+        "metrics_overhead_histogram_observe_ns",
+        observe_ns,
+        "ns",
+        Direction::Lower,
+        false,
+    );
+    report.push(
+        "metrics_overhead_render_us",
+        render_us,
+        "us",
+        Direction::Lower,
+        false,
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut pr: u64 = 0;
@@ -267,6 +350,7 @@ fn main() {
     fuzz_probe(&mut report);
     device_probe(&mut report);
     service_cache_probe(&mut report);
+    metrics_overhead_probe(&mut report);
 
     let json = report.to_json().expect("bench report serializes");
     match out_path {

@@ -42,7 +42,7 @@
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::Arc;
 
 use mm_boolfn::MultiOutputFn;
 use mm_circuit::{MmCircuit, Schedule};
@@ -52,6 +52,8 @@ use mm_synth::request::{MinimizeMode, MinimizeRequest};
 use mm_telemetry::atomic::is_temp_artifact;
 use mm_telemetry::atomic_write;
 use serde::{Deserialize, Serialize, Value};
+
+use crate::metrics::ServiceMetrics;
 
 /// Bump when [`CacheEntry`]'s serialization changes shape; readers
 /// quarantine entries from other versions instead of guessing.
@@ -174,7 +176,9 @@ impl CacheEntry {
     }
 }
 
-/// Counters the cache maintains for telemetry and the `stats` op.
+/// Snapshot of the cache counters, kept as the `stats` op's wire type.
+/// The live counts are lock-free [`ServiceMetrics`] counters; this struct
+/// is assembled from one relaxed load per field at snapshot time.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct CacheStats {
     /// Lookups answered from disk.
@@ -223,7 +227,10 @@ pub struct ResultCache {
     quarantine: PathBuf,
     index_path: PathBuf,
     paranoid: bool,
-    stats: Mutex<CacheStats>,
+    /// Lock-free counters (hits/misses/stores/quarantined) and disk
+    /// gauges. Detached by default; the daemon swaps in its scrapeable
+    /// bundle via [`with_metrics`](Self::with_metrics).
+    metrics: Arc<ServiceMetrics>,
 }
 
 impl ResultCache {
@@ -242,16 +249,13 @@ impl ResultCache {
             quarantine: dir.join("quarantine"),
             index_path: dir.join("index.json"),
             paranoid: false,
-            stats: Mutex::new(CacheStats::default()),
+            metrics: ServiceMetrics::detached(),
         };
         fs::create_dir_all(&cache.entries)?;
         fs::create_dir_all(&cache.quarantine)?;
         let report = cache.recovery_scan()?;
-        cache
-            .stats
-            .lock()
-            .expect("cache stats poisoned")
-            .quarantined = report.quarantined;
+        cache.metrics.cache_quarantined.add(report.quarantined);
+        cache.refresh_disk_gauges();
         Ok((cache, report))
     }
 
@@ -267,9 +271,49 @@ impl ResultCache {
         self.paranoid
     }
 
+    /// Swaps in a shared metrics bundle (the daemon's scrapeable
+    /// registry), carrying over counts accumulated so far — notably the
+    /// recovery scan's quarantine count from [`open`](Self::open).
+    pub fn with_metrics(mut self, metrics: Arc<ServiceMetrics>) -> Self {
+        metrics.cache_hits.add(self.metrics.cache_hits.get());
+        metrics.cache_misses.add(self.metrics.cache_misses.get());
+        metrics.cache_stores.add(self.metrics.cache_stores.get());
+        metrics
+            .cache_quarantined
+            .add(self.metrics.cache_quarantined.get());
+        self.metrics = metrics;
+        self.refresh_disk_gauges();
+        self
+    }
+
     /// Snapshot of the hit/miss/store/quarantine counters.
     pub fn stats(&self) -> CacheStats {
-        *self.stats.lock().expect("cache stats poisoned")
+        CacheStats {
+            hits: self.metrics.cache_hits.get(),
+            misses: self.metrics.cache_misses.get(),
+            stores: self.metrics.cache_stores.get(),
+            quarantined: self.metrics.cache_quarantined.get(),
+        }
+    }
+
+    /// Re-counts the entry files and their total size into the
+    /// `mmsynth_cache_entries` / `mmsynth_cache_disk_bytes` gauges.
+    /// Called on open, store, and quarantine — the paths that change the
+    /// directory — never on the hit path.
+    fn refresh_disk_gauges(&self) {
+        let (mut entries, mut bytes) = (0i64, 0i64);
+        if let Ok(dir) = fs::read_dir(&self.entries) {
+            for item in dir.filter_map(Result::ok) {
+                if let Ok(meta) = item.metadata() {
+                    if meta.is_file() {
+                        entries += 1;
+                        bytes += meta.len() as i64;
+                    }
+                }
+            }
+        }
+        self.metrics.cache_entries.set(entries);
+        self.metrics.cache_disk_bytes.set(bytes);
     }
 
     /// Number of (currently valid) entries on disk.
@@ -372,7 +416,8 @@ impl ResultCache {
     }
 
     fn note_quarantine(&self) {
-        self.stats.lock().expect("cache stats poisoned").quarantined += 1;
+        self.metrics.cache_quarantined.inc();
+        self.refresh_disk_gauges();
     }
 
     /// Looks up the entry answering `(canonical, request)`. Invalid or
@@ -387,7 +432,7 @@ impl ResultCache {
         let key = CacheKey::derive(canonical, request);
         let path = self.entry_path(&key);
         if !path.exists() {
-            self.stats.lock().expect("cache stats poisoned").misses += 1;
+            self.metrics.cache_misses.inc();
             return None;
         }
         let entry = match self.read_entry(&path) {
@@ -395,14 +440,14 @@ impl ResultCache {
             Err(fault) => {
                 self.quarantine_file(&path, &fault);
                 self.note_quarantine();
-                self.stats.lock().expect("cache stats poisoned").misses += 1;
+                self.metrics.cache_misses.inc();
                 return None;
             }
         };
         if !entry.answers(canonical, request) {
             // A hash collision: the entry is valid, just not ours. Leave
             // it for its rightful owner and miss.
-            self.stats.lock().expect("cache stats poisoned").misses += 1;
+            self.metrics.cache_misses.inc();
             return None;
         }
         if self.paranoid && !paranoid_check(&entry) {
@@ -411,10 +456,10 @@ impl ResultCache {
             );
             self.quarantine_file(&path, &fault);
             self.note_quarantine();
-            self.stats.lock().expect("cache stats poisoned").misses += 1;
+            self.metrics.cache_misses.inc();
             return None;
         }
-        self.stats.lock().expect("cache stats poisoned").hits += 1;
+        self.metrics.cache_hits.inc();
         Some(entry)
     }
 
@@ -439,7 +484,8 @@ impl ResultCache {
             .map_err(io::Error::other)?
         );
         atomic_write(self.entry_path(&key), text)?;
-        self.stats.lock().expect("cache stats poisoned").stores += 1;
+        self.metrics.cache_stores.inc();
+        self.refresh_disk_gauges();
         Ok(())
     }
 

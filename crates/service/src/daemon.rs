@@ -21,21 +21,33 @@
 //! never abandoned — each gets exactly one response line.
 
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::TcpListener;
+use std::net::{SocketAddr, TcpListener};
 use std::os::unix::net::UnixListener;
-use std::path::PathBuf;
-use std::sync::mpsc::{channel, Receiver};
+use std::path::{Path, PathBuf};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use mm_telemetry::{kv, Telemetry};
+use mm_telemetry::metrics::MetricsRegistry;
+use mm_telemetry::{kv, Telemetry, TelemetrySink};
+use serde::Value;
 
 use crate::backoff::RetryPolicy;
 use crate::cache::{RecoveryReport, ResultCache};
 use crate::engine::Engine;
+use crate::http::MetricsServer;
+use crate::metrics::{MetricsBridgeSink, ServiceMetrics};
+use crate::progress::ProgressFrameSink;
 use crate::proto::{JobRequest, JobResponse, Op, PROTO_VERSION};
 use crate::signal;
 use crate::supervisor::{JobVerdict, Submission, Supervisor, SupervisorConfig};
+
+/// How often the writer thread checks an outstanding verdict while it
+/// interleaves progress frames.
+const FRAME_POLL: Duration = Duration::from_millis(5);
+
+/// Lifetime counter snapshot next to the cache index.
+const LIFETIME_FILE: &str = "metrics.json";
 
 /// Everything the daemon needs to start.
 #[derive(Debug, Clone)]
@@ -52,6 +64,10 @@ pub struct DaemonConfig {
     pub solve_jobs: usize,
     /// Retry schedule for inconclusive attempts.
     pub retry: RetryPolicy,
+    /// Serve `GET /metrics` (Prometheus exposition) on this address
+    /// (e.g. `127.0.0.1:9464`; port 0 picks a free one). `None` disables
+    /// the exporter.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for DaemonConfig {
@@ -63,22 +79,36 @@ impl Default for DaemonConfig {
             queue_depth: 16,
             solve_jobs: 2,
             retry: RetryPolicy::default(),
+            metrics_addr: None,
         }
     }
 }
 
-/// A running daemon: engine + supervisor + (optional) persistent cache.
+/// A running daemon: engine + supervisor + (optional) persistent cache,
+/// with a per-daemon metrics registry (never the process global, so
+/// in-process daemons — tests, embedders — do not cross-contaminate).
 pub struct Daemon {
     engine: Arc<Engine>,
     supervisor: Supervisor<JobResponse>,
     telemetry: Telemetry,
     recovery: RecoveryReport,
+    metrics: Arc<ServiceMetrics>,
+    registry: Arc<MetricsRegistry>,
+    metrics_server: Option<MetricsServer>,
+    /// Where drained counter totals persist (`<cache_dir>/metrics.json`).
+    lifetime_path: Option<PathBuf>,
+    /// Totals carried over from prior runs, merged back in at drain.
+    lifetime_prior: Vec<(String, String, u64)>,
 }
 
 /// One reply owed to the client, in submission order.
 enum Pending {
     /// Already-final response line.
     Ready(String),
+    /// A response rendered only when its turn to be written comes — a
+    /// `metrics` snapshot resolved here observes every job answered
+    /// before it, not the moment its request was parsed.
+    Lazy(Box<dyn FnOnce() -> String + Send>),
     /// Supervisor verdict still in flight; `id` rebuilds a response if
     /// the channel dies.
     Waiting(Receiver<JobVerdict<JobResponse>>, String),
@@ -93,8 +123,17 @@ impl Daemon {
         // here makes restart-in-the-same-process (tests, embedders) match
         // the one-daemon-per-process production shape.
         signal::reset_termination();
+        let registry = Arc::new(MetricsRegistry::new());
+        let metrics = ServiceMetrics::register(registry.clone());
+        // Every telemetry handle derived from this one also folds solver
+        // counters and rung verdicts into the registry.
+        let telemetry =
+            telemetry.with_extra_sink(Arc::new(MetricsBridgeSink::new(registry.clone())));
         let mut recovery = RecoveryReport::default();
-        let mut engine = Engine::new(config.solve_jobs).with_telemetry(telemetry.clone());
+        let mut engine = Engine::new(config.solve_jobs)
+            .with_telemetry(telemetry.clone())
+            .with_metrics(metrics.clone());
+        let mut lifetime_path = None;
         if let Some(dir) = &config.cache_dir {
             let (cache, report) = ResultCache::open(dir)?;
             recovery = report;
@@ -106,19 +145,49 @@ impl Daemon {
                     kv("temps_removed", recovery.temps_removed),
                 ],
             );
-            engine = engine.with_cache(cache.with_paranoid(config.paranoid));
+            engine = engine.with_cache(
+                cache
+                    .with_metrics(metrics.clone())
+                    .with_paranoid(config.paranoid),
+            );
+            lifetime_path = Some(dir.join(LIFETIME_FILE));
         }
+        let lifetime_prior = match &lifetime_path {
+            Some(path) => load_lifetime_gauges(&registry, path),
+            None => Vec::new(),
+        };
         let supervisor = Supervisor::start(SupervisorConfig {
             workers: config.workers,
             queue_depth: config.queue_depth,
             retry: config.retry.clone(),
+            metrics: metrics.clone(),
         });
+        let metrics_server = match &config.metrics_addr {
+            Some(addr) => Some(MetricsServer::spawn(addr, registry.clone())?),
+            None => None,
+        };
         Ok(Self {
             engine: Arc::new(engine),
             supervisor,
             telemetry,
             recovery,
+            metrics,
+            registry,
+            metrics_server,
+            lifetime_path,
+            lifetime_prior,
         })
+    }
+
+    /// The daemon's metrics registry (shared with the HTTP exporter).
+    pub fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// Where `GET /metrics` answers, when the exporter is enabled
+    /// (resolves a requested port 0).
+    pub fn metrics_local_addr(&self) -> Option<SocketAddr> {
+        self.metrics_server.as_ref().map(MetricsServer::local_addr)
     }
 
     /// What the startup recovery scan found (all zeros without a cache).
@@ -128,7 +197,9 @@ impl Daemon {
 
     /// Handles one request line: cheap ops answer inline (they must stay
     /// responsive under overload), solve ops go through the supervisor.
-    fn admit(&self, line: &str) -> Pending {
+    /// `frames` is the connection's progress channel; subscribed solve
+    /// jobs stream lifecycle frames into it.
+    fn admit(&self, line: &str, frames: &Sender<String>) -> Pending {
         let request = match JobRequest::parse(line) {
             Ok(r) => r,
             Err(e) => return Pending::Ready(JobResponse::error("", e).to_line()),
@@ -145,18 +216,27 @@ impl Daemon {
                 }
                 .to_line(),
             ),
+            // Answered with a hand-built line, not through `JobResponse`:
+            // the response's derived serializer emits every field, so
+            // growing it would change the bytes of *all* responses.
+            // Lazy, so a pipelined `metrics` op snapshots *after* the
+            // jobs submitted ahead of it have answered.
+            Op::Metrics => {
+                let registry = self.registry.clone();
+                Pending::Lazy(Box::new(move || metrics_line(&registry, &id)))
+            }
             Op::Shutdown => {
                 signal::request_termination();
                 Pending::Ready(JobResponse::new(&id, "ok").to_line())
             }
             Op::Minimize { request: min, .. } => {
                 let deadline = min.deadline.map(|d| Instant::now() + d);
-                self.submit(request.clone(), min.max_conflicts, deadline)
+                self.submit(request.clone(), min.max_conflicts, deadline, frames)
             }
             Op::Synthesize { max_conflicts, .. } => {
-                self.submit(request.clone(), *max_conflicts, None)
+                self.submit(request.clone(), *max_conflicts, None, frames)
             }
-            Op::Faultsim { .. } => self.submit(request.clone(), None, None),
+            Op::Faultsim { .. } => self.submit(request.clone(), None, None, frames),
         }
     }
 
@@ -165,13 +245,23 @@ impl Daemon {
         request: JobRequest,
         base_conflicts: Option<u64>,
         deadline: Option<Instant>,
+        frames: &Sender<String>,
     ) -> Pending {
         let id = request.id.clone();
         let engine = self.engine.clone();
         let seed = id_seed(&id);
+        let progress: Option<Arc<dyn TelemetrySink>> = if request.subscribe {
+            Some(Arc::new(ProgressFrameSink::new(
+                &id,
+                frames.clone(),
+                self.metrics.progress_frames.clone(),
+            )))
+        } else {
+            None
+        };
         let submission = self.supervisor.submit(seed, base_conflicts, deadline, {
             let id = id.clone();
-            move |attempt| engine.run_attempt(&id, &request.op, attempt)
+            move |attempt| engine.run_attempt_with(&id, &request.op, attempt, progress.clone())
         });
         match submission {
             Submission::Queued(rx) => Pending::Waiting(rx, id),
@@ -188,16 +278,18 @@ impl Daemon {
 
     /// Serves one connection: reads request lines from `reader` until EOF
     /// or termination, writes one response line per request to `writer`
-    /// in submission order.
+    /// in submission order. Subscribed jobs additionally get `progress`
+    /// frames interleaved ahead of their finals.
     pub fn serve<R, W>(&self, reader: R, writer: W) -> io::Result<()>
     where
         R: BufRead,
         W: Write + Send + 'static,
     {
         let (tx, rx) = channel::<Pending>();
+        let (frame_tx, frame_rx) = channel::<String>();
         let writer_thread = std::thread::Builder::new()
             .name("mmsynthd-writer".into())
-            .spawn(move || write_loop(rx, writer))
+            .spawn(move || write_loop(rx, frame_rx, writer))
             .expect("spawn writer");
         for line in reader.lines() {
             let line = match line {
@@ -209,7 +301,7 @@ impl Daemon {
             if line.trim().is_empty() {
                 continue;
             }
-            if tx.send(self.admit(&line)).is_err() {
+            if tx.send(self.admit(&line, &frame_tx)).is_err() {
                 break; // writer gone (client hung up)
             }
             if signal::termination_requested() {
@@ -217,6 +309,7 @@ impl Daemon {
             }
         }
         drop(tx);
+        drop(frame_tx);
         writer_thread.join().expect("writer thread panicked")
     }
 
@@ -294,36 +387,165 @@ impl Daemon {
     }
 
     /// The drain sequence: finish accepted jobs, flush the cache index,
-    /// checkpoint telemetry.
+    /// persist lifetime counter totals, stop the exporter, checkpoint
+    /// telemetry.
     pub fn drain(self) -> io::Result<()> {
-        self.supervisor.shutdown();
-        if let Some(cache) = &self.engine.cache {
+        let Self {
+            engine,
+            supervisor,
+            telemetry,
+            registry,
+            metrics_server,
+            lifetime_path,
+            lifetime_prior,
+            ..
+        } = self;
+        supervisor.shutdown();
+        if let Some(cache) = &engine.cache {
             cache.flush_index()?;
         }
-        self.telemetry.point("daemon.drained", vec![]);
-        self.telemetry.flush();
+        if let Some(path) = &lifetime_path {
+            persist_lifetime_totals(&registry, &lifetime_prior, path)?;
+        }
+        if let Some(server) = metrics_server {
+            server.shutdown();
+        }
+        telemetry.point("daemon.drained", vec![]);
+        telemetry.flush();
         Ok(())
     }
 }
 
+/// The `metrics` op's response line: the registry as structured JSON
+/// plus the same Prometheus text the HTTP exporter serves.
+fn metrics_line(registry: &MetricsRegistry, id: &str) -> String {
+    let doc = Value::Object(vec![
+        ("id".to_string(), Value::Str(id.to_string())),
+        ("status".to_string(), Value::Str("ok".to_string())),
+        ("metrics".to_string(), registry.to_value()),
+        (
+            "metrics_text".to_string(),
+            Value::Str(registry.render_prometheus()),
+        ),
+    ]);
+    serde_json::to_string(&doc).expect("metrics line serializes")
+}
+
+/// Loads the persisted counter totals of prior runs, exposing each as a
+/// `<family>_lifetime` gauge, and returns them for re-merging at drain.
+/// A missing or unreadable snapshot just starts lifetime totals fresh.
+fn load_lifetime_gauges(registry: &MetricsRegistry, path: &Path) -> Vec<(String, String, u64)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Ok(doc) = serde_json::from_str::<Value>(&text) else {
+        return Vec::new();
+    };
+    let Some(Value::Array(series)) = doc.get("counters") else {
+        return Vec::new();
+    };
+    let mut prior = Vec::new();
+    for entry in series {
+        let (Some(Value::Str(name)), Some(Value::Str(labels)), Some(Value::UInt(total))) =
+            (entry.get("name"), entry.get("labels"), entry.get("total"))
+        else {
+            continue;
+        };
+        registry
+            .gauge_with_block(
+                &format!("{name}_lifetime"),
+                labels,
+                &format!("Total of {name} across all prior daemon runs, persisted at drain."),
+            )
+            .set(i64::try_from(*total).unwrap_or(i64::MAX));
+        prior.push((name.clone(), labels.clone(), *total));
+    }
+    prior
+}
+
+/// Writes prior + this run's counter totals atomically (tmp + rename),
+/// so a crash mid-drain leaves the old snapshot intact.
+fn persist_lifetime_totals(
+    registry: &MetricsRegistry,
+    prior: &[(String, String, u64)],
+    path: &Path,
+) -> io::Result<()> {
+    let mut totals = registry.counter_totals();
+    for (name, labels, carried) in prior {
+        match totals.iter_mut().find(|(n, l, _)| n == name && l == labels) {
+            Some((_, _, total)) => *total += carried,
+            None => totals.push((name.clone(), labels.clone(), *carried)),
+        }
+    }
+    totals.sort();
+    let series: Vec<Value> = totals
+        .into_iter()
+        .map(|(name, labels, total)| {
+            Value::Object(vec![
+                ("name".to_string(), Value::Str(name)),
+                ("labels".to_string(), Value::Str(labels)),
+                ("total".to_string(), Value::UInt(total)),
+            ])
+        })
+        .collect();
+    let doc = Value::Object(vec![
+        ("version".to_string(), Value::UInt(1)),
+        ("counters".to_string(), Value::Array(series)),
+    ]);
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, serde_json::to_string(&doc).expect("totals serialize"))?;
+    std::fs::rename(&tmp, path)
+}
+
 /// Resolves pendings in order; every accepted request gets exactly one
-/// line.
-fn write_loop<W: Write>(rx: Receiver<Pending>, mut writer: W) -> io::Result<()> {
+/// final line. Progress frames are forwarded as they arrive, always
+/// ahead of their own job's final: a sink sends every frame before the
+/// worker sends the verdict, so once a verdict is in hand a non-blocking
+/// drain of `frames` is guaranteed to surface that job's stragglers.
+fn write_loop<W: Write>(
+    rx: Receiver<Pending>,
+    frames: Receiver<String>,
+    mut writer: W,
+) -> io::Result<()> {
     for pending in rx {
         let line = match pending {
             Pending::Ready(line) => line,
-            Pending::Waiting(verdict, id) => match verdict.recv() {
-                Ok(JobVerdict::Done(resp)) => resp.to_line(),
-                Ok(JobVerdict::Degraded { partial, reason }) => {
-                    let mut resp = partial.unwrap_or_else(|| JobResponse::new(&id, "degraded"));
-                    resp.status = "degraded".into();
-                    if resp.degraded_reason.is_none() {
-                        resp.degraded_reason = Some(reason);
+            Pending::Lazy(render) => render(),
+            Pending::Waiting(verdict, id) => {
+                let outcome = loop {
+                    match verdict.try_recv() {
+                        Ok(v) => break Ok(v),
+                        Err(TryRecvError::Disconnected) => break Err(()),
+                        Err(TryRecvError::Empty) => match frames.recv_timeout(FRAME_POLL) {
+                            Ok(frame) => {
+                                writeln!(writer, "{frame}")?;
+                                writer.flush()?;
+                            }
+                            Err(RecvTimeoutError::Timeout) => {}
+                            // Reader and all sinks gone: no more frames
+                            // can arrive, the verdict alone is left.
+                            Err(RecvTimeoutError::Disconnected) => {
+                                break verdict.recv().map_err(drop)
+                            }
+                        },
                     }
-                    resp.to_line()
+                };
+                for frame in frames.try_iter() {
+                    writeln!(writer, "{frame}")?;
                 }
-                Err(_) => JobResponse::error(&id, "job was dropped during shutdown").to_line(),
-            },
+                match outcome {
+                    Ok(JobVerdict::Done(resp)) => resp.to_line(),
+                    Ok(JobVerdict::Degraded { partial, reason }) => {
+                        let mut resp = partial.unwrap_or_else(|| JobResponse::new(&id, "degraded"));
+                        resp.status = "degraded".into();
+                        if resp.degraded_reason.is_none() {
+                            resp.degraded_reason = Some(reason);
+                        }
+                        resp.to_line()
+                    }
+                    Err(()) => JobResponse::error(&id, "job was dropped during shutdown").to_line(),
+                }
+            }
         };
         writeln!(writer, "{line}")?;
         writer.flush()?;
@@ -438,6 +660,93 @@ mod tests {
             lines[0]
         );
         assert!(lines[1].contains(r#""id":"after""#));
+    }
+
+    #[test]
+    fn metrics_op_reports_counters_and_lifetime_survives_restart() {
+        let dir = temp_dir("metrics_op");
+        let config = DaemonConfig {
+            cache_dir: Some(dir.clone()),
+            workers: 1,
+            ..DaemonConfig::default()
+        };
+        let input = r#"{"op":"minimize","id":"m1","tables":["0110"],"max_rops":3,"max_steps":3}
+{"op":"metrics","id":"x1"}
+"#;
+        let lines = run_lines(config.clone(), input);
+        assert_eq!(lines.len(), 2);
+        let snapshot = &lines[1];
+        assert!(snapshot.contains(r#""id":"x1""#), "line: {snapshot}");
+        assert!(snapshot.contains(r#""metrics_text":"#), "line: {snapshot}");
+        assert!(
+            snapshot.contains("mmsynth_admissions_total 1"),
+            "line: {snapshot}"
+        );
+        assert!(
+            snapshot.contains("mmsynth_cache_misses_total 1"),
+            "line: {snapshot}"
+        );
+        // Solver counters reach the registry through the bridge sink.
+        assert!(snapshot.contains("mmsynth_rungs_total"), "line: {snapshot}");
+
+        // Restart over the same directory: the drained totals come back
+        // as `_lifetime` gauges while the live counters start at zero.
+        let second = run_lines(config, "{\"op\":\"metrics\",\"id\":\"x2\"}\n");
+        assert_eq!(second.len(), 1);
+        assert!(
+            second[0].contains("mmsynth_admissions_total_lifetime 1"),
+            "line: {}",
+            second[0]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn subscribed_jobs_stream_progress_frames_before_their_final() {
+        let dir = temp_dir("subscribe");
+        // One worker, no portfolio: rung spawn timing (and with it
+        // `solver_calls`) is deterministic, so finals compare bytewise.
+        let config = DaemonConfig {
+            cache_dir: Some(dir.clone()),
+            workers: 1,
+            solve_jobs: 1,
+            ..DaemonConfig::default()
+        };
+        let input = r#"{"op":"minimize","id":"s1","tables":["0110"],"max_rops":3,"max_steps":3,"subscribe":true}
+"#;
+        let lines = run_lines(config.clone(), input);
+        let finals: Vec<&String> = lines
+            .iter()
+            .filter(|l| !l.contains(r#""frame":"progress""#))
+            .collect();
+        assert_eq!(finals.len(), 1, "lines: {lines:#?}");
+        assert!(finals[0].contains(r#""id":"s1""#));
+        let rung_frames = lines
+            .iter()
+            .filter(|l| l.contains(r#""frame":"progress""#) && l.contains(r#""event":"rung""#))
+            .count();
+        assert!(rung_frames >= 1, "lines: {lines:#?}");
+        // Every frame precedes the final.
+        let final_pos = lines.iter().position(|l| *l == *finals[0]).unwrap();
+        assert_eq!(final_pos, lines.len() - 1, "lines: {lines:#?}");
+
+        // The identical request without `subscribe` emits no frames —
+        // and its final is byte-identical to pre-streaming output.
+        let dir2 = temp_dir("subscribe_off");
+        let quiet = run_lines(
+            DaemonConfig {
+                cache_dir: Some(dir2.clone()),
+                workers: 1,
+                solve_jobs: 1,
+                ..DaemonConfig::default()
+            },
+            r#"{"op":"minimize","id":"s1","tables":["0110"],"max_rops":3,"max_steps":3}
+"#,
+        );
+        assert_eq!(quiet.len(), 1, "lines: {quiet:#?}");
+        assert_eq!(quiet[0], *finals[0], "subscribe must not change finals");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&dir2);
     }
 
     #[test]

@@ -30,10 +30,11 @@ use mm_sat::{Budget, DratProof};
 use mm_synth::optimize::{CallRecord, OptimizeReport, OptimizeStatus, SynthResultKind};
 use mm_synth::request::{decanonicalize_circuit, MinimizeRequest};
 use mm_synth::{EncodeOptions, SynthResult, Synthesizer};
-use mm_telemetry::{kv, Telemetry};
+use mm_telemetry::{kv, Telemetry, TelemetrySink};
 
 use crate::backoff::Attempt;
 use crate::cache::{device_trace, CacheEntry, ResultCache};
+use crate::metrics::ServiceMetrics;
 use crate::proto::{function_from_tables, CacheOutcome, JobResponse, Op, PROTO_VERSION};
 use crate::supervisor::AttemptResult;
 
@@ -45,6 +46,8 @@ pub struct Engine {
     pub solve_jobs: usize,
     /// Telemetry handle for job spans/points.
     pub telemetry: Telemetry,
+    /// Live-metrics handles: per-op attempt latency and outcome counts.
+    pub metrics: Arc<ServiceMetrics>,
     /// Encoding options for every solve.
     pub options: EncodeOptions,
 }
@@ -56,6 +59,7 @@ impl Engine {
             cache: None,
             solve_jobs: solve_jobs.max(1),
             telemetry: Telemetry::disabled(),
+            metrics: ServiceMetrics::detached(),
             options: EncodeOptions::recommended(),
         }
     }
@@ -72,6 +76,12 @@ impl Engine {
         self
     }
 
+    /// Attaches the daemon's shared metrics bundle.
+    pub fn with_metrics(mut self, metrics: Arc<ServiceMetrics>) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
     /// Executes one attempt of `op`. Only `Minimize` is retry-aware; the
     /// other ops complete on the first attempt.
     pub fn run_attempt(
@@ -80,7 +90,58 @@ impl Engine {
         op: &Op,
         attempt: &Attempt,
     ) -> AttemptResult<JobResponse> {
-        let _span = self.telemetry.span_with(
+        self.run_attempt_with(id, op, attempt, None)
+    }
+
+    /// Like [`run_attempt`](Self::run_attempt), additionally teeing this
+    /// job's telemetry into `progress` (the per-job frame sink of a
+    /// `subscribe: true` request). The sink observes exactly what the
+    /// trace does; non-subscribed jobs take the `None` path, which is the
+    /// pre-streaming code path unchanged.
+    pub fn run_attempt_with(
+        self: &Arc<Self>,
+        id: &str,
+        op: &Op,
+        attempt: &Attempt,
+        progress: Option<Arc<dyn TelemetrySink>>,
+    ) -> AttemptResult<JobResponse> {
+        let telemetry = match progress {
+            Some(sink) => self.telemetry.with_extra_sink(sink),
+            None => self.telemetry.clone(),
+        };
+        let started = std::time::Instant::now();
+        let result = self.dispatch(id, op, attempt, &telemetry);
+        if let AttemptResult::Retry { reason, .. } = &result {
+            telemetry.point(
+                "job.retry",
+                vec![
+                    kv("id", id),
+                    kv("attempt", u64::from(attempt.index)),
+                    kv("reason", reason.as_str()),
+                ],
+            );
+        }
+        // `mmsynth_jobs_total{op,status}` counts attempts: a retried job
+        // contributes one `retry` sample per inconclusive attempt plus
+        // one final-status sample, so outcome mix and latency always add
+        // up against `mmsynth_retries_total`.
+        let status = match &result {
+            AttemptResult::Done(resp) => resp.status.as_str(),
+            AttemptResult::Retry { .. } => "retry",
+        };
+        self.metrics
+            .observe_job(op.name(), status, started.elapsed().as_micros() as u64);
+        result
+    }
+
+    fn dispatch(
+        self: &Arc<Self>,
+        id: &str,
+        op: &Op,
+        attempt: &Attempt,
+        telemetry: &Telemetry,
+    ) -> AttemptResult<JobResponse> {
+        let _span = telemetry.span_with(
             "job.attempt",
             vec![kv("id", id), kv("attempt", u64::from(attempt.index))],
         );
@@ -90,14 +151,14 @@ impl Engine {
                 ..JobResponse::new(id, "ok")
             }),
             Op::Stats => AttemptResult::Done(self.stats_response(id)),
-            // The daemon handles drain itself; answering here keeps the
-            // protocol total.
-            Op::Shutdown => AttemptResult::Done(JobResponse::new(id, "ok")),
+            // The daemon answers drain and metrics snapshots itself;
+            // answering here keeps the protocol total.
+            Op::Shutdown | Op::Metrics => AttemptResult::Done(JobResponse::new(id, "ok")),
             Op::Minimize {
                 tables,
                 request,
                 no_cache,
-            } => self.minimize(id, tables, request, *no_cache, attempt),
+            } => self.minimize(id, tables, request, *no_cache, attempt, telemetry),
             Op::Synthesize {
                 tables,
                 n_rops,
@@ -111,6 +172,7 @@ impl Engine {
                 *n_legs,
                 *n_vsteps,
                 *max_conflicts,
+                telemetry,
             )),
             Op::Faultsim {
                 tables,
@@ -119,9 +181,9 @@ impl Engine {
                 trials,
                 seed,
                 stuck_lrs,
-            } => AttemptResult::Done(
-                self.faultsim(id, tables, *n_rops, *n_vsteps, *trials, *seed, stuck_lrs),
-            ),
+            } => AttemptResult::Done(self.faultsim(
+                id, tables, *n_rops, *n_vsteps, *trials, *seed, stuck_lrs, telemetry,
+            )),
         }
     }
 
@@ -142,6 +204,7 @@ impl Engine {
         request: &MinimizeRequest,
         no_cache: bool,
         attempt: &Attempt,
+        telemetry: &Telemetry,
     ) -> AttemptResult<JobResponse> {
         let f = match function_from_tables(tables) {
             Ok(f) => f,
@@ -152,8 +215,7 @@ impl Engine {
         if cacheable {
             if let Some(cache) = &self.cache {
                 if let Some(entry) = cache.lookup(&canonical, request) {
-                    self.telemetry
-                        .point("job.cache", vec![kv("id", id), kv("outcome", "hit")]);
+                    telemetry.point("job.cache", vec![kv("id", id), kv("outcome", "hit")]);
                     let mut resp = entry_response(id, &entry, &transform);
                     resp.cache = Some(CacheOutcome::Hit);
                     return AttemptResult::Done(resp);
@@ -168,7 +230,7 @@ impl Engine {
         if attempt.index > 0 {
             effective.max_conflicts = attempt.max_conflicts;
         }
-        let synth = Synthesizer::new().with_telemetry(self.telemetry.clone());
+        let synth = Synthesizer::new().with_telemetry(telemetry.clone());
         let report = match effective.run(&synth, &canonical, &self.options, self.solve_jobs) {
             Ok(report) => report,
             Err(e) => return AttemptResult::Done(JobResponse::error(id, e.to_string())),
@@ -181,7 +243,7 @@ impl Engine {
                 if let Err(e) = cache.store(request, &entry) {
                     // A failed store must not fail the job; the solve is
                     // still good.
-                    self.telemetry.point(
+                    telemetry.point(
                         "job.cache",
                         vec![kv("id", id), kv("store_error", e.to_string())],
                     );
@@ -193,7 +255,7 @@ impl Engine {
         } else {
             CacheOutcome::Bypass
         };
-        self.telemetry.point(
+        telemetry.point(
             "job.cache",
             vec![
                 kv("id", id),
@@ -235,6 +297,7 @@ impl Engine {
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // mirrors the wire op's fields
     fn synthesize(
         &self,
         id: &str,
@@ -243,6 +306,7 @@ impl Engine {
         n_legs: Option<usize>,
         n_vsteps: usize,
         max_conflicts: Option<u64>,
+        telemetry: &Telemetry,
     ) -> JobResponse {
         let f = match function_from_tables(tables) {
             Ok(f) => f,
@@ -253,7 +317,7 @@ impl Engine {
             Ok(spec) => spec.with_options(self.options.clone()),
             Err(e) => return JobResponse::error(id, e.to_string()),
         };
-        let mut synth = Synthesizer::new().with_telemetry(self.telemetry.clone());
+        let mut synth = Synthesizer::new().with_telemetry(telemetry.clone());
         if let Some(c) = max_conflicts {
             synth = synth.with_budget(Budget::new().with_max_conflicts(c));
         }
@@ -289,6 +353,7 @@ impl Engine {
         trials: u32,
         seed: u64,
         stuck_lrs: &[usize],
+        telemetry: &Telemetry,
     ) -> JobResponse {
         let f = match function_from_tables(tables) {
             Ok(f) => f,
@@ -300,7 +365,7 @@ impl Engine {
             Err(e) => return JobResponse::error(id, e.to_string()),
         };
         let outcome = match Synthesizer::new()
-            .with_telemetry(self.telemetry.clone())
+            .with_telemetry(telemetry.clone())
             .run(&spec)
         {
             Ok(outcome) => outcome,
@@ -329,7 +394,7 @@ impl Engine {
             seed,
             ..CampaignConfig::default()
         };
-        match run_campaign_traced(&schedule, &plans, &config, &self.telemetry) {
+        match run_campaign_traced(&schedule, &plans, &config, telemetry) {
             Ok(campaign) => JobResponse {
                 campaign: Some(campaign),
                 metrics: Some(circuit.metrics()),

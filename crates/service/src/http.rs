@@ -1,0 +1,202 @@
+//! Minimal hand-rolled HTTP/1.1 exporter: `GET /metrics` on a dedicated
+//! listener thread, serving the Prometheus exposition text.
+//!
+//! Deliberately tiny — one request per connection, `Connection: close`,
+//! no keep-alive, no chunking — because its only client is a scraper
+//! issuing `GET /metrics` every few seconds. Anything fancier would be
+//! a dependency in disguise. The listener polls non-blockingly (the same
+//! 25 ms cadence as the daemon's socket accept loops) so shutdown never
+//! blocks on a quiet port, and runs independently of the serve loop so
+//! scrapes keep answering while every worker is deep in a solve.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use mm_telemetry::metrics::MetricsRegistry;
+
+/// Largest request head (request line + headers) we accept.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// A running `GET /metrics` listener. Dropping stops and joins it.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MetricsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsServer")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9464`; port 0 picks a free one) and
+    /// serves `registry` until [`shutdown`](Self::shutdown) or drop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/configuration failures; per-connection I/O errors
+    /// only drop that connection.
+    pub fn spawn(addr: &str, registry: Arc<MetricsRegistry>) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("mmsynthd-metrics".into())
+            .spawn(move || accept_loop(&listener, &registry, &thread_stop))?;
+        Ok(Self {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener thread and joins it.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, registry: &Arc<MetricsRegistry>, stop: &AtomicBool) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Scrapes are serialized: a metrics endpoint has one
+                // client and a response is a few KiB.
+                let _ = handle_connection(stream, registry);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, registry: &Arc<MetricsRegistry>) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let mut head = Vec::new();
+    let mut chunk = [0u8; 1024];
+    // Read until end of headers; the request has no body we care about.
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        if head.len() >= MAX_REQUEST_BYTES {
+            return respond(
+                &mut stream,
+                "400 Bad Request",
+                "request too large\n",
+                "text/plain",
+            );
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(e),
+        }
+    }
+    let request_line = std::str::from_utf8(&head)
+        .ok()
+        .and_then(|t| t.lines().next())
+        .unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method != "GET" {
+        return respond(
+            &mut stream,
+            "405 Method Not Allowed",
+            "only GET is served\n",
+            "text/plain",
+        );
+    }
+    // Tolerate a query string — scrapers sometimes append cache busters.
+    match path.split('?').next().unwrap_or("") {
+        "/metrics" => respond(
+            &mut stream,
+            "200 OK",
+            &registry.render_prometheus(),
+            "text/plain; version=0.0.4; charset=utf-8",
+        ),
+        _ => respond(&mut stream, "404 Not Found", "try /metrics\n", "text/plain"),
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: &str, body: &str, content_type: &str) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").expect("request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response");
+        response
+    }
+
+    #[test]
+    fn serves_metrics_and_404s_everything_else() {
+        let registry = Arc::new(MetricsRegistry::new());
+        registry
+            .counter("mm_http_test_total", "Visible through the exporter.")
+            .add(3);
+        let server = MetricsServer::spawn("127.0.0.1:0", registry.clone()).expect("bind");
+        let addr = server.local_addr();
+
+        let response = get(addr, "/metrics");
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+        assert!(response.contains("text/plain; version=0.0.4"));
+        assert!(response.contains("mm_http_test_total 3"));
+
+        registry
+            .counter("mm_http_test_total", "Visible through the exporter.")
+            .inc();
+        let response = get(addr, "/metrics?ts=1");
+        assert!(response.contains("mm_http_test_total 4"), "{response}");
+
+        let response = get(addr, "/nope");
+        assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "POST /metrics HTTP/1.1\r\n\r\n").expect("request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response");
+        assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+
+        server.shutdown();
+    }
+}

@@ -28,6 +28,9 @@ pub mod backoff;
 pub mod cache;
 pub mod daemon;
 pub mod engine;
+pub mod http;
+pub mod metrics;
+pub mod progress;
 pub mod proto;
 mod signal;
 pub mod supervisor;
@@ -36,5 +39,7 @@ pub use backoff::{Attempt, RetryPolicy};
 pub use cache::{CacheEntry, CacheKey, CacheStats, RecoveryReport, ResultCache};
 pub use daemon::{Daemon, DaemonConfig};
 pub use engine::Engine;
+pub use http::MetricsServer;
+pub use metrics::{MetricsBridgeSink, ServiceMetrics};
 pub use proto::{CacheOutcome, JobRequest, JobResponse, Op, PROTO_VERSION};
 pub use supervisor::{AttemptResult, JobVerdict, Submission, Supervisor, SupervisorConfig};

@@ -1,0 +1,156 @@
+//! Per-job progress streaming: the sink that turns a subscribed job's
+//! telemetry points into `progress` wire frames.
+//!
+//! A frame is one JSON line, distinguishable from any final response by
+//! its `"frame":"progress"` field (responses never carry `frame`):
+//!
+//! ```text
+//! {"frame":"progress","id":"j1","event":"rung","n_rops":2,"outcome":"unsat"}
+//! {"frame":"progress","id":"j1","event":"job.cache","outcome":"miss"}
+//! {"id":"j1","status":"ok","cache":"miss",...}
+//! ```
+//!
+//! The sink forwards only the *lifecycle* points an operator can act on
+//! ([`FRAME_EVENTS`]); span plumbing and raw counters stay in the trace.
+//! Frames travel over the connection's frame channel to the writer
+//! thread, which interleaves them ahead of their job's final response
+//! (see `daemon::write_loop`). Frame sends are sequenced before the
+//! job's verdict send on the worker thread, so a writer that has seen
+//! the verdict can drain every frame of that job non-blockingly before
+//! writing the final — order within a job is deterministic even though
+//! frames of concurrent jobs interleave freely.
+
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+use mm_telemetry::metrics::Counter;
+use mm_telemetry::{AttrValue, Event, EventKind, TelemetrySink};
+use serde::Value;
+
+/// Point names forwarded to subscribers: rung activation and verdict,
+/// ladder summary, cache outcome, repair rounds, retry/backoff.
+pub const FRAME_EVENTS: &[&str] = &[
+    "rung.spawned",
+    "rung",
+    "ladder",
+    "job.cache",
+    "job.retry",
+    "repair.round",
+];
+
+/// A [`TelemetrySink`] that serializes whitelisted points as `progress`
+/// frames for one job and sends them to the connection's writer thread.
+pub struct ProgressFrameSink {
+    id: String,
+    // `Sender` is `Send` but not `Sync`; frames are low-rate (one per
+    // rung/round, never per conflict), so a mutex is fine here.
+    frames: Mutex<Sender<String>>,
+    emitted: Counter,
+}
+
+impl ProgressFrameSink {
+    /// A sink streaming `id`'s lifecycle points into `frames`, counting
+    /// emitted frames into `emitted` (`mmsynth_progress_frames_total`).
+    pub fn new(id: &str, frames: Sender<String>, emitted: Counter) -> Self {
+        Self {
+            id: id.to_string(),
+            frames: Mutex::new(frames),
+            emitted,
+        }
+    }
+}
+
+fn attr_value(v: &AttrValue) -> Value {
+    match v {
+        AttrValue::U64(x) => Value::UInt(*x),
+        AttrValue::I64(x) => Value::Int(*x),
+        AttrValue::F64(x) => Value::Float(*x),
+        AttrValue::Str(s) => Value::Str(s.clone()),
+        AttrValue::Bool(b) => Value::Bool(*b),
+    }
+}
+
+impl TelemetrySink for ProgressFrameSink {
+    fn record(&self, event: &Event) {
+        let EventKind::Point { name, attrs } = &event.kind else {
+            return;
+        };
+        if !FRAME_EVENTS.contains(&name.as_str()) {
+            return;
+        }
+        let mut fields = vec![
+            ("frame".to_string(), Value::Str("progress".to_string())),
+            ("id".to_string(), Value::Str(self.id.clone())),
+            ("event".to_string(), Value::Str(name.clone())),
+        ];
+        for (key, value) in attrs {
+            // The job id is already the frame's `id`; point-level ids
+            // (e.g. on `job.cache`) would just repeat it.
+            if key != "id" {
+                fields.push((key.clone(), attr_value(value)));
+            }
+        }
+        let line = serde_json::to_string(&Value::Object(fields)).expect("frame serializes");
+        // A gone writer means the client hung up; the job still runs to
+        // its verdict, it just streams to nobody.
+        if self
+            .frames
+            .lock()
+            .expect("frame sender poisoned")
+            .send(line)
+            .is_ok()
+        {
+            self.emitted.inc();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::mpsc::channel;
+    use std::sync::Arc;
+
+    use mm_telemetry::{kv, Telemetry};
+
+    use super::*;
+
+    #[test]
+    fn forwards_whitelisted_points_only_and_tags_the_job() {
+        let (tx, rx) = channel();
+        let emitted = Counter::detached();
+        let telemetry = Telemetry::disabled().with_extra_sink(Arc::new(ProgressFrameSink::new(
+            "job-7",
+            tx,
+            emitted.clone(),
+        )));
+        telemetry.point("rung", vec![kv("n_rops", 2u64), kv("outcome", "unsat")]);
+        telemetry.point("encoder.cnf", vec![kv("clauses", 100u64)]);
+        telemetry.counter("solver.conflicts", 10);
+        telemetry.point("job.cache", vec![kv("id", "job-7"), kv("outcome", "miss")]);
+        {
+            let _span = telemetry.span("solve");
+        }
+        drop(telemetry);
+        let frames: Vec<String> = rx.try_iter().collect();
+        assert_eq!(frames.len(), 2, "frames: {frames:?}");
+        assert_eq!(emitted.get(), 2);
+        assert!(frames[0].contains(r#""frame":"progress""#));
+        assert!(frames[0].contains(r#""id":"job-7""#));
+        assert!(frames[0].contains(r#""event":"rung""#));
+        assert!(frames[0].contains(r#""outcome":"unsat""#));
+        assert!(frames[1].contains(r#""event":"job.cache""#));
+        let id_count = frames[1].matches(r#""id":"#).count();
+        assert_eq!(id_count, 1, "point-level id is not repeated: {}", frames[1]);
+    }
+
+    #[test]
+    fn hung_up_client_does_not_kill_the_job() {
+        let (tx, rx) = channel();
+        drop(rx);
+        let emitted = Counter::detached();
+        let sink = ProgressFrameSink::new("gone", tx, emitted.clone());
+        let telemetry = Telemetry::disabled().with_extra_sink(Arc::new(sink));
+        telemetry.point("rung", vec![kv("outcome", "sat")]);
+        assert_eq!(emitted.get(), 0, "nothing emitted to a gone client");
+    }
+}

@@ -38,6 +38,10 @@ pub struct JobRequest {
     pub id: String,
     /// What to do.
     pub op: Op,
+    /// Stream `progress` frames for this job ahead of its final response
+    /// (`"subscribe": true`). Non-subscribing requests are served exactly
+    /// as before — no frames, byte-identical finals.
+    pub subscribe: bool,
 }
 
 /// The operations the daemon serves.
@@ -47,6 +51,11 @@ pub enum Op {
     Ping,
     /// Cache/queue counters.
     Stats,
+    /// Live-metrics snapshot: the full registry as structured JSON plus
+    /// the rendered Prometheus exposition text. Answered inline by the
+    /// daemon (outside [`JobResponse`]'s fixed shape) so it stays
+    /// responsive under queue pressure.
+    Metrics,
     /// Begin a graceful drain (same path as SIGTERM).
     Shutdown,
     /// Cached minimization of a function.
@@ -86,6 +95,21 @@ pub enum Op {
         /// Cells stuck at LRS for the injected plan (empty = control only).
         stuck_lrs: Vec<usize>,
     },
+}
+
+impl Op {
+    /// The lowercase wire token, used as the `op` metric label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Ping => "ping",
+            Self::Stats => "stats",
+            Self::Metrics => "metrics",
+            Self::Shutdown => "shutdown",
+            Self::Minimize { .. } => "minimize",
+            Self::Synthesize { .. } => "synthesize",
+            Self::Faultsim { .. } => "faultsim",
+        }
+    }
 }
 
 fn as_str(v: Option<&Value>) -> Option<&str> {
@@ -161,6 +185,7 @@ impl JobRequest {
         let op = match op {
             "ping" => Op::Ping,
             "stats" => Op::Stats,
+            "metrics" => Op::Metrics,
             "shutdown" => Op::Shutdown,
             "minimize" => {
                 let tables =
@@ -209,7 +234,8 @@ impl JobRequest {
             },
             other => return Err(format!("unknown op {other:?}")),
         };
-        Ok(Self { id, op })
+        let subscribe = as_bool(value.get("subscribe")).unwrap_or(false);
+        Ok(Self { id, op, subscribe })
     }
 }
 
@@ -386,6 +412,19 @@ mod tests {
         assert_eq!(request.max_conflicts, Some(100));
         assert_eq!(request.deadline, Some(Duration::from_secs_f64(1.5)));
         assert!(request.certify);
+    }
+
+    #[test]
+    fn metrics_op_and_subscribe_flag_parse() {
+        let req = JobRequest::parse(r#"{"op":"metrics","id":"m"}"#).unwrap();
+        assert_eq!(req.op, Op::Metrics);
+        assert_eq!(req.op.name(), "metrics");
+        assert!(!req.subscribe, "subscribe defaults off");
+        let req =
+            JobRequest::parse(r#"{"op":"minimize","id":"s","tables":["0110"],"subscribe":true}"#)
+                .unwrap();
+        assert!(req.subscribe);
+        assert_eq!(req.op.name(), "minimize");
     }
 
     #[test]

@@ -30,6 +30,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::backoff::{Attempt, RetryPolicy};
+use crate::metrics::ServiceMetrics;
 
 /// What one attempt of a job concluded.
 pub enum AttemptResult<R> {
@@ -95,6 +96,9 @@ pub struct SupervisorConfig {
     pub queue_depth: usize,
     /// Retry schedule for inconclusive attempts.
     pub retry: RetryPolicy,
+    /// Live-metrics handles (queue depth, admissions, sheds, retries,
+    /// panics). Detached by default so standalone supervisors stay cheap.
+    pub metrics: Arc<ServiceMetrics>,
 }
 
 impl Default for SupervisorConfig {
@@ -103,6 +107,7 @@ impl Default for SupervisorConfig {
             workers: 2,
             queue_depth: 16,
             retry: RetryPolicy::default(),
+            metrics: ServiceMetrics::detached(),
         }
     }
 }
@@ -161,6 +166,7 @@ impl<R: Send + 'static> Supervisor<R> {
         }
         let mut queue = self.shared.queue.lock().expect("queue poisoned");
         if queue.len() >= self.shared.config.queue_depth {
+            self.shared.config.metrics.sheds.inc();
             return Submission::Overloaded;
         }
         let (reply, verdict) = channel();
@@ -172,6 +178,12 @@ impl<R: Send + 'static> Supervisor<R> {
             reply,
         });
         self.shared.outstanding.fetch_add(1, Ordering::SeqCst);
+        self.shared.config.metrics.admissions.inc();
+        self.shared
+            .config
+            .metrics
+            .queue_depth
+            .set(queue.len() as i64);
         drop(queue);
         self.shared.wake.notify_one();
         Submission::Queued(verdict)
@@ -209,6 +221,7 @@ fn worker_loop<R: Send + 'static>(shared: &Shared<R>) {
             let mut queue = shared.queue.lock().expect("queue poisoned");
             loop {
                 if let Some(job) = queue.pop_front() {
+                    shared.config.metrics.queue_depth.set(queue.len() as i64);
                     break job;
                 }
                 if shared.draining.load(Ordering::SeqCst) {
@@ -217,7 +230,9 @@ fn worker_loop<R: Send + 'static>(shared: &Shared<R>) {
                 queue = shared.wake.wait(queue).expect("queue poisoned");
             }
         };
+        shared.config.metrics.jobs_inflight.add(1);
         let verdict = run_job(shared, job.job, job.seed, job.base_conflicts, job.deadline);
+        shared.config.metrics.jobs_inflight.sub(1);
         shared.outstanding.fetch_sub(1, Ordering::SeqCst);
         // A gone receiver just means the client hung up; the job still ran.
         let _ = job.reply.send(verdict);
@@ -238,6 +253,9 @@ fn run_job<R>(
         let Some(attempt) = policy.attempt(index, base_conflicts, seed) else {
             return JobVerdict::Degraded { partial, reason };
         };
+        if index > 0 {
+            shared.config.metrics.retries.inc();
+        }
         if deadline.is_some_and(|d| Instant::now() >= d) {
             return JobVerdict::Degraded {
                 partial,
@@ -267,6 +285,7 @@ fn run_job<R>(
                 reason = r;
             }
             Err(payload) => {
+                shared.config.metrics.panics.inc();
                 let message = payload
                     .downcast_ref::<&str>()
                     .map(|s| (*s).to_string())
@@ -295,6 +314,7 @@ mod tests {
                 max_backoff: Duration::ZERO,
                 ..RetryPolicy::default()
             },
+            ..SupervisorConfig::default()
         }
     }
 
@@ -433,6 +453,29 @@ mod tests {
             }
         );
         sup.shutdown();
+    }
+
+    #[test]
+    fn metrics_count_admissions_retries_and_panics() {
+        let config = quick_policy(2);
+        let metrics = config.metrics.clone();
+        let sup = Supervisor::start(config);
+        let tries = Arc::new(AtomicU32::new(0));
+        let t = tries.clone();
+        let v = recv(sup.submit(0, None, None, move |_| {
+            if t.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("first attempt explodes");
+            }
+            AttemptResult::Done(1)
+        }));
+        assert_eq!(v, JobVerdict::Done(1));
+        sup.shutdown();
+        assert_eq!(metrics.admissions.get(), 1);
+        assert_eq!(metrics.panics.get(), 1);
+        assert_eq!(metrics.retries.get(), 1, "the second attempt is a retry");
+        assert_eq!(metrics.sheds.get(), 0);
+        assert_eq!(metrics.queue_depth.get(), 0, "queue drains back to zero");
+        assert_eq!(metrics.jobs_inflight.get(), 0);
     }
 
     #[test]

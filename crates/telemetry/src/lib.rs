@@ -29,11 +29,13 @@
 
 pub mod atomic;
 mod event;
+pub mod metrics;
 mod report;
 mod sink;
 
 pub use atomic::{atomic_write, AtomicFile};
 pub use event::{attr, kv, AttrValue, Event, EventKind, TRACE_SCHEMA_VERSION};
+pub use metrics::{latency_buckets, Counter, Gauge, Histogram, MetricsRegistry};
 pub use report::{CounterTotal, PhaseNode, RunReport, RungSummary, REPORT_SCHEMA_VERSION};
 pub use sink::{JsonlSink, MemorySink, MultiSink, NoopSink, ProgressSink, TelemetrySink};
 
@@ -106,6 +108,20 @@ impl Telemetry {
     /// Convenience: an enabled handle owning a freshly boxed sink.
     pub fn with_sink(sink: impl TelemetrySink + 'static) -> Self {
         Self::new(Arc::new(sink))
+    }
+
+    /// An enabled handle that records to this handle's sink *and* to
+    /// `extra`. A disabled handle becomes one that records to `extra`
+    /// alone. Used by the service to attach per-job progress sinks and
+    /// the live-metrics bridge without disturbing the base trace wiring.
+    ///
+    /// The returned handle has its own epoch and sequence numbering; the
+    /// base handle keeps emitting independently.
+    pub fn with_extra_sink(&self, extra: Arc<dyn TelemetrySink>) -> Self {
+        match &self.inner {
+            None => Self::new(extra),
+            Some(inner) => Self::new(Arc::new(MultiSink::new(vec![inner.sink.clone(), extra]))),
+        }
     }
 
     /// Whether events are being recorded. This is the single hot-path branch.

@@ -1,0 +1,184 @@
+//! Integration tests for the live-metrics registry: concurrent-update
+//! correctness (totals match per-thread tallies, a racing render never
+//! tears) and a golden test pinning the Prometheus exposition format.
+
+use std::sync::Arc;
+
+use mm_telemetry::metrics::MetricsRegistry;
+
+/// Parses one rendered exposition document into `(series line → value)`,
+/// panicking on any line that is neither a comment nor a well-formed
+/// sample. This is the "never tears" oracle: a torn render would produce
+/// an unparsable line or a non-numeric value.
+fn parse_samples(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        if line.starts_with('#') {
+            let mut parts = line.splitn(4, ' ');
+            assert_eq!(parts.next(), Some("#"));
+            let kw = parts.next().expect("comment keyword");
+            assert!(
+                kw == "HELP" || kw == "TYPE",
+                "unknown comment keyword in {line:?}"
+            );
+            assert!(parts.next().is_some(), "comment names a family: {line:?}");
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("sample line has no value separator: {line:?}"));
+        let value: f64 = value
+            .parse()
+            .unwrap_or_else(|e| panic!("non-numeric sample value in {line:?}: {e}"));
+        out.push((series.to_string(), value));
+    }
+    out
+}
+
+#[test]
+fn eight_writers_one_renderer_totals_match_and_never_tear() {
+    const WRITERS: usize = 8;
+    const PER_THREAD: u64 = 20_000;
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let shared = registry.counter("mm_hammer_shared_total", "Shared across writers.");
+    let depth = registry.gauge("mm_hammer_depth", "Updated by every writer.");
+    let latency = registry.histogram("mm_hammer_latency_us", "One observation per inc.");
+
+    std::thread::scope(|scope| {
+        for t in 0..WRITERS {
+            let registry = registry.clone();
+            let shared = shared.clone();
+            let depth = depth.clone();
+            let latency = latency.clone();
+            scope.spawn(move || {
+                let mine = registry.counter_with(
+                    "mm_hammer_per_thread_total",
+                    &[("thread", &format!("t{t}"))],
+                    "Per-writer tally.",
+                );
+                for i in 0..PER_THREAD {
+                    shared.inc();
+                    mine.inc();
+                    depth.add(1);
+                    depth.sub(1);
+                    // Spread observations across several buckets.
+                    latency.observe((i % 7) * 5_000);
+                }
+            });
+        }
+        // The reader renders while the writers hammer: every intermediate
+        // document must parse cleanly and counters must be monotonic
+        // across renders.
+        let registry = registry.clone();
+        scope.spawn(move || {
+            let mut last_shared = 0.0f64;
+            for _ in 0..200 {
+                let samples = parse_samples(&registry.render_prometheus());
+                let shared_now = samples
+                    .iter()
+                    .find(|(series, _)| series == "mm_hammer_shared_total")
+                    .map(|(_, v)| *v)
+                    .expect("shared counter always rendered");
+                assert!(
+                    shared_now >= last_shared,
+                    "counter moved backwards: {last_shared} -> {shared_now}"
+                );
+                last_shared = shared_now;
+                std::thread::yield_now();
+            }
+        });
+    });
+
+    assert_eq!(shared.get(), WRITERS as u64 * PER_THREAD);
+    assert_eq!(depth.get(), 0, "every add is paired with a sub");
+    assert_eq!(latency.count(), WRITERS as u64 * PER_THREAD);
+    let samples = parse_samples(&registry.render_prometheus());
+    for t in 0..WRITERS {
+        let series = format!("mm_hammer_per_thread_total{{thread=\"t{t}\"}}");
+        let value = samples
+            .iter()
+            .find(|(s, _)| *s == series)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("missing per-thread series {series}"));
+        assert_eq!(value, PER_THREAD as f64, "thread t{t} tally");
+    }
+    // The +Inf bucket of the histogram equals its count.
+    let inf = samples
+        .iter()
+        .find(|(s, _)| s == "mm_hammer_latency_us_bucket{le=\"+Inf\"}")
+        .map(|(_, v)| *v)
+        .expect("+Inf bucket rendered");
+    assert_eq!(inf, (WRITERS as u64 * PER_THREAD) as f64);
+}
+
+#[test]
+fn prometheus_rendering_matches_golden() {
+    let registry = MetricsRegistry::new();
+    registry
+        .counter_with(
+            "mmsynth_jobs_total",
+            &[("op", "minimize"), ("status", "ok")],
+            "Jobs resolved, by op and final status.",
+        )
+        .add(3);
+    registry
+        .counter_with(
+            "mmsynth_jobs_total",
+            &[("op", "minimize"), ("status", "degraded")],
+            "Jobs resolved, by op and final status.",
+        )
+        .inc();
+    registry
+        .gauge("mmsynth_queue_depth", "Jobs waiting for a worker.")
+        .set(2);
+    let h = registry.histogram(
+        "mmsynth_job_duration_us",
+        "Per-attempt job latency in microseconds.",
+    );
+    h.observe(90);
+    h.observe(250_000);
+
+    let expected = "\
+# HELP mmsynth_job_duration_us Per-attempt job latency in microseconds.
+# TYPE mmsynth_job_duration_us histogram
+mmsynth_job_duration_us_bucket{le=\"100\"} 1
+mmsynth_job_duration_us_bucket{le=\"400\"} 1
+mmsynth_job_duration_us_bucket{le=\"1600\"} 1
+mmsynth_job_duration_us_bucket{le=\"6400\"} 1
+mmsynth_job_duration_us_bucket{le=\"25600\"} 1
+mmsynth_job_duration_us_bucket{le=\"102400\"} 1
+mmsynth_job_duration_us_bucket{le=\"409600\"} 2
+mmsynth_job_duration_us_bucket{le=\"1638400\"} 2
+mmsynth_job_duration_us_bucket{le=\"6553600\"} 2
+mmsynth_job_duration_us_bucket{le=\"26214400\"} 2
+mmsynth_job_duration_us_bucket{le=\"+Inf\"} 2
+mmsynth_job_duration_us_sum 250090
+mmsynth_job_duration_us_count 2
+# HELP mmsynth_jobs_total Jobs resolved, by op and final status.
+# TYPE mmsynth_jobs_total counter
+mmsynth_jobs_total{op=\"minimize\",status=\"degraded\"} 1
+mmsynth_jobs_total{op=\"minimize\",status=\"ok\"} 3
+# HELP mmsynth_queue_depth Jobs waiting for a worker.
+# TYPE mmsynth_queue_depth gauge
+mmsynth_queue_depth 2
+";
+    assert_eq!(registry.render_prometheus(), expected);
+}
+
+#[test]
+fn label_values_are_escaped() {
+    let registry = MetricsRegistry::new();
+    registry
+        .counter_with(
+            "mm_escape_total",
+            &[("reason", "say \"no\" to back\\slashes")],
+            "Escaping.",
+        )
+        .inc();
+    let text = registry.render_prometheus();
+    assert!(
+        text.contains(r#"mm_escape_total{reason="say \"no\" to back\\slashes"} 1"#),
+        "rendered: {text}"
+    );
+}

@@ -19,8 +19,8 @@
 //! mmsynth run      --function gf22_mul --input 1011 [--trace] [--seed 42]
 //! mmsynth census   --inputs 3 [--pre K] [--post K] [--tebe K]
 //! mmsynth list
-//! mmsynth client   --socket PATH | --tcp ADDR:PORT [--op minimize|synth|faultsim|ping|stats|shutdown]
-//!                  [--function NAME|BITS,...] [--id ID] [--no-cache] [...op flags]
+//! mmsynth client   --socket PATH | --tcp ADDR:PORT [--op minimize|synth|faultsim|ping|stats|metrics|shutdown]
+//!                  [--function NAME|BITS,...] [--id ID] [--no-cache] [--progress] [...op flags]
 //! ```
 //!
 //! `minimize --cache-dir DIR` reads/writes the same persistent NPN result
@@ -598,6 +598,7 @@ fn dispatch(command: &str, args: &Args, tel: &TelemetrySetup) -> Result<ExitCode
                  \x20                [--dot | --json | --schedule]\n\
                  \x20      client:   --socket PATH | --tcp ADDR:PORT [--op OP]\n\
                  \x20                [--function NAME|BITS,...] [--id ID] [--no-cache]\n\
+                 \x20                [--progress] (streams frames on stderr)\n\
                  \x20                (forwards minimize/synth/faultsim flags to mmsynthd)\n\
                  \x20      faultsim: --rops N [--legs N] [--steps N]\n\
                  \x20                [--stuck CELL:lrs,...] [--flip CELL:CYCLE,...]\n\
@@ -742,9 +743,10 @@ fn minimize_cached(
 /// Resolves `--function` to truth tables locally, sends a single request
 /// over `--socket`/`--tcp`, prints the raw response line, and maps the
 /// response status onto the usual exit codes (`degraded` → 2).
+/// `--progress` subscribes to the daemon's progress stream: interleaved
+/// `progress` frames render on stderr as they arrive, stdout still
+/// carries exactly the final response line.
 fn client(args: &Args) -> Result<ExitCode, String> {
-    use std::io::{BufRead, BufReader, Write};
-
     let op = args.get("op").unwrap_or("minimize");
     let id = args.get("id").unwrap_or("cli").to_string();
     let mut fields: Vec<(String, Value)> = vec![
@@ -796,30 +798,20 @@ fn client(args: &Args) -> Result<ExitCode, String> {
             Value::Array(cells.into_iter().map(|c| Value::UInt(c as u64)).collect()),
         ));
     }
+    let progress = args.has("progress");
+    if progress {
+        fields.push(("subscribe".into(), Value::Bool(true)));
+    }
     let line = serde_json::to_string(&Value::Object(fields)).map_err(|e| e.to_string())?;
 
     let response = if let Some(path) = args.get("socket") {
-        let mut stream = std::os::unix::net::UnixStream::connect(path)
+        let stream = std::os::unix::net::UnixStream::connect(path)
             .map_err(|e| format!("connecting to {path}: {e}"))?;
-        stream
-            .write_all(format!("{line}\n").as_bytes())
-            .map_err(|e| e.to_string())?;
-        let mut reply = String::new();
-        BufReader::new(&mut stream)
-            .read_line(&mut reply)
-            .map_err(|e| e.to_string())?;
-        reply
+        client_exchange(stream, &line, progress)?
     } else if let Some(addr) = args.get("tcp") {
-        let mut stream =
+        let stream =
             std::net::TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
-        stream
-            .write_all(format!("{line}\n").as_bytes())
-            .map_err(|e| e.to_string())?;
-        let mut reply = String::new();
-        BufReader::new(&mut stream)
-            .read_line(&mut reply)
-            .map_err(|e| e.to_string())?;
-        reply
+        client_exchange(stream, &line, progress)?
     } else {
         return Err("client needs --socket PATH or --tcp ADDR:PORT".into());
     };
@@ -840,6 +832,64 @@ fn client(args: &Args) -> Result<ExitCode, String> {
         "degraded" => Ok(ExitCode::from(EXIT_INCONCLUSIVE)),
         _ => Ok(ExitCode::FAILURE),
     }
+}
+
+/// Sends one request line and reads until the final response, rendering
+/// any interleaved `progress` frames on stderr (when `progress` is set;
+/// frames only arrive if the request subscribed).
+fn client_exchange<S: std::io::Read + std::io::Write>(
+    mut stream: S,
+    line: &str,
+    progress: bool,
+) -> Result<String, String> {
+    use std::io::{BufRead, BufReader};
+
+    stream
+        .write_all(format!("{line}\n").as_bytes())
+        .map_err(|e| e.to_string())?;
+    stream.flush().map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let mut reply = String::new();
+        let n = reader.read_line(&mut reply).map_err(|e| e.to_string())?;
+        if n == 0 {
+            return Ok(String::new()); // EOF: caller reports the hangup
+        }
+        let trimmed = reply.trim_end();
+        match serde_json::from_str::<Value>(trimmed) {
+            Ok(v) if matches!(v.get("frame"), Some(Value::Str(f)) if f == "progress") => {
+                if progress {
+                    render_progress_frame(&v);
+                }
+            }
+            _ => return Ok(trimmed.to_string()),
+        }
+    }
+}
+
+/// One stderr line per frame: `mmsynth: progress <event> k=v ...`.
+fn render_progress_frame(frame: &Value) {
+    let Value::Object(fields) = frame else { return };
+    let mut event = String::new();
+    let mut rest = String::new();
+    for (key, value) in fields {
+        match key.as_str() {
+            "frame" | "id" => {}
+            "event" => {
+                if let Value::Str(s) = value {
+                    event = s.clone();
+                }
+            }
+            _ => {
+                let rendered = match value {
+                    Value::Str(s) => s.clone(),
+                    other => serde_json::to_string(other).unwrap_or_default(),
+                };
+                rest.push_str(&format!(" {key}={rendered}"));
+            }
+        }
+    }
+    eprintln!("mmsynth: progress {event}{rest}");
 }
 
 /// `mmsynth fuzz`: run seeded end-to-end scenarios, archive shrunk failures.

@@ -77,6 +77,7 @@ usage: mmsynthd [options]
   --retries N        max attempts per job (default 3)
   --socket PATH      serve a Unix socket instead of stdio
   --tcp ADDR:PORT    serve TCP instead of stdio
+  --metrics-addr A:P serve Prometheus text on GET http://A:P/metrics
   --trace-out FILE   stream telemetry events as JSONL
   --report-json FILE aggregated run report on shutdown
 ";
@@ -128,10 +129,14 @@ fn run(argv: &[String]) -> Result<ExitCode, String> {
             max_attempts: args.get_usize("retries", 3)? as u32,
             ..RetryPolicy::default()
         },
+        metrics_addr: args.get("metrics-addr").map(str::to_string),
     };
     let cache_dir = config.cache_dir.clone();
     let daemon =
         Daemon::start(config, telemetry.clone()).map_err(|e| format!("starting daemon: {e}"))?;
+    if let Some(addr) = daemon.metrics_local_addr() {
+        eprintln!("mmsynthd: metrics on http://{addr}/metrics");
+    }
     let recovery = daemon.recovery().clone();
     if let Some(dir) = &cache_dir {
         eprintln!(

@@ -54,6 +54,34 @@ fn run_batch(cache: &Path, extra: &[&str], lines: &[String]) -> (Vec<Value>, Str
     (responses, stderr)
 }
 
+/// Raw-line variant of [`run_batch`] for tests about frame interleaving:
+/// progress frames are not responses, so callers split them themselves.
+fn run_batch_raw(cache: &Path, extra: &[&str], lines: &[String]) -> (Vec<String>, String) {
+    let mut child = spawn_daemon(cache, extra);
+    let mut stdin = child.stdin.take().expect("piped stdin");
+    for line in lines {
+        writeln!(stdin, "{line}").expect("write request");
+    }
+    drop(stdin);
+    let output = child.wait_with_output().expect("daemon exits");
+    let stderr = String::from_utf8_lossy(&output.stderr).into_owned();
+    assert!(output.status.success(), "daemon failed: {stderr}");
+    let raw = String::from_utf8_lossy(&output.stdout)
+        .lines()
+        .map(str::to_string)
+        .collect();
+    (raw, stderr)
+}
+
+fn is_progress_frame(line: &str) -> bool {
+    matches!(
+        serde_json::from_str::<Value>(line)
+            .unwrap_or_else(|e| panic!("bad line {line:?}: {e}"))
+            .get("frame"),
+        Some(Value::Str(f)) if f == "progress"
+    )
+}
+
 fn field<'a>(resp: &'a Value, key: &str) -> Option<&'a Value> {
     resp.get(key).filter(|v| !matches!(v, Value::Null))
 }
@@ -250,6 +278,242 @@ fn sigkill_torture_never_serves_a_wrong_answer() {
             "{tables}: verdict drifted"
         );
     }
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+/// Streaming contract: a subscribed minimize on a multi-rung ladder
+/// yields exactly one `rung` frame per ladder index, every frame
+/// precedes the job's final, and the *set* of rung indices is invariant
+/// across portfolio widths 1/2/8 (mirroring `parallel_determinism`).
+#[test]
+fn progress_frames_cover_every_rung_and_are_jobs_invariant() {
+    let request = minimize_line("sub", "0110", r#","subscribe":true"#);
+    let mut rung_idx_sets: Vec<(String, Vec<(u64, u64, u64)>)> = Vec::new();
+    for jobs in ["1", "2", "8"] {
+        let cache = temp_dir(&format!("frames_{jobs}"));
+        let (lines, _) = run_batch_raw(&cache, &["--jobs", jobs], std::slice::from_ref(&request));
+        let (frames, finals): (Vec<&String>, Vec<&String>) =
+            lines.iter().partition(|l| is_progress_frame(l));
+        assert_eq!(
+            finals.len(),
+            1,
+            "jobs={jobs}: exactly one final: {lines:#?}"
+        );
+        assert_eq!(
+            lines.last().map(String::as_str),
+            finals.first().map(|s| s.as_str()),
+            "jobs={jobs}: every frame precedes the final"
+        );
+        // A minimize descends several ladders in sequence; each ladder
+        // emits one `rung` frame per spec index, so the *multiset* of
+        // (n_rops, n_vsteps, idx) triples is the deterministic shape.
+        let mut rungs: Vec<(u64, u64, u64)> = frames
+            .iter()
+            .map(|l| serde_json::from_str::<Value>(l).expect("frame parses"))
+            .filter(|v| matches!(v.get("event"), Some(Value::Str(e)) if e == "rung"))
+            .map(|v| {
+                let num = |key: &str| match v.get(key) {
+                    Some(Value::UInt(n)) => *n,
+                    other => panic!("jobs={jobs}: rung frame without {key}: {other:?}"),
+                };
+                (num("n_rops"), num("n_vsteps"), num("idx"))
+            })
+            .collect();
+        rungs.sort_unstable();
+        assert!(!rungs.is_empty(), "jobs={jobs}: ladder emits rung frames");
+        rung_idx_sets.push((format!("jobs={jobs}"), rungs));
+        let _ = std::fs::remove_dir_all(&cache);
+    }
+    let (_, reference) = &rung_idx_sets[0];
+    for (who, rungs) in &rung_idx_sets[1..] {
+        assert_eq!(rungs, reference, "{who}: rung frame set differs");
+    }
+}
+
+/// Non-subscribers are untouched by the streaming layer: in a mixed
+/// pipelined batch only the subscribed job's frames appear, and the
+/// non-subscribed final is byte-identical to a run with no subscriber
+/// anywhere.
+#[test]
+fn non_subscribers_get_no_frames_and_identical_bytes() {
+    // --jobs 1 pins `solver_calls`, which is timing-dependent under a
+    // portfolio, so finals compare bytewise.
+    let quiet_request = minimize_line("q", "0111", "");
+    let cache_mixed = temp_dir("mixed_sub");
+    let mixed = vec![
+        minimize_line("loud", "0110", r#","subscribe":true"#),
+        quiet_request.clone(),
+    ];
+    let (lines, _) = run_batch_raw(&cache_mixed, &["--workers", "1", "--jobs", "1"], &mixed);
+    let frames: Vec<&String> = lines.iter().filter(|l| is_progress_frame(l)).collect();
+    assert!(!frames.is_empty(), "subscribed job streams: {lines:#?}");
+    for frame in &frames {
+        assert!(
+            frame.contains(r#""id":"loud""#),
+            "frame from a non-subscriber: {frame}"
+        );
+    }
+    let mixed_quiet_final = lines
+        .iter()
+        .find(|l| !is_progress_frame(l) && l.contains(r#""id":"q""#))
+        .expect("non-subscribed final")
+        .clone();
+    let _ = std::fs::remove_dir_all(&cache_mixed);
+
+    let cache_ref = temp_dir("no_sub");
+    let (reference, _) = run_batch_raw(
+        &cache_ref,
+        &["--workers", "1", "--jobs", "1"],
+        std::slice::from_ref(&quiet_request),
+    );
+    assert_eq!(reference.len(), 1);
+    assert_eq!(
+        mixed_quiet_final, reference[0],
+        "a subscriber elsewhere in the batch must not change these bytes"
+    );
+    let _ = std::fs::remove_dir_all(&cache_ref);
+}
+
+/// The HTTP exporter end to end: `--metrics-addr 127.0.0.1:0` binds,
+/// announces its port on stderr, and serves the queue/cache/solver
+/// families; after a job runs, the per-op job families appear too.
+#[test]
+fn metrics_endpoint_serves_all_families_over_http() {
+    use std::io::{BufRead, BufReader, Read};
+
+    let cache = temp_dir("http_metrics");
+    let mut child = spawn_daemon(&cache, &["--metrics-addr", "127.0.0.1:0", "--jobs", "1"]);
+    let mut stderr = BufReader::new(child.stderr.take().expect("piped stderr"));
+    let addr = loop {
+        let mut line = String::new();
+        assert_ne!(
+            stderr.read_line(&mut line).expect("stderr readable"),
+            0,
+            "daemon exited before announcing the metrics address"
+        );
+        if let Some(rest) = line.trim().strip_prefix("mmsynthd: metrics on http://") {
+            break rest
+                .strip_suffix("/metrics")
+                .expect("announcement format")
+                .to_string();
+        }
+    };
+    let get_metrics = || {
+        let mut stream = std::net::TcpStream::connect(&addr).expect("connect to exporter");
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .expect("request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response");
+        response
+    };
+
+    let first = get_metrics();
+    assert!(first.starts_with("HTTP/1.1 200 OK"), "{first}");
+    for family in [
+        "mmsynth_queue_depth",
+        "mmsynth_jobs_inflight",
+        "mmsynth_admissions_total",
+        "mmsynth_sheds_total",
+        "mmsynth_cache_hits_total",
+        "mmsynth_cache_misses_total",
+        "mmsynth_cache_entries",
+        "mmsynth_solver_conflicts_total",
+        "mmsynth_ladder_clauses_exported_total",
+    ] {
+        assert!(first.contains(family), "missing {family} in:\n{first}");
+    }
+
+    let mut stdin = child.stdin.take().expect("piped stdin");
+    writeln!(stdin, "{}", minimize_line("m", "0110", "")).expect("write request");
+    stdin.flush().expect("flush");
+    // The final on stdout means the job (and its metric updates) is done.
+    let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+    let mut final_line = String::new();
+    stdout.read_line(&mut final_line).expect("final");
+    assert!(final_line.contains(r#""status":"ok""#), "{final_line}");
+
+    let second = get_metrics();
+    for family in [
+        r#"mmsynth_jobs_total{op="minimize",status="ok"} 1"#,
+        r#"mmsynth_job_duration_us_count{op="minimize"} 1"#,
+        "mmsynth_rungs_total",
+        "mmsynth_admissions_total 1",
+        "mmsynth_cache_misses_total 1",
+        "mmsynth_cache_stores_total 1",
+    ] {
+        assert!(second.contains(family), "missing {family} in:\n{second}");
+    }
+
+    drop(stdin); // EOF drains
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success());
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+/// The one-shot client against a socket daemon: `degraded` maps to exit
+/// code 2, `--progress` renders frames on stderr while stdout stays one
+/// clean JSON line, and `--op metrics` exposes the registry.
+#[test]
+fn client_exit_codes_and_progress_over_unix_socket() {
+    let cache = temp_dir("client");
+    let socket = std::env::temp_dir().join(format!("svc_e2e_client_{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&socket);
+    let mut child = spawn_daemon(&cache, &["--socket", socket.to_str().expect("utf8 path")]);
+    // The daemon accepts only after the socket file exists.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while !socket.exists() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "daemon never bound {socket:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let client = |extra: &[&str]| {
+        Command::new(env!("CARGO_BIN_EXE_mmsynth"))
+            .arg("client")
+            .arg("--socket")
+            .arg(&socket)
+            .args(extra)
+            .output()
+            .expect("client runs")
+    };
+
+    // A microscopic deadline degrades; the client must exit 2, not 0.
+    let degraded = client(&["--function", "0111", "--deadline", "0.000001"]);
+    assert_eq!(
+        degraded.status.code(),
+        Some(2),
+        "degraded must map to exit 2\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&degraded.stdout),
+        String::from_utf8_lossy(&degraded.stderr)
+    );
+    assert!(String::from_utf8_lossy(&degraded.stdout).contains(r#""status":"degraded""#));
+
+    // --progress: frames on stderr, exactly the final on stdout, exit 0.
+    let streamed = client(&["--function", "0110", "--progress"]);
+    assert_eq!(streamed.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&streamed.stdout);
+    assert_eq!(stdout.lines().count(), 1, "stdout: {stdout}");
+    assert!(stdout.contains(r#""status":"ok""#));
+    assert!(
+        String::from_utf8_lossy(&streamed.stderr).contains("mmsynth: progress rung"),
+        "stderr: {}",
+        String::from_utf8_lossy(&streamed.stderr)
+    );
+
+    // The metrics op over the wire reflects the jobs just served.
+    let metrics = client(&["--op", "metrics"]);
+    assert_eq!(metrics.status.code(), Some(0));
+    let snapshot = String::from_utf8_lossy(&metrics.stdout);
+    assert!(snapshot.contains(r#""metrics_text":"#), "{snapshot}");
+    assert!(snapshot.contains("mmsynth_jobs_total"), "{snapshot}");
+
+    let shutdown = client(&["--op", "shutdown"]);
+    assert_eq!(shutdown.status.code(), Some(0));
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success());
+    let _ = std::fs::remove_file(&socket);
     let _ = std::fs::remove_dir_all(&cache);
 }
 
