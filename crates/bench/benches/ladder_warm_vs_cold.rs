@@ -13,10 +13,15 @@
 //!
 //! Run with `cargo bench --bench ladder_warm_vs_cold`. The serial ladders
 //! isolate the reuse effect (no portfolio overlap to hide it behind); the
-//! final group adds the 4-worker portfolio with bus clause sharing.
+//! final groups add the 4-worker portfolio with bus clause sharing and the
+//! inprocessing on/off comparison on the warm engine (restart-boundary
+//! subsumption + vivification on the long-lived solver; reference: ≈ 2.2×
+//! further descent speedup on the adder's warm mixed-mode ladder, with
+//! the diversified portfolio ≈ 1.5×).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mm_bench::table4;
+use mm_sat::Budget;
 use mm_synth::optimize::{self, parallel};
 use mm_synth::{EncodeOptions, Synthesizer};
 
@@ -72,6 +77,45 @@ fn ladder_warm_vs_cold(c: &mut Criterion) {
     let mut group = c.benchmark_group("ladder_warm_vs_cold/adder1_portfolio_j4");
     group.sample_size(10);
     for (name, synth) in engines() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &synth, |b, synth| {
+            b.iter(|| {
+                parallel::minimize_mixed_mode(synth, &adder1, 4, 4, true, &opts, 4)
+                    .expect("adder specs encode")
+            })
+        });
+    }
+    group.finish();
+
+    // Inprocessing ablation on the warm engine: the same adder ladder with
+    // restart-boundary inprocessing enabled (default) vs disabled via the
+    // budget knob. Serial isolates the clause-database effect; the j4
+    // portfolio adds per-worker diversification (seed/phase/restart
+    // policy) on top.
+    let inprocess_engines = |jobs_label: &'static str| {
+        [
+            (
+                format!("{jobs_label}/inprocess"),
+                Synthesizer::new().with_incremental(true),
+            ),
+            (
+                format!("{jobs_label}/no-inprocess"),
+                Synthesizer::new()
+                    .with_incremental(true)
+                    .with_budget(Budget::new().with_inprocess(false)),
+            ),
+        ]
+    };
+    let mut group = c.benchmark_group("ladder_warm_vs_cold/adder1_inprocess");
+    group.sample_size(10);
+    for (name, synth) in inprocess_engines("serial") {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &synth, |b, synth| {
+            b.iter(|| {
+                optimize::minimize_mixed_mode(synth, &adder1, 4, 4, true, &opts)
+                    .expect("adder specs encode")
+            })
+        });
+    }
+    for (name, synth) in inprocess_engines("j4") {
         group.bench_with_input(BenchmarkId::from_parameter(name), &synth, |b, synth| {
             b.iter(|| {
                 parallel::minimize_mixed_mode(synth, &adder1, 4, 4, true, &opts, 4)

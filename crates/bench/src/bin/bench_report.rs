@@ -244,6 +244,101 @@ fn service_cache_probe(report: &mut BenchReport) {
     );
 }
 
+/// Inprocessing probe: the 1-bit adder's warm mixed-mode ladder run
+/// serially with inprocessing on and off. The inprocessing activity
+/// counters and per-run conflict totals are deterministic (serial warm
+/// ladder, canonical diversity); the on/off wall-clock ratio is the
+/// advisory speedup headline. Both runs must agree on the verdict — that
+/// is the same invariant `tests/inprocess_differential.rs` locks down,
+/// re-checked here on the exact workload the trajectory tracks.
+fn inprocess_probe(report: &mut BenchReport) {
+    use mm_sat::Budget;
+
+    let f = generators::ripple_adder(1);
+    let run = |inprocess: bool| {
+        let sink = Arc::new(MemorySink::new());
+        let synth = Synthesizer::new()
+            .with_incremental(true)
+            .with_budget(Budget::new().with_inprocess(inprocess))
+            .with_telemetry(Telemetry::new(sink.clone()));
+        let started = Instant::now();
+        let out = minimize_mixed_mode(&synth, &f, 4, 4, true, &EncodeOptions::default())
+            .expect("probe ladder must synthesize");
+        let elapsed = started.elapsed();
+        assert!(out.proven_optimal, "probe ladder must prove optimality");
+        (out, RunReport::from_events(&sink.snapshot()), elapsed)
+    };
+    let (on, on_run, on_t) = run(true);
+    let (off, off_run, off_t) = run(false);
+    let metrics = |o: &mm_synth::optimize::OptimizeReport| {
+        let b = o.best.as_ref().expect("adder1 is MM-realizable");
+        (b.metrics().n_rops, b.metrics().n_vsteps, b.metrics().n_legs)
+    };
+    assert_eq!(
+        metrics(&on),
+        metrics(&off),
+        "inprocessing changed a verdict"
+    );
+    assert_eq!(
+        off_run.counter("solver.inprocess.eliminated")
+            + off_run.counter("solver.inprocess.subsumed")
+            + off_run.counter("solver.inprocess.vivified"),
+        0,
+        "--no-inprocess run must not inprocess"
+    );
+
+    let none = Direction::None;
+    report.push(
+        "inprocess_adder1_eliminated",
+        on_run.counter("solver.inprocess.eliminated") as f64,
+        "count",
+        none,
+        true,
+    );
+    report.push(
+        "inprocess_adder1_subsumed",
+        on_run.counter("solver.inprocess.subsumed") as f64,
+        "count",
+        none,
+        true,
+    );
+    report.push(
+        "inprocess_adder1_vivified",
+        on_run.counter("solver.inprocess.vivified") as f64,
+        "count",
+        none,
+        true,
+    );
+    report.push(
+        "inprocess_adder1_conflicts",
+        on_run.counter("solver.conflicts") as f64,
+        "count",
+        Direction::Lower,
+        true,
+    );
+    report.push(
+        "noinprocess_adder1_conflicts",
+        off_run.counter("solver.conflicts") as f64,
+        "count",
+        Direction::Lower,
+        true,
+    );
+    report.push(
+        "inprocess_adder1_time_us",
+        on_t.as_micros() as f64,
+        "us",
+        Direction::Lower,
+        false,
+    );
+    report.push(
+        "inprocess_adder1_speedup",
+        off_t.as_secs_f64() / on_t.as_secs_f64().max(f64::EPSILON),
+        "ratio",
+        Direction::Higher,
+        false,
+    );
+}
+
 /// Metrics-registry overhead probe: the hot-path cost the observability
 /// layer adds to every job — one counter increment and one histogram
 /// observation per attempt — plus a full Prometheus render with the
@@ -347,6 +442,7 @@ fn main() {
     let mut report = BenchReport::new(pr);
     ladder_probe(&mut report, "xor2", &generators::xor_gate(2), 3);
     ladder_probe(&mut report, "maj3", &generators::majority_gate(3), 4);
+    inprocess_probe(&mut report);
     fuzz_probe(&mut report);
     device_probe(&mut report);
     service_cache_probe(&mut report);

@@ -14,6 +14,8 @@
 //!   `optimize::parallel`).
 //! * **Warm/cold verdict equality** — under an unlimited budget the
 //!   incremental engine must agree with the cold one rung for rung.
+//! * **Inprocessing invariance** — disabling solver inprocessing (the
+//!   `--no-inprocess` regime) never changes a verdict or `proven_optimal`.
 //! * **Degraded honesty** — `proven_optimal` is never claimed on a degraded
 //!   run, and cancelled solves never carry proofs or certification.
 //! * **Certified proofs re-check** — every archived DRAT proof refutes its
@@ -95,6 +97,11 @@ pub struct FuzzScenario {
     pub campaign_trials: u32,
     /// Run the diagnose → avoid → resynthesize repair loop.
     pub repair: bool,
+    /// Run solves with solver inprocessing (variable elimination,
+    /// subsumption, vivification) enabled. Mirrors the `--no-inprocess`
+    /// CLI knob; verdicts must be identical either way, which unlimited
+    /// scenarios check differentially.
+    pub inprocess: bool,
 }
 
 impl FuzzScenario {
@@ -168,6 +175,7 @@ impl FuzzScenario {
             fault_plan,
             campaign_trials,
             repair,
+            inprocess: rng.gen_range(0u8..10) < 7,
         }
     }
 
@@ -189,6 +197,9 @@ impl FuzzScenario {
         if self.zero_deadline {
             let deadline = Deadline::after(Duration::ZERO);
             budget = Some(budget.unwrap_or_default().with_deadline(deadline));
+        }
+        if !self.inprocess {
+            budget = Some(budget.unwrap_or_default().with_inprocess(false));
         }
         budget
     }
@@ -221,6 +232,11 @@ impl Shrink for FuzzScenario {
         }
         if self.certify {
             push(&mut out, &|s| s.certify = false);
+        }
+        if !self.inprocess {
+            // Toward the default: a reproducer that needs inprocessing
+            // *off* is the unusual one worth keeping flagged.
+            push(&mut out, &|s| s.inprocess = true);
         }
         if !self.avoid_cells.is_empty() {
             push(&mut out, &|s| s.avoid_cells.clear());
@@ -456,6 +472,27 @@ pub fn run_scenario(sc: &FuzzScenario, cfg: &FuzzConfig) -> Result<ScenarioRepor
                     format!("warm j{jobs} reported {fp}, cold reported {cold_fp}"),
                 );
             }
+        }
+    }
+
+    // ── Stage 2b: inprocessing invariance ────────────────────────────────
+    // Inprocessing rewrites the clause database, never the verdicts: in
+    // the unlimited regime, a warm single-worker ladder with the pass
+    // disabled must land on the cold fingerprint too.
+    if sc.inprocess && sc.unlimited() {
+        let budget = sc.budget().unwrap_or_default().with_inprocess(false);
+        let synth = Synthesizer::new()
+            .with_incremental(true)
+            .with_budget(budget);
+        let report = run_ladder(&synth, 1)?;
+        check_internal(&report, "no-inprocess", &mut violations);
+        let fp = fingerprint_of(&report);
+        if fp != cold_fp {
+            fail(
+                &mut violations,
+                "inprocess-invariance",
+                format!("no-inprocess warm ladder reported {fp}, cold reported {cold_fp}"),
+            );
         }
     }
 
@@ -752,7 +789,9 @@ impl Corpus {
 /// regime of the pipeline (dedup'd NOR fan-in, cancelled certification,
 /// zero-deadline degradation, cell avoidance, jobs invariance, fault
 /// campaigns under variability, repair, transients, R-only certification,
-/// multi-output functions, constant functions, warm/cold agreement).
+/// multi-output functions, constant functions, warm/cold agreement,
+/// inprocessing with certification, inprocessing under cancellation, and
+/// the `--no-inprocess` regime).
 ///
 /// `tests/corpus/` holds these cases as committed JSON
 /// (`mmsynth fuzz --emit-seed-corpus --corpus tests/corpus` regenerates
@@ -777,6 +816,7 @@ pub fn seed_corpus() -> Vec<CorpusCase> {
         fault_plan: None,
         campaign_trials: 2,
         repair: false,
+        inprocess: true,
     };
     let bits = |f: &MultiOutputFn| -> Vec<String> {
         f.outputs().iter().map(TruthTable::to_bitstring).collect()
@@ -914,6 +954,41 @@ pub fn seed_corpus() -> Vec<CorpusCase> {
             s.certify = true;
             s
         }),
+        case(
+            "inprocessing + certification: every UNSAT proof re-checks with \
+             the pass enabled, and the on/off fingerprints agree",
+            {
+                let mut s = base(
+                    "seed-inprocess-certified",
+                    13,
+                    bits(&generators::majority_gate(3)),
+                );
+                s.certify = true;
+                s.jobs = vec![1, 2];
+                s.inprocess = true;
+                s
+            },
+        ),
+        case(
+            "inprocessing + cancellation: a conflict-capped solve may abort \
+             mid-pass and must still carry no proof or certification",
+            {
+                let mut s = base("seed-inprocess-cancel", 14, bits(&generators::xor_gate(2)));
+                s.max_conflicts = Some(2);
+                s.certify = true;
+                s.inprocess = true;
+                s
+            },
+        ),
+        case(
+            "--no-inprocess regime: the legacy solver path stays exercised",
+            {
+                let mut s = base("seed-no-inprocess", 15, bits(&generators::xor_gate(2)));
+                s.jobs = vec![1, 2];
+                s.inprocess = false;
+                s
+            },
+        ),
     ]
 }
 

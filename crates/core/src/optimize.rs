@@ -15,7 +15,7 @@ use std::time::Duration;
 
 use mm_boolfn::MultiOutputFn;
 use mm_circuit::MmCircuit;
-use mm_sat::{Budget, ClauseBus, DratProof, Solver};
+use mm_sat::{Budget, ClauseBus, Diversity, DratProof, Solver};
 
 use crate::encoder::{self, SharedBase};
 use crate::{EncodeOptions, SynthError, SynthOutcome, SynthResult, SynthSpec, Synthesizer};
@@ -192,19 +192,33 @@ impl<'a> RungEngine<'a> {
         if synth.incremental_for(top) {
             let _encode_span = synth.telemetry().span("encode");
             let base = Arc::new(encoder::encode_shared_base(top)?);
-            Ok(Self::warm(synth, base, None))
+            Ok(Self::warm(synth, base, None, Diversity::canonical()))
         } else {
             Ok(Self::Cold(synth))
         }
     }
 
     /// A warm engine over an already-encoded base, optionally wired to a
-    /// portfolio clause bus.
-    fn warm(synth: &'a Synthesizer, base: Arc<SharedBase>, bus: Option<&ClauseBus>) -> Self {
-        let mut solver = Solver::new(base.cnf.clone()).with_telemetry(synth.telemetry().clone());
+    /// portfolio clause bus, with a per-worker [`Diversity`] profile
+    /// (serial ladders use [`Diversity::canonical`], which changes
+    /// nothing).
+    ///
+    /// The base's guard variables are frozen up front: the ladder's
+    /// assumption set grows as it descends, and inprocessing must never
+    /// eliminate a variable a later rung will assume.
+    fn warm(
+        synth: &'a Synthesizer,
+        base: Arc<SharedBase>,
+        bus: Option<&ClauseBus>,
+        diversity: Diversity,
+    ) -> Self {
+        let mut solver = Solver::new(base.cnf.clone())
+            .with_telemetry(synth.telemetry().clone())
+            .with_diversity(diversity);
         if let Some(bus) = bus {
             solver = solver.with_clause_bus(bus.clone());
         }
+        solver.freeze_vars(base.guard_vars());
         Self::Warm {
             synth,
             base,

@@ -58,7 +58,7 @@ use std::sync::{Arc, Mutex};
 
 use mm_boolfn::MultiOutputFn;
 use mm_circuit::MmCircuit;
-use mm_sat::{CancellationToken, ClauseBus};
+use mm_sat::{CancellationToken, ClauseBus, Diversity};
 use mm_telemetry::{kv, AttrValue};
 
 use super::{
@@ -306,8 +306,17 @@ fn worker(
     // Each worker owns one engine for its whole ladder share: warm workers
     // keep a long-lived solver (learned clauses persist across rungs) wired
     // to the portfolio bus, cold workers re-encode per rung as before.
+    // Warm workers are additionally diversified by seed, saved-phase
+    // polarity and restart policy, so the glue clauses they trade over the
+    // bus come from genuinely different trajectories (worker 0 stays
+    // canonical, keeping single-worker runs identical to serial ones).
     let make_engine = || match warm_ctx {
-        Some((base, bus)) => RungEngine::warm(synth, base.clone(), Some(bus)),
+        Some((base, bus)) => RungEngine::warm(
+            synth,
+            base.clone(),
+            Some(bus),
+            Diversity::for_worker(worker_idx),
+        ),
         None => RungEngine::Cold(synth),
     };
     let mut engine = make_engine();

@@ -135,13 +135,27 @@ fn far_future() -> Instant {
 ///     .with_max_time(Duration::from_secs(60));
 /// assert_eq!(b.max_conflicts(), Some(100_000));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Budget {
     max_conflicts: Option<u64>,
     max_time: Option<Duration>,
     max_proof_steps: Option<u64>,
     deadline: Option<Deadline>,
     cancel: Option<CancellationToken>,
+    inprocess: bool,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Self {
+            max_conflicts: None,
+            max_time: None,
+            max_proof_steps: None,
+            deadline: None,
+            cancel: None,
+            inprocess: true,
+        }
+    }
 }
 
 impl PartialEq for Budget {
@@ -155,6 +169,7 @@ impl PartialEq for Budget {
             && self.max_time == other.max_time
             && self.max_proof_steps == other.max_proof_steps
             && self.deadline == other.deadline
+            && self.inprocess == other.inprocess
             && tokens_match
     }
 }
@@ -210,6 +225,18 @@ impl Budget {
         self
     }
 
+    /// Enables or disables formula inprocessing (bounded variable
+    /// elimination, subsumption, vivification) for calls made under this
+    /// budget. On by default; the `--no-inprocess` CLI flag turns it off.
+    ///
+    /// Inprocessing never changes a verdict — it only rewrites the clause
+    /// database between restarts — so this knob exists for differential
+    /// testing and for isolating the effect when benchmarking.
+    pub fn with_inprocess(mut self, enabled: bool) -> Self {
+        self.inprocess = enabled;
+        self
+    }
+
     /// The conflict limit, if any.
     pub fn max_conflicts(&self) -> Option<u64> {
         self.max_conflicts
@@ -233,6 +260,11 @@ impl Budget {
     /// The attached cancellation token, if any.
     pub fn cancellation(&self) -> Option<&CancellationToken> {
         self.cancel.as_ref()
+    }
+
+    /// Whether inprocessing is enabled for calls under this budget.
+    pub fn inprocess(&self) -> bool {
+        self.inprocess
     }
 
     /// Whether no limit is set and no cancellation token is attached.
@@ -289,6 +321,17 @@ mod tests {
         // Absurd durations saturate instead of panicking.
         let far = Deadline::after(Duration::from_secs(u64::MAX));
         assert!(!far.expired());
+    }
+
+    #[test]
+    fn inprocess_knob_defaults_on_and_round_trips() {
+        assert!(Budget::new().inprocess());
+        let off = Budget::new().with_inprocess(false);
+        assert!(!off.inprocess());
+        assert!(off.is_unlimited(), "the knob is not a resource limit");
+        assert_ne!(off, Budget::new());
+        assert_eq!(off.clone(), off);
+        assert!(off.with_inprocess(true).inprocess());
     }
 
     #[test]

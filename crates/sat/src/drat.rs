@@ -21,11 +21,23 @@
 //! derivation depends on) are never propagated over, which is the main
 //! cost saving of backward over forward checking.
 //!
-//! The checker accepts the RUP fragment of DRAT. That is exactly what a
-//! CDCL solver without inprocessing emits — every first-UIP learnt clause,
-//! minimized or not, is RUP with respect to the clauses alive when it was
-//! learnt — so completeness for `mm-sat` proofs is by construction, and
-//! soundness needs no assumption about the solver at all.
+//! The checker accepts the RUP fragment of DRAT, and everything `mm-sat`
+//! emits lands in that fragment by construction:
+//!
+//! * every first-UIP learnt clause, minimized or not, is RUP with respect
+//!   to the clauses alive when it was learnt;
+//! * inprocessing (`solver/inprocess.rs`) stays inside the fragment too —
+//!   a vivified or self-subsumption-strengthened clause is exactly what
+//!   unit propagation proved, so it is RUP; a bounded-variable-elimination
+//!   resolvent is RUP against its two parents; and subsumption only emits
+//!   *deletions*. All rewrites log Add-before-Delete (with level-0 implied
+//!   units logged ahead of the first deletion that could depend on them),
+//!   so no step ever references a clause the checker has already dropped.
+//!
+//! Completeness for `mm-sat` proofs is therefore by construction, and
+//! soundness needs no assumption about the solver at all —
+//! `tests/drat_negative.rs` pins that corrupted inprocessing deletions,
+//! fabricated additions, and reordered parent deletions are all rejected.
 
 use std::collections::HashMap;
 use std::error::Error;

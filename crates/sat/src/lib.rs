@@ -67,5 +67,5 @@ pub use lit::{Lit, Var};
 pub use model::Model;
 pub use proof::{FileProofWriter, ProofWriter};
 pub use share::ClauseBus;
-pub use solver::{SatResult, Solver};
+pub use solver::{Diversity, PhaseInit, RestartPolicy, SatResult, Solver};
 pub use stats::SolverStats;

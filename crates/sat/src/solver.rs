@@ -2,6 +2,8 @@
 // iterated buffer and `&mut self` calls inside the loop bodies.
 #![allow(clippy::needless_range_loop)]
 
+mod inprocess;
+
 use std::time::Instant;
 
 use mm_telemetry::Telemetry;
@@ -14,6 +16,101 @@ use crate::{Budget, CnfFormula, Lit, Model, ProofWriter, SolverStats, Var};
 /// matter how good their LBD: long clauses are expensive for importers to
 /// watch and rarely prune anything.
 const EXPORT_MAX_LEN: usize = 32;
+
+/// Conflicts accumulated before the first inprocessing pass fires, and the
+/// base of the geometric growth between passes. Small one-shot solves never
+/// reach it and pay nothing; long warm-ladder solvers cross it on the hard
+/// rungs where database reduction pays off most.
+const INPROCESS_FIRST_AT: u64 = 1_000;
+
+/// How the restart interval grows with the restart index. Part of the
+/// portfolio diversification story: workers on different policies explore
+/// genuinely different trajectories and feed the clause bus complementary
+/// glue clauses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RestartPolicy {
+    /// Luby sequence times a fixed base (the classic default).
+    #[default]
+    Luby,
+    /// Geometric growth: `base * 1.2^idx`, favouring longer and longer
+    /// uninterrupted runs.
+    Geometric,
+}
+
+/// Initial phase-saving polarity assigned to every variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PhaseInit {
+    /// All variables start false (the classic default).
+    #[default]
+    AllFalse,
+    /// All variables start true.
+    AllTrue,
+    /// Seed-derived pseudo-random polarity per variable.
+    Random,
+}
+
+/// A portfolio worker's diversification profile: seed-derived activity
+/// jitter, initial phase polarity, and restart policy.
+///
+/// [`Diversity::for_worker`] maps a worker index to a deterministic
+/// profile; index 0 is always [`Diversity::canonical`] (byte-identical to
+/// an undiversified solver), so single-worker runs behave exactly like the
+/// serial solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Diversity {
+    /// Seed for tie-breaking VSIDS jitter and random phases; 0 = none.
+    pub seed: u64,
+    /// Initial phase-saving polarity.
+    pub phase: PhaseInit,
+    /// Restart interval policy.
+    pub restarts: RestartPolicy,
+}
+
+impl Diversity {
+    /// The undiversified profile: no jitter, all-false phases, Luby
+    /// restarts. A solver with this profile is byte-identical to one that
+    /// never called [`Solver::with_diversity`].
+    pub fn canonical() -> Self {
+        Self {
+            seed: 0,
+            phase: PhaseInit::AllFalse,
+            restarts: RestartPolicy::Luby,
+        }
+    }
+
+    /// Deterministic profile for portfolio worker `idx`.
+    ///
+    /// Worker 0 is canonical; higher indices cycle through phase and
+    /// restart-policy combinations with a per-worker jitter seed, so no
+    /// two of the first six workers share a profile.
+    pub fn for_worker(idx: usize) -> Self {
+        if idx == 0 {
+            return Self::canonical();
+        }
+        Self {
+            seed: idx as u64,
+            phase: match idx % 3 {
+                0 => PhaseInit::AllFalse,
+                1 => PhaseInit::AllTrue,
+                _ => PhaseInit::Random,
+            },
+            restarts: if idx % 2 == 1 {
+                RestartPolicy::Geometric
+            } else {
+                RestartPolicy::Luby
+            },
+        }
+    }
+}
+
+/// One step of a xorshift64 PRNG (for diversification only — never on the
+/// solving hot path).
+fn xorshift64(mut s: u64) -> u64 {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    s
+}
 
 /// Outcome of a [`Solver::solve`] call.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -145,8 +242,32 @@ pub struct Solver {
     exported: u64,
     /// Share-counter values already emitted to telemetry (imported, exported).
     tel_shared: (u64, u64),
+    /// Inprocess-counter values already emitted to telemetry
+    /// (eliminated, subsumed+strengthened, vivified).
+    tel_inprocess: (u64, u64, u64),
     /// Failed-assumption set of the last UNSAT-under-assumptions call.
     failed: Vec<Lit>,
+    /// Variables that bounded variable elimination must never touch:
+    /// assumption/guard variables whose semantics outlive any single call.
+    frozen: Vec<bool>,
+    /// Variables removed by bounded variable elimination. Never decided,
+    /// never imported; their model values are reconstructed from
+    /// `elim_stack` in `extract_model`.
+    eliminated: Vec<bool>,
+    /// Elimination records, in elimination order: the pivot literal and
+    /// every clause (both polarities) that mentioned it at the time.
+    /// Replayed in reverse to extend a model over eliminated variables.
+    elim_stack: Vec<(Lit, Vec<Vec<Lit>>)>,
+    /// Cumulative-conflict threshold for the next inprocessing pass.
+    next_inprocess: u64,
+    /// Current gap between passes; grows geometrically so inprocessing
+    /// stays a vanishing fraction of total effort.
+    inprocess_interval: u64,
+    /// Trail prefix whose implied level-0 literals have already been
+    /// emitted to the DRAT log as unit additions (see `log_level0_units`).
+    l0_units_logged: usize,
+    /// Restart interval policy (diversification).
+    restart_policy: RestartPolicy,
 }
 
 impl Solver {
@@ -184,7 +305,15 @@ impl Solver {
             imported: 0,
             exported: 0,
             tel_shared: (0, 0),
+            tel_inprocess: (0, 0, 0),
             failed: Vec::new(),
+            frozen: vec![false; n],
+            eliminated: vec![false; n],
+            elim_stack: Vec::new(),
+            next_inprocess: INPROCESS_FIRST_AT,
+            inprocess_interval: INPROCESS_FIRST_AT,
+            l0_units_logged: 0,
+            restart_policy: RestartPolicy::default(),
         };
         for clause in cnf.clauses() {
             solver.add_original_clause(clause);
@@ -247,6 +376,68 @@ impl Solver {
         self
     }
 
+    /// Applies a portfolio diversification profile: restart policy, initial
+    /// phase polarity, and (for non-zero seeds) a tiny deterministic VSIDS
+    /// tie-breaking jitter. [`Diversity::canonical`] is a no-op.
+    ///
+    /// Diversification only perturbs *search order*; verdicts, models'
+    /// validity, and proof checkability are unaffected.
+    pub fn with_diversity(mut self, d: Diversity) -> Self {
+        self.restart_policy = d.restarts;
+        let mut s = d.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        match d.phase {
+            PhaseInit::AllFalse => {}
+            PhaseInit::AllTrue => self.saved_phase.iter_mut().for_each(|p| *p = true),
+            PhaseInit::Random => {
+                for p in &mut self.saved_phase {
+                    s = xorshift64(s);
+                    *p = s & 1 == 1;
+                }
+            }
+        }
+        if d.seed != 0 {
+            // Sub-nanoscale jitter: breaks VSIDS ties between never-bumped
+            // variables without ever outweighing a real activity bump.
+            for v in 0..self.n_vars {
+                s = xorshift64(s);
+                self.activity[v] = (s >> 11) as f64 * 1e-9 / (1u64 << 53) as f64;
+            }
+            for v in 0..self.n_vars as u32 {
+                self.heap.update(Var::from_index(v), &self.activity);
+            }
+        }
+        self
+    }
+
+    /// Marks variables that inprocessing must never eliminate.
+    ///
+    /// Call this before the first solve for every variable whose meaning
+    /// outlives a single call: assumption/guard variables of an incremental
+    /// ladder, variables a caller will inject clauses over later. The
+    /// current call's assumptions are frozen automatically as a backstop,
+    /// but a *later* call's assumptions are not — freeze them up front.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a listed variable has already been eliminated (freezing
+    /// would come too late to be honoured).
+    pub fn freeze_vars<I: IntoIterator<Item = Var>>(&mut self, vars: I) {
+        for v in vars {
+            let i = v.index() as usize;
+            assert!(
+                !self.eliminated[i],
+                "freeze_vars: variable {i} was already eliminated; freeze before solving"
+            );
+            self.frozen[i] = true;
+        }
+    }
+
+    /// Whether inprocessing has eliminated `v` (its model value is
+    /// reconstructed rather than searched).
+    pub fn is_eliminated(&self, v: Var) -> bool {
+        self.eliminated[v.index() as usize]
+    }
+
     /// Cumulative statistics across every call made on this solver.
     pub fn stats(&self) -> SolverStats {
         self.stats
@@ -284,6 +475,11 @@ impl Solver {
             self.proof.is_none(),
             "post-solve add_clause would poison the DRAT log"
         );
+        debug_assert!(
+            lits.iter()
+                .all(|l| !self.eliminated[l.var().index() as usize]),
+            "post-solve add_clause over an eliminated variable; freeze it first"
+        );
         self.backtrack_to(0);
         self.add_simplified_clause(lits, false);
     }
@@ -313,8 +509,20 @@ impl Solver {
         self.stats.cancelled = false;
         self.stats.deadline_expired = false;
         self.failed.clear();
+        // Backstop freeze: this call's assumptions must survive elimination.
+        // (Future calls may assume *other* variables — long-lived callers
+        // freeze their full guard set up front via `freeze_vars`.)
+        for &a in assumptions {
+            let v = a.var().index() as usize;
+            assert!(
+                !self.eliminated[v],
+                "assumption over eliminated variable {v}; freeze_vars before the first solve"
+            );
+            self.frozen[v] = true;
+        }
         self.backtrack_to(0);
         self.import_from_bus();
+        self.maybe_inprocess(&budget);
         let result = self.search(assumptions, budget, start);
         self.backtrack_to(0);
         self.emit_counter_deltas();
@@ -406,6 +614,27 @@ impl Solver {
             self.telemetry.counter("solver.exported_clauses", de);
         }
         self.tel_shared = (self.imported, self.exported);
+        // Inprocess counters follow the same delta-when-nonzero discipline,
+        // so runs that never inprocess produce the exact old event stream.
+        // `subsumed` folds in self-subsumption strengthenings: both are
+        // products of the same occurrence-list machinery.
+        let ie = s.eliminated_vars - self.tel_inprocess.0;
+        let is = s.subsumed_clauses + s.strengthened_clauses - self.tel_inprocess.1;
+        let iv = s.vivified_clauses - self.tel_inprocess.2;
+        if ie > 0 {
+            self.telemetry.counter("solver.inprocess.eliminated", ie);
+        }
+        if is > 0 {
+            self.telemetry.counter("solver.inprocess.subsumed", is);
+        }
+        if iv > 0 {
+            self.telemetry.counter("solver.inprocess.vivified", iv);
+        }
+        self.tel_inprocess = (
+            s.eliminated_vars,
+            s.subsumed_clauses + s.strengthened_clauses,
+            s.vivified_clauses,
+        );
     }
 
     #[inline]
@@ -542,6 +771,15 @@ impl Solver {
         for lits in &fresh {
             if !self.ok {
                 break;
+            }
+            // A clause over a variable this solver already eliminated
+            // cannot be attached (the variable no longer exists here);
+            // skipping it is sound — imports are redundant by definition.
+            if lits
+                .iter()
+                .any(|l| self.eliminated[l.var().index() as usize])
+            {
+                continue;
             }
             // Imported clauses are marked learnt so reduce_db may drop
             // them again if they turn out not to pull their weight.
@@ -998,8 +1236,9 @@ impl Solver {
 
     fn decide(&mut self) -> Option<Lit> {
         while let Some(v) = self.heap.pop(&self.activity) {
-            if self.assign[v.index() as usize] == UNASSIGNED {
-                let phase = self.saved_phase[v.index() as usize];
+            let i = v.index() as usize;
+            if self.assign[i] == UNASSIGNED && !self.eliminated[i] {
+                let phase = self.saved_phase[i];
                 return Some(v.lit(phase));
             }
         }
@@ -1007,7 +1246,27 @@ impl Solver {
     }
 
     fn extract_model(&self) -> Model {
-        Model::new((0..self.n_vars).map(|v| self.assign[v] == 1).collect())
+        let mut values: Vec<bool> = (0..self.n_vars).map(|v| self.assign[v] == 1).collect();
+        // Extend the assignment over eliminated variables by replaying the
+        // elimination records newest-first. For each pivot, keeping the
+        // default value or flipping it must satisfy every clause the
+        // elimination removed (the standard BVE reconstruction lemma: a
+        // model of the resolvents extends to the pivot).
+        for (pivot, removed) in self.elim_stack.iter().rev() {
+            let pv = pivot.var().index() as usize;
+            let sat = |values: &[bool], c: &[Lit]| {
+                c.iter()
+                    .any(|l| values[l.var().index() as usize] == l.is_positive())
+            };
+            if !removed.iter().all(|c| sat(&values, c)) {
+                values[pv] = !values[pv];
+                debug_assert!(
+                    removed.iter().all(|c| sat(&values, c)),
+                    "BVE reconstruction failed to satisfy a removed clause"
+                );
+            }
+        }
+        Model::new(values)
     }
 
     fn search(&mut self, assumptions: &[Lit], budget: Budget, start: Instant) -> SatResult {
@@ -1027,8 +1286,7 @@ impl Solver {
         let conflicts_at_entry = self.stats.conflicts;
         let proof_steps_at_entry = self.stats.proof_steps;
         let mut restart_idx: u64 = 0;
-        let restart_base: u64 = 128;
-        let mut conflicts_until_restart = luby(restart_idx) * restart_base;
+        let mut conflicts_until_restart = restart_interval(self.restart_policy, restart_idx);
         let mut next_reduce: u64 = conflicts_at_entry + 4000;
 
         // Cancellation is polled every `CANCEL_POLL_INTERVAL` propagate/decide
@@ -1101,12 +1359,15 @@ impl Solver {
                         }
                     }
                     restart_idx += 1;
-                    conflicts_until_restart = luby(restart_idx) * restart_base;
+                    conflicts_until_restart = restart_interval(self.restart_policy, restart_idx);
                     self.stats.restarts += 1;
                     self.backtrack_to(0);
                     // Restarts are the natural low-cost moment to pick up
-                    // what the rest of the portfolio has learned.
+                    // what the rest of the portfolio has learned — and to
+                    // inprocess the accumulated database while the trail
+                    // is back at level 0 anyway.
                     self.import_from_bus();
+                    self.maybe_inprocess(&budget);
                     if !self.ok {
                         return SatResult::Unsat;
                     }
@@ -1141,6 +1402,16 @@ impl Solver {
                 }
             }
         }
+    }
+}
+
+/// Conflicts allotted to restart run `idx` under `policy` (base 128).
+fn restart_interval(policy: RestartPolicy, idx: u64) -> u64 {
+    const BASE: u64 = 128;
+    match policy {
+        RestartPolicy::Luby => luby(idx) * BASE,
+        // 1.2^idx saturates safely: `as u64` clamps out-of-range floats.
+        RestartPolicy::Geometric => (BASE as f64 * 1.2f64.powi(idx.min(220) as i32)) as u64,
     }
 }
 

@@ -218,3 +218,144 @@ fn proof_of_bus_attached_solver_checks_end_to_end() {
     assert_eq!(report.additions + report.deletions + 1, proof.n_steps());
     assert_eq!(stats.proof_steps as usize, proof.n_steps());
 }
+
+/// A deterministic certified refutation whose proof contains genuine
+/// inprocessing steps: the pass runs with the log attached, so its unit
+/// additions, strengthened/vivified clauses, BVE resolvents and deletions
+/// all appear in the stream before the search-derived lemmas.
+fn certified_inprocessed_php() -> (CnfFormula, DratProof) {
+    let cnf = pigeonhole(5, 4);
+    let mut solver = Solver::new(cnf.clone()).with_proof_writer(Box::<DratProof>::default());
+    solver.inprocess_now();
+    let stats = solver.stats();
+    assert!(
+        stats.eliminated_vars
+            + stats.subsumed_clauses
+            + stats.strengthened_clauses
+            + stats.vivified_clauses
+            > 0,
+        "the pass must actually rewrite php(5,4): {stats}"
+    );
+    let (result, _, proof) = solver.solve_certified(Budget::new());
+    assert_eq!(result, SatResult::Unsat);
+    let proof = proof.expect("certified solve returns the log");
+    assert!(
+        proof
+            .steps()
+            .iter()
+            .any(|s| matches!(s, ProofStep::Delete(_))),
+        "inprocessing must emit deletions"
+    );
+    check(&cnf, &proof).expect("the unmodified inprocessed proof checks");
+    (cnf, proof)
+}
+
+#[test]
+fn corrupted_inprocessing_deletion_is_rejected() {
+    let (cnf, proof) = certified_inprocessed_php();
+    // Mutate each deletion into one naming a clause that was never in the
+    // database (flip one literal). Every such corruption must surface as
+    // DeleteUnknownClause at exactly that step — deletions are matched
+    // against the live database, not taken on faith.
+    let mut tried = 0usize;
+    let mut rejected_at_step = 0usize;
+    for (s, step) in proof.steps().iter().enumerate() {
+        let ProofStep::Delete(lits) = step else {
+            continue;
+        };
+        if lits.is_empty() {
+            continue;
+        }
+        tried += 1;
+        let mut steps = proof.steps().to_vec();
+        if let ProofStep::Delete(ref mut mutated) = steps[s] {
+            mutated[0] = !mutated[0];
+        }
+        match check(&cnf, &DratProof::from_steps(steps)) {
+            Err(DratError::DeleteUnknownClause { step }) => {
+                assert_eq!(step, s, "rejection must name the corrupted step");
+                rejected_at_step += 1;
+            }
+            // Flipping may accidentally name another live clause, in
+            // which case that clause vanishes instead: the proof may then
+            // fail later, or — for a non-core clause — legitimately pass.
+            _ => {}
+        }
+        if tried >= 25 {
+            break; // bounded: the first deletions are the inprocessing ones
+        }
+    }
+    assert!(tried > 0, "inprocessed php(5,4) proof has deletions");
+    assert!(
+        rejected_at_step > 0,
+        "no corrupted deletion was pinned to its step across {tried} tries"
+    );
+}
+
+#[test]
+fn fabricated_inprocessing_addition_is_rejected() {
+    let (cnf, proof) = certified_inprocessed_php();
+    // Splice a fabricated "resolvent" in front of the first real addition:
+    // a fresh clause over the formula's variables that no propagation
+    // derives (php row disjunction negated pairwise would be RUP, so use a
+    // unit that nothing implies). A checker that trusted inprocessing
+    // additions blindly would accept it.
+    let bogus = ProofStep::Add(vec![Lit::from_code(0)]);
+    let mut steps = proof.steps().to_vec();
+    steps.insert(0, bogus);
+    assert_eq!(
+        check(&cnf, &DratProof::from_steps(steps)),
+        Err(DratError::NotRup { step: 0 })
+    );
+}
+
+#[test]
+fn early_deletion_of_a_parent_breaks_the_derivation() {
+    let (cnf, proof) = certified_inprocessed_php();
+    // Inprocessing's discipline is add-before-delete: a resolvent is only
+    // RUP while its parents are still in the database. Hoisting the first
+    // deletion in front of the first addition must therefore break either
+    // the deletion itself (clause not yet present — it may have been
+    // emitted by a rewrite) or a later RUP step that needed the clause.
+    let first_add = proof
+        .steps()
+        .iter()
+        .position(|s| matches!(s, ProofStep::Add(_)))
+        .expect("proof has additions");
+    let first_del = proof
+        .steps()
+        .iter()
+        .position(|s| matches!(s, ProofStep::Delete(_)))
+        .expect("proof has deletions");
+    if first_del < first_add {
+        // Deletions of satisfied originals can legitimately precede any
+        // addition; move the first post-addition deletion instead.
+        return;
+    }
+    let mut steps = proof.steps().to_vec();
+    let del = steps.remove(first_del);
+    steps.insert(0, del);
+    let verdict = check(&cnf, &DratProof::from_steps(steps));
+    assert!(
+        verdict.is_err(),
+        "hoisted deletion must invalidate the proof, got {verdict:?}"
+    );
+}
+
+#[test]
+fn inprocessed_cancelled_solve_has_no_checkable_proof() {
+    // Inprocessing plus cancellation: a pass may have emitted additions
+    // and deletions, but without the concluding empty clause the stream
+    // must never check.
+    let cnf = pigeonhole(6, 5);
+    let token = CancellationToken::new();
+    let mut solver = Solver::new(cnf.clone()).with_proof_writer(Box::<DratProof>::default());
+    solver.inprocess_now();
+    token.cancel();
+    let (result, stats, proof) = solver.solve_certified(Budget::new().with_cancellation(token));
+    assert_eq!(result, SatResult::Unknown);
+    assert!(stats.cancelled);
+    let proof = proof.expect("log present");
+    assert!(!proof.is_concluded());
+    assert_eq!(check(&cnf, &proof), Err(DratError::NoEmptyClause));
+}

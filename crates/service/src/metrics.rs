@@ -176,6 +176,9 @@ pub struct MetricsBridgeSink {
     restarts: Counter,
     clauses_exported: Counter,
     clauses_imported: Counter,
+    inprocess_eliminated: Counter,
+    inprocess_subsumed: Counter,
+    inprocess_vivified: Counter,
 }
 
 impl MetricsBridgeSink {
@@ -206,6 +209,18 @@ impl MetricsBridgeSink {
                 "mmsynth_ladder_clauses_imported_total",
                 "Learnt clauses imported from the portfolio sharing bus.",
             ),
+            inprocess_eliminated: registry.counter(
+                "mmsynth_solver_inprocess_eliminated_total",
+                "Variables removed by bounded variable elimination.",
+            ),
+            inprocess_subsumed: registry.counter(
+                "mmsynth_solver_inprocess_subsumed_total",
+                "Clauses subsumed or strengthened during inprocessing.",
+            ),
+            inprocess_vivified: registry.counter(
+                "mmsynth_solver_inprocess_vivified_total",
+                "Clauses shortened by vivification during inprocessing.",
+            ),
             registry,
         }
     }
@@ -221,6 +236,9 @@ impl TelemetrySink for MetricsBridgeSink {
                 "solver.restarts" => self.restarts.add(*delta),
                 "ladder.clauses_exported" => self.clauses_exported.add(*delta),
                 "ladder.clauses_imported" => self.clauses_imported.add(*delta),
+                "solver.inprocess.eliminated" => self.inprocess_eliminated.add(*delta),
+                "solver.inprocess.subsumed" => self.inprocess_subsumed.add(*delta),
+                "solver.inprocess.vivified" => self.inprocess_vivified.add(*delta),
                 _ => {}
             },
             EventKind::Point { name, attrs } if name == "rung" => {
@@ -281,6 +299,10 @@ mod tests {
         telemetry.counter("solver.conflicts", 2);
         telemetry.counter("solver.propagations", 100);
         telemetry.counter("ladder.clauses_exported", 7);
+        telemetry.counter("solver.inprocess.eliminated", 3);
+        telemetry.counter("solver.inprocess.subsumed", 8);
+        telemetry.counter("solver.inprocess.subsumed", 1);
+        telemetry.counter("solver.inprocess.vivified", 4);
         telemetry.counter("unrelated.counter", 5);
         telemetry.point("rung", vec![kv("n_rops", 2u64), kv("outcome", "unsat")]);
         telemetry.point("rung", vec![kv("n_rops", 3u64), kv("outcome", "sat")]);
@@ -290,6 +312,9 @@ mod tests {
         assert!(text.contains("mmsynth_solver_conflicts_total 42"));
         assert!(text.contains("mmsynth_solver_propagations_total 100"));
         assert!(text.contains("mmsynth_ladder_clauses_exported_total 7"));
+        assert!(text.contains("mmsynth_solver_inprocess_eliminated_total 3"));
+        assert!(text.contains("mmsynth_solver_inprocess_subsumed_total 9"));
+        assert!(text.contains("mmsynth_solver_inprocess_vivified_total 4"));
         assert!(text.contains(r#"mmsynth_rungs_total{outcome="sat"} 2"#));
         assert!(text.contains(r#"mmsynth_rungs_total{outcome="unsat"} 1"#));
         assert!(!text.contains("unrelated"), "unknown names are ignored");

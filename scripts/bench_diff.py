@@ -16,14 +16,25 @@ on a re-run). Gating rules:
 * A missing or unparseable baseline/candidate file is a clear one-line
   error, never a traceback. --allow-missing-baseline restores the
   bootstrap behavior (first PR with a bench report has no baseline).
+* Every failure names the offending metric and both values — in the
+  per-metric FAIL line and again in the final summary — so a CI log tail
+  is enough to see what regressed without scrolling.
 
-Stdlib only, so the CI leg needs nothing beyond python3.
+Stdlib only, so the CI leg needs nothing beyond python3. `--self-test`
+runs the built-in unit checks (exercised by CI before the real diff).
 """
 
 import argparse
 import json
 import os
+import signal
 import sys
+import tempfile
+
+# Dying cleanly when stdout is a closed pipe (e.g. `bench_diff ... | head`)
+# beats a BrokenPipeError traceback.
+if hasattr(signal, "SIGPIPE"):
+    signal.signal(signal.SIGPIPE, signal.SIG_DFL)
 
 BENCH_SCHEMA_VERSION = 1
 
@@ -70,19 +81,37 @@ def regression(base, cand):
     return change if direction == "Lower" else -change
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", help="previous BENCH_<n>.json")
-    parser.add_argument("candidate", help="freshly generated BENCH_<n>.json")
-    parser.add_argument("--threshold", type=float, default=0.20,
-                        help="max allowed bad-direction change (fraction, default 0.20)")
-    parser.add_argument("--strict-time", action="store_true",
-                        help="gate wall-clock metrics too instead of warning")
-    parser.add_argument("--allow-missing-baseline", action="store_true",
-                        help="pass when the baseline file does not exist "
-                             "(bootstrap: the first bench-emitting PR)")
-    args = parser.parse_args()
+def diff_reports(base, cand, threshold, strict_time):
+    """Compare metric dicts. Returns (log_lines, failures, warnings);
+    failures/warnings are (name, old, new, change) tuples."""
+    lines, failures, warnings = [], [], []
+    for name in sorted(set(base) | set(cand)):
+        if name not in base:
+            lines.append(f"  new metric: {name} = {cand[name]['value']:g}")
+            continue
+        if name not in cand:
+            lines.append(f"  dropped metric: {name} "
+                         f"(was {base[name]['value']:g})")
+            continue
+        change = regression(base[name], cand[name])
+        if change is None:
+            continue
+        entry = (name, base[name]["value"], cand[name]["value"], change)
+        if change <= threshold:
+            lines.append(f"  ok {describe(entry)}")
+        elif cand[name].get("deterministic") or strict_time:
+            failures.append(entry)
+        else:
+            warnings.append(entry)
+    return lines, failures, warnings
 
+
+def describe(entry):
+    name, old, new, change = entry
+    return f"{name}: {old:g} -> {new:g} ({change:+.1%} bad-direction)"
+
+
+def run_diff(args):
     if not os.path.exists(args.baseline):
         if args.allow_missing_baseline:
             print(f"bench-diff: no baseline at {args.baseline}; "
@@ -97,37 +126,150 @@ def main():
 
     base = load(args.baseline)
     cand = load(args.candidate)
+    lines, failures, warnings = diff_reports(
+        base, cand, args.threshold, args.strict_time)
 
-    failures, warnings = [], []
-    for name in sorted(set(base) | set(cand)):
-        if name not in base:
-            print(f"  new metric: {name} = {cand[name]['value']:g}")
-            continue
-        if name not in cand:
-            print(f"  dropped metric: {name} (was {base[name]['value']:g})")
-            continue
-        change = regression(base[name], cand[name])
-        if change is None:
-            continue
-        line = (f"{name}: {base[name]['value']:g} -> {cand[name]['value']:g} "
-                f"({change:+.1%} bad-direction)")
-        if change <= args.threshold:
-            print(f"  ok {line}")
-        elif cand[name].get("deterministic") or args.strict_time:
-            failures.append(line)
-        else:
-            warnings.append(line)
-
-    for line in warnings:
-        print(f"  WARN (advisory wall-clock) {line}")
-    for line in failures:
-        print(f"  FAIL {line}")
+    for line in lines:
+        print(line)
+    for entry in warnings:
+        print(f"  WARN (advisory wall-clock) {describe(entry)}")
+    for entry in failures:
+        print(f"  FAIL {describe(entry)}")
     if failures:
+        # The summary names every offender with both values so the last
+        # line of a CI log is self-contained.
+        offenders = "; ".join(
+            f"{name} ({old:g} -> {new:g})" for name, old, new, _ in failures)
         print(f"bench-diff: {len(failures)} regression(s) past "
-              f"{args.threshold:.0%} threshold")
+              f"{args.threshold:.0%} threshold: {offenders}")
         return 1
     print(f"bench-diff: pass ({len(warnings)} advisory warning(s))")
     return 0
+
+
+# ---------------------------------------------------------------------------
+# Self-test
+
+
+def _report(metrics):
+    return {"schema_version": BENCH_SCHEMA_VERSION, "metrics": metrics}
+
+
+def _metric(name, value, direction="Lower", deterministic=True):
+    return {"name": name, "value": value, "unit": "count",
+            "direction": direction, "deterministic": deterministic}
+
+
+def self_test():
+    """Unit checks over diff_reports/regression/load. Exit 0 iff all pass."""
+    checks = []
+
+    def check(label, cond):
+        checks.append((label, cond))
+        print(f"  {'ok' if cond else 'FAIL'} {label}")
+
+    def metrics(*entries):
+        return {m["name"]: m for m in entries}
+
+    # 1. A deterministic Lower metric past the threshold fails, and the
+    #    failure entry carries the metric name and both values.
+    _, fails, warns = diff_reports(
+        metrics(_metric("conflicts", 100)),
+        metrics(_metric("conflicts", 150)), 0.20, False)
+    check("deterministic regression fails", len(fails) == 1 and not warns)
+    check("failure names the metric and both values",
+          fails and fails[0][:3] == ("conflicts", 100, 150)
+          and "conflicts: 100 -> 150" in describe(fails[0]))
+
+    # 2. Within the threshold nothing fails.
+    _, fails, warns = diff_reports(
+        metrics(_metric("conflicts", 100)),
+        metrics(_metric("conflicts", 115)), 0.20, False)
+    check("within-threshold drift passes", not fails and not warns)
+
+    # 3. Higher-is-better metrics gate on decreases, not increases.
+    _, fails, _ = diff_reports(
+        metrics(_metric("speedup", 2.0, direction="Higher")),
+        metrics(_metric("speedup", 1.0, direction="Higher")), 0.20, False)
+    check("Higher metric dropping fails", len(fails) == 1)
+    _, fails, _ = diff_reports(
+        metrics(_metric("speedup", 1.0, direction="Higher")),
+        metrics(_metric("speedup", 2.0, direction="Higher")), 0.20, False)
+    check("Higher metric rising passes", not fails)
+
+    # 4. Wall-clock metrics warn by default and gate under --strict-time.
+    _, fails, warns = diff_reports(
+        metrics(_metric("wall_ms", 100, deterministic=False)),
+        metrics(_metric("wall_ms", 200, deterministic=False)), 0.20, False)
+    check("wall-clock regression only warns", not fails and len(warns) == 1)
+    _, fails, warns = diff_reports(
+        metrics(_metric("wall_ms", 100, deterministic=False)),
+        metrics(_metric("wall_ms", 200, deterministic=False)), 0.20, True)
+    check("--strict-time gates wall-clock", len(fails) == 1 and not warns)
+
+    # 5. Zero baselines: Lower metric becoming nonzero is a full regression;
+    #    anything else is ungated.
+    check("0 -> nonzero Lower regresses",
+          regression(_metric("x", 0), _metric("x", 5)) == 1.0)
+    check("0 -> 0 passes", regression(_metric("x", 0), _metric("x", 0)) == 0.0)
+
+    # 6. One-sided metrics are informational, never failures.
+    lines, fails, warns = diff_reports(
+        metrics(_metric("old_probe", 1)), metrics(_metric("new_probe", 2)),
+        0.20, False)
+    check("added/dropped metrics are informational",
+          not fails and not warns
+          and any("new metric: new_probe" in l for l in lines)
+          and any("dropped metric: old_probe" in l for l in lines))
+
+    # 7. load() round-trips a well-formed report and rejects a wrong
+    #    schema version with a clean exit, not a traceback.
+    with tempfile.TemporaryDirectory() as tmp:
+        good = os.path.join(tmp, "good.json")
+        with open(good, "w", encoding="utf-8") as fh:
+            json.dump(_report([_metric("m", 7)]), fh)
+        check("load() parses a valid report", load(good)["m"]["value"] == 7)
+
+        bad = os.path.join(tmp, "bad.json")
+        with open(bad, "w", encoding="utf-8") as fh:
+            json.dump({"schema_version": 999, "metrics": []}, fh)
+        try:
+            load(bad)
+            check("load() rejects wrong schema version", False)
+        except SystemExit as err:
+            check("load() rejects wrong schema version",
+                  "unsupported bench schema version" in str(err.code))
+
+    failed = [label for label, cond in checks if not cond]
+    if failed:
+        print(f"bench-diff --self-test: {len(failed)} check(s) failed: "
+              + "; ".join(failed))
+        return 1
+    print(f"bench-diff --self-test: all {len(checks)} checks passed")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", nargs="?", help="previous BENCH_<n>.json")
+    parser.add_argument("candidate", nargs="?",
+                        help="freshly generated BENCH_<n>.json")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="max allowed bad-direction change (fraction, default 0.20)")
+    parser.add_argument("--strict-time", action="store_true",
+                        help="gate wall-clock metrics too instead of warning")
+    parser.add_argument("--allow-missing-baseline", action="store_true",
+                        help="pass when the baseline file does not exist "
+                             "(bootstrap: the first bench-emitting PR)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in unit checks and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.baseline is None or args.candidate is None:
+        parser.error("baseline and candidate are required unless --self-test")
+    return run_diff(args)
 
 
 if __name__ == "__main__":

@@ -214,6 +214,11 @@ fn budget_from(args: &Args) -> Result<Option<Budget>, String> {
         let deadline = Deadline::after(Duration::from_secs_f64(secs));
         budget = Some(budget.unwrap_or_default().with_deadline(deadline));
     }
+    // Inprocessing is on by default; --no-inprocess disables it for
+    // differential testing and clean benchmark baselines.
+    if args.has("no-inprocess") {
+        budget = Some(budget.unwrap_or_default().with_inprocess(false));
+    }
     Ok(budget)
 }
 
@@ -518,6 +523,7 @@ fn dispatch(command: &str, args: &Args, tel: &TelemetrySetup) -> Result<ExitCode
                     ("proven_optimal".into(), Value::Bool(report.proven_optimal)),
                     ("degraded".into(), Value::Bool(degraded)),
                     ("incremental".into(), Value::Bool(incremental)),
+                    ("inprocess".into(), Value::Bool(!args.has("no-inprocess"))),
                     ("n_calls".into(), Value::UInt(report.calls.len() as u64)),
                     ("certified_unsat".into(), Value::UInt(certified as u64)),
                     (
@@ -593,7 +599,8 @@ fn dispatch(command: &str, args: &Args, tel: &TelemetrySetup) -> Result<ExitCode
                  \x20                [--dot | --json | --dimacs | --schedule]\n\
                  \x20      minimize: [--max-rops N] [--max-steps N] [--r-only] [--adder]\n\
                  \x20                [--jobs N] [--conflicts N] [--deadline SECS]\n\
-                 \x20                [--no-incremental] [--certify] [--proof-dir DIR]\n\
+                 \x20                [--no-incremental] [--no-inprocess]\n\
+                 \x20                [--certify] [--proof-dir DIR]\n\
                  \x20                [--cache-dir DIR [--paranoid]]\n\
                  \x20                [--dot | --json | --schedule]\n\
                  \x20      client:   --socket PATH | --tcp ADDR:PORT [--op OP]\n\
@@ -619,6 +626,9 @@ fn dispatch(command: &str, args: &Args, tel: &TelemetrySetup) -> Result<ExitCode
                  \x20      long-lived solver per worker, shared learned clauses);\n\
                  \x20      --no-incremental restores cold per-rung solves, and\n\
                  \x20      --certify implies them (proofs refute each rung's formula)\n\
+                 \x20      the solver inprocesses (variable elimination, subsumption,\n\
+                 \x20      vivification) at restart boundaries; --no-inprocess turns\n\
+                 \x20      that off — verdicts and proofs are identical either way\n\
                  \x20      telemetry (all subcommands): --trace-out FILE.jsonl streams\n\
                  \x20      raw events, --report-json FILE writes the aggregated phase\n\
                  \x20      timing report, --progress renders a stderr ticker;\n\

@@ -133,4 +133,18 @@ fn corpus_covers_the_key_regimes() {
         scenarios.iter().any(|s| s.jobs.len() > 1),
         "no multi-job invariance case"
     );
+    assert!(
+        scenarios.iter().any(|s| !s.inprocess),
+        "no --no-inprocess case"
+    );
+    assert!(
+        scenarios.iter().any(|s| s.inprocess && s.certify),
+        "no inprocess+certify case"
+    );
+    assert!(
+        scenarios
+            .iter()
+            .any(|s| s.inprocess && s.max_conflicts.is_some()),
+        "no inprocess+cancel case"
+    );
 }

@@ -94,6 +94,7 @@ fn minimize_stats_schema_is_stable() {
             "proven_optimal",
             "degraded",
             "incremental",
+            "inprocess",
             "n_calls",
             "certified_unsat",
             "total_solver_time_us",
@@ -107,6 +108,8 @@ fn minimize_stats_schema_is_stable() {
     assert_eq!(get(&stats, "command"), Value::Str("minimize".into()));
     // The ladder is incremental by default and this run completes.
     assert_eq!(get(&stats, "incremental"), Value::Bool(true));
+    // Inprocessing is on by default too.
+    assert_eq!(get(&stats, "inprocess"), Value::Bool(true));
     assert_eq!(get(&stats, "degraded"), Value::Bool(false));
 }
 
@@ -125,6 +128,25 @@ fn minimize_stats_track_the_incremental_flag() {
     );
     assert!(output.status.success());
     assert_eq!(get(&stats, "incremental"), Value::Bool(false));
+}
+
+#[test]
+fn minimize_stats_track_the_inprocess_flag() {
+    let (output, stats) = run_with_stats(
+        &[
+            "minimize",
+            "--function",
+            "xor2",
+            "--max-rops",
+            "2",
+            "--no-inprocess",
+        ],
+        "no_inprocess",
+    );
+    assert!(output.status.success());
+    assert_eq!(get(&stats, "inprocess"), Value::Bool(false));
+    // The knob is solver-internal; the verdict fields are unaffected.
+    assert_eq!(get(&stats, "incremental"), Value::Bool(true));
 }
 
 #[test]
