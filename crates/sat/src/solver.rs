@@ -475,7 +475,11 @@ impl Solver {
             self.proof.is_none(),
             "post-solve add_clause would poison the DRAT log"
         );
-        debug_assert!(
+        // Hard assert (like the assumptions path): in release builds a
+        // clause over an eliminated variable would be silently unsound —
+        // the variable is never decided and extract_model reconstructs it
+        // from stale elimination records, so SAT could violate the clause.
+        assert!(
             lits.iter()
                 .all(|l| !self.eliminated[l.var().index() as usize]),
             "post-solve add_clause over an eliminated variable; freeze it first"

@@ -174,6 +174,10 @@ impl Solver {
         self.log_level0_units();
         self.vivify();
         if self.ok {
+            // Vivification's trailing propagate can derive further level-0
+            // facts; log them while their reason clauses are still alive,
+            // before phase 2 deletes any clause that derives them.
+            self.log_level0_units();
             self.subsume_and_eliminate();
         }
     }
@@ -329,6 +333,11 @@ impl Solver {
                     self.enqueue(kept[0], Reason::Decision);
                     if self.propagate().is_some() {
                         self.ok = false;
+                    } else {
+                        // The cascade's facts must enter the proof before a
+                        // later probe deletes a deriving clause as
+                        // satisfied-at-top; reasons are intact right here.
+                        self.log_level0_units();
                     }
                 }
                 _ => {}
@@ -905,6 +914,38 @@ mod tests {
         let proof = proof.expect("log present");
         assert!(proof.is_concluded());
         drat::check(&cnf, &proof).expect("inprocessed refutation must check");
+    }
+
+    #[test]
+    fn vivify_cascade_facts_reach_the_proof_before_their_derivers_die() {
+        // Vivifying (a b c) against the binaries (a x)(a ¬x) shrinks it to
+        // the unit [a], whose propagation derives d through the long
+        // clause (¬a ¬u d). A later probe in the same pass then deletes
+        // that deriver as satisfied-at-top, and the probe after it shrinks
+        // (¬d e f) to [e] — an addition that is RUP only if the fact d
+        // entered the proof while its deriver was still alive. The
+        // pigeonhole test cannot catch this: its clauses are all binary,
+        // so vivification never shrinks anything there.
+        let mut cnf = CnfFormula::new();
+        let v = cnf.new_lits(8);
+        let (u, a, x, b, c, d, e, f) = (v[0], v[1], v[2], v[3], v[4], v[5], v[6], v[7]);
+        cnf.add_clause([u]);
+        cnf.add_clause([a, x]);
+        cnf.add_clause([a, !x]);
+        cnf.add_clause([a, b, c]); // vivifies to the unit [a]
+        cnf.add_clause([!a, !u, d]); // derives d when a lands, then dies
+        cnf.add_clause([!d, e, f]);
+        cnf.add_clause([!d, e, !f]);
+        cnf.add_clause([!d, !e, f]);
+        cnf.add_clause([!d, !e, !f]);
+        let mut solver = Solver::new(cnf.clone()).with_proof_writer(Box::<DratProof>::default());
+        solver.inprocess_now();
+        assert!(solver.stats().vivified_clauses >= 1, "{}", solver.stats());
+        let (result, _, proof) = solver.solve_certified(Budget::new());
+        assert!(result.is_unsat());
+        let proof = proof.expect("log present");
+        assert!(proof.is_concluded());
+        drat::check(&cnf, &proof).expect("cascade-derived units must be in the proof");
     }
 
     #[test]
